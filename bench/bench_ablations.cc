@@ -1,0 +1,182 @@
+// Design-choice ablations (beyond the paper's figures), backing the choices
+// called out in DESIGN.md:
+//   1. Eq-2 solver path: closed-form dual bisection vs projected gradient
+//      (quality and cost on the real catalog models).
+//   2. The relative weight floor (WRR-granularity guarantee): how the skew
+//      budget trades sensitive-job gains against insensitive-job damage.
+//   3. The FECN congestion-inefficiency strength (gamma).
+//   4. Completion-event quantization: accuracy vs reallocation count.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/weight_solver.h"
+#include "src/exp/cluster_setup.h"
+#include "src/exp/corun.h"
+#include "src/exp/report.h"
+#include "src/net/units.h"
+#include "src/numerics/stats.h"
+#include "src/sim/wallclock.h"
+
+namespace saba {
+namespace {
+
+std::vector<JobSpec> StandardSetup(uint64_t seed) {
+  Rng rng(seed);
+  ClusterSetupOptions options;
+  return GenerateClusterSetup(HiBenchCatalog(), options, &rng);
+}
+
+void SolverAblation(const SensitivityTable& table) {
+  std::cout << "--- Ablation 1: Eq-2 solver path on catalog models ---\n";
+  std::vector<SensitivityModel> models;
+  for (const auto& [name, entry] : table.entries()) {
+    models.push_back(entry.model);
+  }
+  // Convex/dual path (production).
+  WeightSolver solver;
+  Rng rng(3);
+  Stopwatch watch;
+  WeightSolverResult dual;
+  constexpr int kReps = 200;
+  for (int i = 0; i < kReps; ++i) {
+    dual = solver.Solve(models, &rng);
+  }
+  const double dual_us = watch.ElapsedSeconds() / kReps * 1e6;
+
+  // Force projected gradient by adding a negligible degree-4 term.
+  std::vector<SensitivityModel> degree4;
+  for (const SensitivityModel& m : models) {
+    std::vector<double> coeffs = m.polynomial().coefficients();
+    coeffs.resize(5, 0.0);
+    coeffs[4] += 1e-9;
+    degree4.push_back(SensitivityModel{Polynomial(coeffs)});
+  }
+  watch.Reset();
+  WeightSolverResult pg;
+  for (int i = 0; i < 20; ++i) {
+    pg = solver.Solve(degree4, &rng);
+  }
+  const double pg_us = watch.ElapsedSeconds() / 20 * 1e6;
+
+  TablePrinter out({"Path", "Objective (sum D_i)", "us/solve"});
+  out.AddRow({"dual bisection (closed form)", Fmt(dual.objective, 4), Fmt(dual_us, 1)});
+  out.AddRow({"projected gradient", Fmt(pg.objective, 4), Fmt(pg_us, 1)});
+  out.Print(std::cout);
+  std::cout << '\n';
+}
+
+void FloorAblation(const SensitivityTable& table, uint64_t seed) {
+  std::cout << "--- Ablation 2: relative weight floor (skew budget) ---\n";
+  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const std::vector<JobSpec> jobs = StandardSetup(seed);
+  CoRunOptions baseline_options;
+  baseline_options.policy = PolicyKind::kBaseline;
+  const CoRunResult baseline = RunCoRun(topo, jobs, baseline_options);
+
+  TablePrinter out({"Floor", "Avg speedup", "Best job", "Worst job"});
+  for (double floor : {0.25, 0.5, 0.75, 0.9, 1.0}) {
+    CoRunOptions options;
+    options.policy = PolicyKind::kSaba;
+    options.table = &table;
+    options.relative_min_weight = floor;
+    options.seed = seed;
+    const std::vector<double> speedups = Speedups(baseline, RunCoRun(topo, jobs, options));
+    out.AddRow({Fmt(floor), Fmt(GeometricMean(speedups)), Fmt(Max(speedups)),
+                Fmt(Min(speedups))});
+  }
+  out.Print(std::cout);
+  std::cout << "(floor 1.0 disables the sensitivity skew entirely; the default 0.75 is the "
+               "calibrated operating point)\n\n";
+}
+
+void GammaAblation(const SensitivityTable& table, uint64_t seed) {
+  std::cout << "--- Ablation 3: FECN inefficiency strength (gamma) ---\n";
+  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const std::vector<JobSpec> jobs = StandardSetup(seed);
+  TablePrinter out({"gamma", "Saba avg speedup over baseline"});
+  for (double gamma : {0.0, 0.1, 0.25, 0.4}) {
+    CoRunOptions baseline_options;
+    baseline_options.policy = PolicyKind::kBaseline;
+    baseline_options.fecn_gamma = gamma;
+    const CoRunResult baseline = RunCoRun(topo, jobs, baseline_options);
+    CoRunOptions options;
+    options.policy = PolicyKind::kSaba;
+    options.table = &table;
+    options.fecn_gamma = gamma;
+    options.seed = seed;
+    out.AddRow({Fmt(gamma), Fmt(GeometricMean(Speedups(baseline, RunCoRun(topo, jobs, options))))});
+  }
+  out.Print(std::cout);
+  std::cout << "(gamma 0 isolates the pure scheduling gain: Saba's win without any protocol-"
+               "efficiency recovery)\n\n";
+}
+
+void QuantumAblation(uint64_t seed) {
+  std::cout << "--- Ablation 4: completion-event quantization ---\n";
+  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const std::vector<JobSpec> jobs = StandardSetup(seed);
+  CoRunOptions exact_options;
+  exact_options.policy = PolicyKind::kBaseline;
+  exact_options.completion_quantum = 0;
+  const CoRunResult exact = RunCoRun(topo, jobs, exact_options);
+
+  TablePrinter out({"Quantum s", "Allocator runs", "Max completion error %"});
+  for (double quantum : {0.0, 0.1, 0.25, 1.0}) {
+    CoRunOptions options = exact_options;
+    options.completion_quantum = quantum;
+    const CoRunResult result = RunCoRun(topo, jobs, options);
+    double worst = 0;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      worst = std::max(worst, std::fabs(result.completion_seconds[j] -
+                                        exact.completion_seconds[j]) /
+                                  exact.completion_seconds[j]);
+    }
+    out.AddRow({Fmt(quantum), std::to_string(result.allocator_runs), Fmt(worst * 100, 2)});
+  }
+  out.Print(std::cout);
+}
+
+void PolicyComparison(const SensitivityTable& table, uint64_t seed) {
+  std::cout << "--- Ablation 5: every policy on the standard 16-job setup ---\n";
+  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const std::vector<JobSpec> jobs = StandardSetup(seed);
+  CoRunOptions baseline_options;
+  baseline_options.policy = PolicyKind::kBaseline;
+  const CoRunResult baseline = RunCoRun(topo, jobs, baseline_options);
+  TablePrinter out({"Policy", "Avg speedup over baseline"});
+  for (PolicyKind policy :
+       {PolicyKind::kSaba, PolicyKind::kSabaUnlimited, PolicyKind::kIdealMaxMin,
+        PolicyKind::kHoma, PolicyKind::kPFabric, PolicyKind::kSincronia}) {
+    CoRunOptions options;
+    options.policy = policy;
+    options.table = &table;
+    options.seed = seed;
+    out.AddRow({PolicyName(policy),
+                Fmt(GeometricMean(Speedups(baseline, RunCoRun(topo, jobs, options))))});
+  }
+  out.Print(std::cout);
+  std::cout << "(pFabric is a related-work addition beyond the paper's figures)\n";
+}
+
+void Run() {
+  const uint64_t seed = EnvSeed();
+  PrintBanner(std::cout, "Ablations",
+              "Design-choice studies: solver path, weight floor, congestion model, event "
+              "quantization, and a full policy comparison.",
+              seed);
+  const SensitivityTable table = ProfileCatalog(seed);
+  SolverAblation(table);
+  FloorAblation(table, seed);
+  GammaAblation(table, seed);
+  QuantumAblation(seed);
+  PolicyComparison(table, seed);
+}
+
+}  // namespace
+}  // namespace saba
+
+int main() {
+  saba::Run();
+  return 0;
+}

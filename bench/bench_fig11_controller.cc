@@ -1,0 +1,110 @@
+// Figure 11: controller architecture and queue-count studies on the
+// large-scale simulation.
+//
+// (a) Centralized vs distributed controller (study 7): the distributed
+//     controller uses the offline mapping database, trading a little mapping
+//     freshness for scalability. Paper: 1.27x vs 1.23x (4% apart).
+// (b) Speedup vs queues per port: 2, 4, 8, 16, and unlimited (a dedicated
+//     queue per application). Paper: 1.12x / ~1.2x / 1.27x / ~1.3x / 1.33x.
+//
+// SABA_FIG11_INSTANCES scales the per-workload instance count (default 48,
+// half the paper's 97 — this bench runs seven full-fabric simulations).
+
+#include <iostream>
+
+#include "bench/sim_cluster.h"
+#include "src/exp/report.h"
+#include "src/numerics/stats.h"
+
+namespace saba {
+namespace {
+
+double AverageSpeedup(const SimCluster& cluster, const CoRunResult& baseline,
+                      const CoRunOptions& options) {
+  const CoRunResult result = RunCoRun(cluster.topology, cluster.jobs, options);
+  return GeometricMean(Speedups(baseline, result));
+}
+
+void Run() {
+  const uint64_t seed = EnvSeed();
+  SimClusterConfig config;
+  config.seed = seed;
+  config.instances_per_workload = EnvInt("SABA_FIG11_INSTANCES", 48);
+  PrintBanner(std::cout, "Figure 11",
+              "Centralized vs distributed controller (a) and queues-per-port sweep (b), "
+              "spine-leaf simulation with " +
+                  std::to_string(config.instances_per_workload) +
+                  " instances per workload (SABA_FIG11_INSTANCES to change).",
+              seed);
+
+  const SimCluster cluster = BuildSimCluster(config);
+
+  // Simulation-platform congestion calibration; see bench_fig10_simulation.
+  constexpr double kSimGamma = 0.15;
+
+  CoRunOptions baseline_options;
+  baseline_options.policy = PolicyKind::kBaseline;
+  baseline_options.fecn_gamma = kSimGamma;
+  const CoRunResult baseline = RunCoRun(cluster.topology, cluster.jobs, baseline_options);
+  std::cerr << "[fig11] baseline done\n";
+
+  // ---- (a) centralized vs distributed ---------------------------------------
+  {
+    CoRunOptions central;
+    central.policy = PolicyKind::kSaba;
+    central.table = &cluster.table;
+    central.num_pls = 16;
+    central.fecn_gamma = kSimGamma;
+    central.seed = seed;
+    const double central_speedup = AverageSpeedup(cluster, baseline, central);
+    std::cerr << "[fig11] centralized done\n";
+
+    CoRunOptions dist = central;
+    dist.policy = PolicyKind::kSabaDistributed;
+    const double dist_speedup = AverageSpeedup(cluster, baseline, dist);
+    std::cerr << "[fig11] distributed done\n";
+
+    std::cout << "--- Fig 11a: average speedup, centralized vs distributed controller ---\n";
+    TablePrinter table({"Controller", "Avg speedup", "Paper"});
+    table.AddRow({"Centralized", Fmt(central_speedup), "1.27"});
+    table.AddRow({"Distributed", Fmt(dist_speedup), "1.23"});
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- (b) queues per port ---------------------------------------------------
+  {
+    std::cout << "--- Fig 11b: average speedup vs queues per port ---\n";
+    TablePrinter table({"Queues", "Avg speedup", "Paper"});
+    const std::map<int, const char*> paper = {{2, "1.12"}, {4, "~1.2"}, {8, "1.27"},
+                                              {16, "~1.3"}};
+    for (int queues : {2, 4, 8, 16}) {
+      CoRunOptions options;
+      options.policy = PolicyKind::kSaba;
+      options.table = &cluster.table;
+      options.queues_per_port = queues;
+      options.num_pls = std::min(queues * 2, kNumServiceLevels);
+      options.fecn_gamma = kSimGamma;
+      options.seed = seed;
+      table.AddRow({std::to_string(queues), Fmt(AverageSpeedup(cluster, baseline, options)),
+                    paper.at(queues)});
+      std::cerr << "[fig11] queues=" << queues << " done\n";
+    }
+    CoRunOptions unlimited;
+    unlimited.policy = PolicyKind::kSabaUnlimited;
+    unlimited.table = &cluster.table;
+    unlimited.num_pls = kNumServiceLevels;
+    unlimited.fecn_gamma = kSimGamma;
+    unlimited.seed = seed;
+    table.AddRow({"unlimited", Fmt(AverageSpeedup(cluster, baseline, unlimited)), "1.33"});
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace saba
+
+int main() {
+  saba::Run();
+  return 0;
+}

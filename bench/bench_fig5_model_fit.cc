@@ -1,0 +1,51 @@
+// Figure 5: sensitivity models of SQL and LR with polynomial degrees 1-3.
+//
+// Paper: SQL's hockey-stick (flat until ~25%, then steep) needs k=3 for a
+// good fit, while LR's smooth convex curve is captured well by k=2.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/exp/report.h"
+#include "src/numerics/regression.h"
+
+namespace saba {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout, "Figure 5",
+              "Profiling samples and fitted sensitivity models (k = 1..3) for SQL and LR.",
+              EnvSeed());
+
+  for (const char* name : {"SQL", "LR"}) {
+    // Shared samples across degrees: profile once at k=3 and refit.
+    ProfilerOptions options;
+    options.seed = EnvSeed();
+    OfflineProfiler profiler(options);
+    const ProfileResult profile = profiler.Profile(*FindWorkload(name));
+
+    std::cout << "--- " << name << " ---\n";
+    TablePrinter table({"BW%", "Sample", "k=1", "k=2", "k=3"});
+    std::vector<Polynomial> fits;
+    for (size_t k = 1; k <= 3; ++k) {
+      fits.push_back(FitPolynomial(profile.samples, k));
+    }
+    for (const Sample& s : profile.samples) {
+      table.AddRow({Fmt(s.b * 100, 0), Fmt(s.d), Fmt(fits[0].Evaluate(s.b)),
+                    Fmt(fits[1].Evaluate(s.b)), Fmt(fits[2].Evaluate(s.b))});
+    }
+    table.Print(std::cout);
+    std::cout << "R^2:  k=1 " << Fmt(RSquaredClamped(fits[0], profile.samples), 3) << "  k=2 "
+              << Fmt(RSquaredClamped(fits[1], profile.samples), 3) << "  k=3 "
+              << Fmt(RSquaredClamped(fits[2], profile.samples), 3) << "\n";
+    std::cout << "model (k=3): D(b) = " << fits[2].ToString() << "\n\n";
+  }
+}
+
+}  // namespace
+}  // namespace saba
+
+int main() {
+  saba::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 6: accuracy (R^2) of the sensitivity models versus (a) polynomial
+// degree, (b) runtime dataset size, and (c) runtime node count.
+//
+// Methodology (§4.2): models are fitted to the 8-node, 1x-dataset profile;
+// accuracy against a different runtime configuration is the R^2 of the
+// profiled model evaluated on the slowdown curve *measured* at that
+// configuration.
+//
+// Paper trends: (a) R^2 >= 0.60 at k=1 everywhere and rises with k (SQL
+// 0.63 -> 0.96); (b) 0.1x/10x datasets keep R^2 >= 0.55, SVM most robust,
+// NI worst; (c) R^2 >= 0.50 through 3x nodes (NW lowest at 0.51), most
+// models drop below 0.50 at 4x except LR, RF, Sort.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/exp/report.h"
+#include "src/numerics/regression.h"
+
+namespace saba {
+namespace {
+
+void DegreeStudy(uint64_t seed) {
+  std::cout << "--- Fig 6a: R^2 vs polynomial degree ---\n";
+  TablePrinter table({"Workload", "k=1", "k=2", "k=3"});
+  for (const WorkloadSpec& spec : HiBenchCatalog()) {
+    ProfilerOptions options;
+    options.seed = seed;
+    const ProfileResult profile = OfflineProfiler(options).Profile(spec);
+    std::vector<std::string> row = {spec.name};
+    for (size_t k = 1; k <= 3; ++k) {
+      row.push_back(Fmt(RSquaredClamped(FitPolynomial(profile.samples, k), profile.samples), 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << '\n';
+}
+
+// Scores the 1x/8-node model of `spec` against the measured curve of a
+// scaled deployment.
+double ScoreAgainstRuntime(const WorkloadSpec& spec, const SensitivityModel& model,
+                           double dataset_scale, int nodes, uint64_t seed) {
+  ProfilerOptions options;
+  options.seed = seed;
+  OfflineProfiler profiler(options);
+  const std::vector<Sample> runtime_curve =
+      profiler.MeasureSlowdownCurve(ScaleWorkload(spec, dataset_scale, nodes));
+  return RSquaredClamped(model.polynomial(), runtime_curve);
+}
+
+void DatasetStudy(const SensitivityTable& table, uint64_t seed) {
+  std::cout << "--- Fig 6b: R^2 vs runtime dataset size (k=3) ---\n";
+  TablePrinter out({"Workload", "0.1x", "1x", "10x"});
+  for (const WorkloadSpec& spec : HiBenchCatalog()) {
+    const SensitivityModel model = table.ModelOrDefault(spec.name);
+    out.AddRow({spec.name, Fmt(ScoreAgainstRuntime(spec, model, 0.1, 8, seed), 2),
+                Fmt(ScoreAgainstRuntime(spec, model, 1.0, 8, seed), 2),
+                Fmt(ScoreAgainstRuntime(spec, model, 10.0, 8, seed), 2)});
+  }
+  out.Print(std::cout);
+  std::cout << '\n';
+}
+
+void NodeStudy(const SensitivityTable& table, uint64_t seed) {
+  std::cout << "--- Fig 6c: R^2 vs runtime node count (k=3) ---\n";
+  TablePrinter out({"Workload", "0.5x (4)", "1x (8)", "2x (16)", "3x (24)", "4x (32)"});
+  for (const WorkloadSpec& spec : HiBenchCatalog()) {
+    const SensitivityModel model = table.ModelOrDefault(spec.name);
+    std::vector<std::string> row = {spec.name};
+    for (int nodes : {4, 8, 16, 24, 32}) {
+      row.push_back(Fmt(ScoreAgainstRuntime(spec, model, 1.0, nodes, seed), 2));
+    }
+    out.AddRow(row);
+  }
+  out.Print(std::cout);
+}
+
+void Run() {
+  const uint64_t seed = EnvSeed();
+  PrintBanner(std::cout, "Figure 6",
+              "Sensitivity-model accuracy vs degree (a), runtime dataset size (b), and "
+              "runtime node count (c).",
+              seed);
+  DegreeStudy(seed);
+  const SensitivityTable table = ProfileCatalog(seed);
+  DatasetStudy(table, seed);
+  NodeStudy(table, seed);
+}
+
+}  // namespace
+}  // namespace saba
+
+int main() {
+  saba::Run();
+  return 0;
+}

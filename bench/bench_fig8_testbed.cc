@@ -1,0 +1,138 @@
+// Figure 8: the main testbed experiment.
+//
+// (a) Per-workload speedup of Saba over the InfiniBand baseline across
+//     randomized cluster setups: 32 servers, 16 jobs drawn with replacement,
+//     random dataset scale (0.1x/1x/10x) and instance count (0.5x-4x of the
+//     8-node profile), placement constrained to one instance per job per
+//     server and at most 16 jobs per server (§8.2).
+//     Paper: RF 3.9x, LR 3.6x, Sort -5%, PR -1%, average 1.88x.
+// (b) CDF of the per-setup average speedup.
+//     Paper: range 0.94x-2.92x; only 2 of 500 setups below 1.
+//
+// SABA_SETUPS sets the setup count (default 100; the paper uses 500).
+
+#include <atomic>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/exp/cluster_setup.h"
+#include "src/exp/corun.h"
+#include "src/exp/report.h"
+#include "src/net/units.h"
+#include "src/numerics/stats.h"
+
+namespace saba {
+namespace {
+
+struct SetupOutcome {
+  std::vector<std::string> workloads;  // Per job.
+  std::vector<double> speedups;        // Per job: baseline / saba.
+};
+
+void Run() {
+  const uint64_t seed = EnvSeed();
+  const int num_setups = EnvInt("SABA_SETUPS", 100);
+  PrintBanner(std::cout, "Figure 8",
+              "Saba vs InfiniBand baseline over " + std::to_string(num_setups) +
+                  " randomized 16-job cluster setups on 32 servers (SABA_SETUPS to change; "
+                  "paper uses 500).",
+              seed);
+
+  const SensitivityTable table = ProfileCatalog(seed);
+  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+
+  // Pre-generate the setups from one deterministic stream, then execute them
+  // across a worker pool (setups are independent simulations).
+  std::vector<std::vector<JobSpec>> setups;
+  {
+    Rng rng(seed);
+    ClusterSetupOptions options;
+    for (int s = 0; s < num_setups; ++s) {
+      setups.push_back(GenerateClusterSetup(HiBenchCatalog(), options, &rng));
+    }
+  }
+
+  std::vector<SetupOutcome> outcomes(setups.size());
+  std::atomic<size_t> next{0};
+  const unsigned num_threads = std::max(2u, std::thread::hardware_concurrency()) - 1;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&] {
+      for (size_t s = next.fetch_add(1); s < setups.size(); s = next.fetch_add(1)) {
+        CoRunOptions baseline_options;
+        baseline_options.policy = PolicyKind::kBaseline;
+        const CoRunResult baseline = RunCoRun(topo, setups[s], baseline_options);
+
+        CoRunOptions saba_options;
+        saba_options.policy = PolicyKind::kSaba;
+        saba_options.table = &table;
+        saba_options.seed = seed + s;
+        const CoRunResult saba = RunCoRun(topo, setups[s], saba_options);
+
+        SetupOutcome& outcome = outcomes[s];
+        outcome.speedups = Speedups(baseline, saba);
+        for (const JobSpec& job : setups[s]) {
+          outcome.workloads.push_back(job.spec.name);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  // ---- Fig 8a: per-workload geometric-mean speedup --------------------------
+  std::map<std::string, std::vector<double>> per_workload;
+  std::vector<double> setup_averages;
+  for (const SetupOutcome& outcome : outcomes) {
+    for (size_t j = 0; j < outcome.speedups.size(); ++j) {
+      per_workload[outcome.workloads[j]].push_back(outcome.speedups[j]);
+    }
+    setup_averages.push_back(GeometricMean(outcome.speedups));
+  }
+
+  std::cout << "--- Fig 8a: speedup of workloads with Saba over the baseline ---\n";
+  const std::map<std::string, const char*> paper = {
+      {"LR", "3.6"}, {"RF", "3.9"},  {"GBT", "high"}, {"SVM", "high"}, {"NI", "mid"},
+      {"NW", "mid"}, {"PR", "0.99"}, {"SQL", "mid"},  {"WC", "mid"},   {"Sort", "0.95"}};
+  TablePrinter table_a({"Workload", "Jobs", "Geomean speedup", "Min", "Max", "Paper"});
+  std::vector<double> all;
+  for (const WorkloadSpec& spec : HiBenchCatalog()) {
+    const auto it = per_workload.find(spec.name);
+    if (it == per_workload.end()) {
+      continue;
+    }
+    const std::vector<double>& xs = it->second;
+    all.insert(all.end(), xs.begin(), xs.end());
+    table_a.AddRow({spec.name, std::to_string(xs.size()), Fmt(GeometricMean(xs)),
+                    Fmt(Min(xs)), Fmt(Max(xs)), paper.at(spec.name)});
+  }
+  table_a.Print(std::cout);
+  std::cout << "average speedup across all jobs: " << Fmt(GeometricMean(all))
+            << "  (paper: 1.88)\n\n";
+
+  // ---- Fig 8b: CDF of per-setup average speedup -----------------------------
+  std::cout << "--- Fig 8b: CDF of the average speedup per cluster setup ---\n";
+  TablePrinter table_b({"Percentile", "Avg speedup"});
+  for (double p : {0.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 100.0}) {
+    table_b.AddRow({Fmt(p, 0), Fmt(Percentile(setup_averages, p))});
+  }
+  table_b.Print(std::cout);
+  int below_one = 0;
+  for (double avg : setup_averages) {
+    below_one += avg < 1.0 ? 1 : 0;
+  }
+  std::cout << "setups with average slowdown: " << below_one << " of " << setup_averages.size()
+            << "  (paper: 2 of 500; range 0.94-2.92)\n";
+}
+
+}  // namespace
+}  // namespace saba
+
+int main() {
+  saba::Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 9: sensitivity studies on the homogeneous co-run.
+//
+// Setup (§8.3): one instance of every catalog workload on every server; all
+// ten jobs run together, once under the baseline and once under Saba.
+// (a) dataset size 0.1x/1x/10x at runtime (profiles taken at 1x, k=3).
+//     Paper averages: 1.33x / 1.54x / 1.40x.
+// (b) node count 0.5x-4x of the 8-node profile (dataset 1x, k=3).
+//     Paper averages: 1.42x / 1.54x / 1.34x / 1.26x / 1.09x.
+// (c) polynomial degree k=1..3 (1x dataset, 8 nodes).
+//     Paper averages: 1.27x / 1.42x / ~1.54x.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/exp/corun.h"
+#include "src/exp/report.h"
+#include "src/net/units.h"
+#include "src/numerics/stats.h"
+
+namespace saba {
+namespace {
+
+// All ten workloads co-located on `num_nodes` servers at `dataset_scale`.
+std::vector<JobSpec> HomogeneousJobs(double dataset_scale, int num_nodes, Rng* rng) {
+  std::vector<NodeId> hosts;
+  for (NodeId h = 0; h < num_nodes; ++h) {
+    hosts.push_back(h);
+  }
+  std::vector<JobSpec> jobs;
+  for (const WorkloadSpec& spec : HiBenchCatalog()) {
+    jobs.push_back({ScaleWorkload(spec, dataset_scale, num_nodes), hosts,
+                    rng->Uniform(0, 5.0)});
+  }
+  return jobs;
+}
+
+// Runs the co-run under baseline and Saba; returns per-job speedups.
+std::vector<double> SpeedupsFor(const SensitivityTable& table, double dataset_scale,
+                                int num_nodes, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<JobSpec> jobs = HomogeneousJobs(dataset_scale, num_nodes, &rng);
+  const Topology topo = BuildSingleSwitchStar(num_nodes, Gbps(56));
+  CoRunOptions baseline_options;
+  baseline_options.policy = PolicyKind::kBaseline;
+  const CoRunResult baseline = RunCoRun(topo, jobs, baseline_options);
+  CoRunOptions saba_options;
+  saba_options.policy = PolicyKind::kSaba;
+  saba_options.table = &table;
+  saba_options.seed = seed;
+  const CoRunResult saba = RunCoRun(topo, jobs, saba_options);
+  return Speedups(baseline, saba);
+}
+
+void PrintStudy(const std::string& title, const std::vector<std::string>& configs,
+                const std::vector<std::vector<double>>& speedups,
+                const std::vector<std::string>& paper_avgs) {
+  std::cout << "--- " << title << " ---\n";
+  std::vector<std::string> headers = {"Workload"};
+  headers.insert(headers.end(), configs.begin(), configs.end());
+  TablePrinter table(headers);
+  const auto& catalog = HiBenchCatalog();
+  for (size_t w = 0; w < catalog.size(); ++w) {
+    std::vector<std::string> row = {catalog[w].name};
+    for (const auto& column : speedups) {
+      row.push_back(Fmt(column[w]));
+    }
+    table.AddRow(row);
+  }
+  std::vector<std::string> avg_row = {"Average"};
+  std::vector<std::string> paper_row = {"(paper)"};
+  for (size_t c = 0; c < speedups.size(); ++c) {
+    avg_row.push_back(Fmt(GeometricMean(speedups[c])));
+    paper_row.push_back(paper_avgs[c]);
+  }
+  table.AddRow(avg_row);
+  table.AddRow(paper_row);
+  table.Print(std::cout);
+  std::cout << '\n';
+}
+
+void Run() {
+  const uint64_t seed = EnvSeed();
+  PrintBanner(std::cout, "Figure 9",
+              "Impact of dataset size (a), node count (b), and polynomial degree (c) on "
+              "Saba's speedup over the baseline (homogeneous 10-job co-run).",
+              seed);
+
+  const SensitivityTable table_k3 = ProfileCatalog(seed, 3);
+
+  // (a) Dataset size.
+  {
+    std::vector<std::vector<double>> columns;
+    for (double scale : {0.1, 1.0, 10.0}) {
+      columns.push_back(SpeedupsFor(table_k3, scale, 8, seed));
+    }
+    PrintStudy("Fig 9a: speedup vs runtime dataset size", {"0.1x", "1x", "10x"}, columns,
+               {"1.33", "1.54", "1.40"});
+  }
+
+  // (b) Node count.
+  {
+    std::vector<std::vector<double>> columns;
+    for (int nodes : {4, 8, 16, 24, 32}) {
+      columns.push_back(SpeedupsFor(table_k3, 1.0, nodes, seed));
+    }
+    PrintStudy("Fig 9b: speedup vs runtime node count", {"0.5x", "1x", "2x", "3x", "4x"},
+               columns, {"1.42", "1.54", "1.34", "1.26", "1.09"});
+  }
+
+  // (c) Polynomial degree.
+  {
+    std::vector<std::vector<double>> columns;
+    for (size_t k : {1u, 2u, 3u}) {
+      const SensitivityTable table = ProfileCatalog(seed, k);
+      columns.push_back(SpeedupsFor(table, 1.0, 8, seed));
+    }
+    PrintStudy("Fig 9c: speedup vs polynomial degree", {"k=1", "k=2", "k=3"}, columns,
+               {"1.27", "1.42", "~1.5"});
+  }
+}
+
+}  // namespace
+}  // namespace saba
+
+int main() {
+  saba::Run();
+  return 0;
+}

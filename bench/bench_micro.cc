@@ -1,0 +1,187 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical pieces:
+// the WFQ fluid allocator, the Eq-2 weight solver, clustering, and routing.
+// These back the performance claims in DESIGN.md (allocator cost linear-ish
+// in flow count; closed-form solver microseconds per port).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/pl_mapper.h"
+#include "src/core/queue_mapper.h"
+#include "src/core/weight_solver.h"
+#include "src/net/allocator.h"
+#include "src/net/routing.h"
+#include "src/net/units.h"
+#include "src/numerics/kmeans.h"
+#include "src/sim/rng.h"
+
+namespace saba {
+namespace {
+
+SensitivityModel RandomConvexModel(Rng* rng) {
+  const double s = rng->Uniform(0.1, 4.0);
+  const double q = rng->Uniform(0.0, 3.0);
+  const double c = rng->Uniform(0.0, 2.0);
+  return SensitivityModel{Polynomial({1 + s + q + c, -(s + 2 * q + 3 * c), q + 3 * c, -c})};
+}
+
+// --- WFQ allocator vs flow count on the big fabric ---------------------------
+
+struct AllocatorFixture {
+  AllocatorFixture(int num_flows, int num_apps)
+      : network(BuildSpineLeaf(SpineLeafParams{}), 8) {
+    Rng rng(7);
+    const std::vector<NodeId> hosts = network.topology().Hosts();
+    for (int f = 0; f < num_flows; ++f) {
+      auto flow = std::make_unique<ActiveFlow>();
+      flow->id = f;
+      flow->app = static_cast<AppId>(f % num_apps);
+      flow->sl = f % 8;
+      flow->remaining_bits = Gigabytes(1);
+      NodeId src = rng.Choice(hosts);
+      NodeId dst = rng.Choice(hosts);
+      while (dst == src) {
+        dst = rng.Choice(hosts);
+      }
+      flow->path = &network.router().Route(src, dst, static_cast<uint64_t>(f));
+      flows.push_back(std::move(flow));
+      raw.push_back(flows.back().get());
+    }
+  }
+
+  Network network;
+  std::vector<std::unique_ptr<ActiveFlow>> flows;
+  std::vector<ActiveFlow*> raw;
+};
+
+void BM_WfqAllocator(benchmark::State& state) {
+  AllocatorFixture fixture(static_cast<int>(state.range(0)), 20);
+  WfqMaxMinAllocator allocator;
+  for (auto _ : state) {
+    allocator.Allocate(fixture.raw, fixture.network);
+    benchmark::DoNotOptimize(fixture.raw[0]->rate);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WfqAllocator)->Arg(100)->Arg(1000)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_PerAppAllocator(benchmark::State& state) {
+  AllocatorFixture fixture(static_cast<int>(state.range(0)), 20);
+  PerAppWfqAllocator allocator;
+  for (auto _ : state) {
+    allocator.Allocate(fixture.raw, fixture.network);
+    benchmark::DoNotOptimize(fixture.raw[0]->rate);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PerAppAllocator)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_StrictPriorityAllocator(benchmark::State& state) {
+  AllocatorFixture fixture(static_cast<int>(state.range(0)), 20);
+  for (size_t i = 0; i < fixture.raw.size(); ++i) {
+    fixture.raw[i]->priority = static_cast<int>(i % 8);
+  }
+  StrictPriorityAllocator allocator;
+  for (auto _ : state) {
+    allocator.Allocate(fixture.raw, fixture.network);
+    benchmark::DoNotOptimize(fixture.raw[0]->rate);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StrictPriorityAllocator)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+// --- Eq 2 weight solver vs application count ---------------------------------
+
+void BM_WeightSolverConvex(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<SensitivityModel> models;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    models.push_back(RandomConvexModel(&rng));
+  }
+  WeightSolver solver;
+  Rng solve_rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(models, &solve_rng).objective);
+  }
+}
+BENCHMARK(BM_WeightSolverConvex)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_WeightSolverProjectedGradient(benchmark::State& state) {
+  // Degree-4 models force the generic path.
+  Rng rng(17);
+  std::vector<SensitivityModel> models;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    const SensitivityModel base = RandomConvexModel(&rng);
+    std::vector<double> coeffs = base.polynomial().coefficients();
+    coeffs.resize(5, 0.0);
+    coeffs[4] = 0.01;
+    models.push_back(SensitivityModel{Polynomial(coeffs)});
+  }
+  WeightSolver solver;
+  Rng solve_rng(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(models, &solve_rng).objective);
+  }
+}
+BENCHMARK(BM_WeightSolverProjectedGradient)->Arg(2)->Arg(8)->Arg(32);
+
+// --- Clustering ---------------------------------------------------------------
+
+void BM_PlMapping(benchmark::State& state) {
+  Rng rng(23);
+  std::vector<SensitivityModel> models;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    models.push_back(RandomConvexModel(&rng));
+  }
+  for (auto _ : state) {
+    Rng cluster_rng(29);
+    benchmark::DoNotOptimize(MapAppsToPls(models, 8, &cluster_rng).pl_models.size());
+  }
+}
+BENCHMARK(BM_PlMapping)->Arg(16)->Arg(100)->Arg(1000);
+
+void BM_QueueMapperPort(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<SensitivityModel> pls;
+  for (int i = 0; i < 16; ++i) {
+    pls.push_back(RandomConvexModel(&rng));
+  }
+  QueueMapper mapper(pls);
+  const std::vector<int> present = {0, 2, 3, 5, 7, 8, 11, 13, 14, 15};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.MapPort(present, static_cast<int>(state.range(0))).level);
+  }
+}
+BENCHMARK(BM_QueueMapperPort)->Arg(2)->Arg(4)->Arg(8);
+
+// --- Routing -------------------------------------------------------------------
+
+void BM_RouterColdPath(benchmark::State& state) {
+  const Topology topo = BuildSpineLeaf(SpineLeafParams{});
+  Router router(&topo);
+  Rng rng(37);
+  const std::vector<NodeId> hosts = topo.Hosts();
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    // Fresh salt each time: exercises path computation, not the cache.
+    benchmark::DoNotOptimize(router.Route(rng.Choice(hosts), rng.Choice(hosts) / 2, ++salt));
+  }
+}
+BENCHMARK(BM_RouterColdPath);
+
+void BM_RouterCachedPath(benchmark::State& state) {
+  const Topology topo = BuildSpineLeaf(SpineLeafParams{});
+  Router router(&topo);
+  router.Route(0, 1900, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.Route(0, 1900, 5).size());
+  }
+}
+BENCHMARK(BM_RouterCachedPath);
+
+}  // namespace
+}  // namespace saba
+
+BENCHMARK_MAIN();

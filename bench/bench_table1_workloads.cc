@@ -1,0 +1,41 @@
+// Table 1: the workload suite and its profiling datasets, plus the modeled
+// equivalents this reproduction runs (stage structure and calibrated
+// compute/communication balance).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/exp/report.h"
+#include "src/net/units.h"
+
+namespace saba {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout, "Table 1",
+              "Dataset size of workloads in profiling (paper column) and the calibrated "
+              "stage model standing in for each workload (reproduction columns).",
+              EnvSeed());
+
+  TablePrinter table({"Workload", "Category", "Paper dataset", "Stages", "Compute s/stage",
+                      "Shuffle s/stage", "Overlap", "Fanout", "Base s"});
+  for (const WorkloadDatasetInfo& info : Table1Datasets()) {
+    const WorkloadSpec* spec = FindWorkload(info.name);
+    const StageSpec& stage = spec->stages[0];
+    const double comm_seconds =
+        stage.bits_per_peer * static_cast<double>(spec->fanout) / Gbps(56);
+    const double base = OfflineProfiler::RunIsolated(*spec, 1.0, 8, Gbps(56));
+    table.AddRow({info.name, info.category, info.dataset, std::to_string(spec->stages.size()),
+                  Fmt(stage.compute_seconds, 1), Fmt(comm_seconds, 1), Fmt(stage.overlap, 2),
+                  std::to_string(spec->fanout), Fmt(base, 0)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace saba
+
+int main() {
+  saba::Run();
+  return 0;
+}

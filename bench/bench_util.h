@@ -1,0 +1,41 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints its table(s) to stdout with a banner naming the figure,
+// the knobs, and the seed. Scale knobs (setup counts, scenario counts) come
+// from environment variables so CI can run quick passes while a full
+// reproduction uses the paper's counts.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "src/core/profiler.h"
+#include "src/workload/workload_catalog.h"
+
+namespace saba {
+
+// Integer knob from the environment with a default.
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline uint64_t EnvSeed(uint64_t fallback = 42) {
+  const char* value = std::getenv("SABA_SEED");
+  return value != nullptr ? static_cast<uint64_t>(std::atoll(value)) : fallback;
+}
+
+// Profiles the HiBench catalog with the paper's standard settings (8 nodes,
+// 56 Gb/s, degree-3 fits, light measurement noise).
+inline SensitivityTable ProfileCatalog(uint64_t seed, size_t degree = 3) {
+  ProfilerOptions options;
+  options.polynomial_degree = degree;
+  options.seed = seed;
+  return OfflineProfiler(options).ProfileAll(HiBenchCatalog());
+}
+
+}  // namespace saba
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Datacenter-scale scenario: a small spine-leaf fabric, a mixed batch of
+// catalog jobs placed across racks, and Saba's centralized controller
+// reacting to registrations and per-stage connection churn.
+//
+//   ./build/examples/datacenter_sim
+//
+// Shows the pieces a deployment touches: topology construction, profiling,
+// policy selection, and the controller statistics (reclusterings, port
+// reconfigurations, calculation time).
+
+#include <cstdio>
+
+#include "src/core/profiler.h"
+#include "src/exp/cluster_setup.h"
+#include "src/exp/corun.h"
+#include "src/net/units.h"
+#include "src/numerics/stats.h"
+#include "src/workload/workload_catalog.h"
+
+int main() {
+  using namespace saba;
+
+  // A 2-pod spine-leaf fabric: 4 spine, 8 leaf, 8 ToR switches, 72 servers.
+  SpineLeafParams params;
+  params.num_spine = 4;
+  params.num_leaf = 8;
+  params.num_tor = 8;
+  params.hosts_per_tor = 9;
+  params.num_pods = 2;
+  const Topology topo = BuildSpineLeaf(params);
+  std::printf("fabric: %zu nodes, %zu directed links, %zu servers\n", topo.num_nodes(),
+              topo.num_links(), topo.Hosts().size());
+
+  // Profile the catalog once (the operator does this ahead of time).
+  OfflineProfiler profiler(ProfilerOptions{});
+  const SensitivityTable table = profiler.ProfileAll(HiBenchCatalog());
+  std::printf("profiled %zu workloads\n\n", table.size());
+
+  // A dozen random jobs spread over the fabric.
+  Rng rng(2026);
+  ClusterSetupOptions setup;
+  setup.num_servers = static_cast<int>(topo.Hosts().size());
+  setup.jobs_per_setup = 12;
+  const std::vector<JobSpec> jobs = GenerateClusterSetup(HiBenchCatalog(), setup, &rng);
+
+  CoRunOptions baseline;
+  baseline.policy = PolicyKind::kBaseline;
+  const CoRunResult base = RunCoRun(topo, jobs, baseline);
+
+  CoRunOptions saba;
+  saba.policy = PolicyKind::kSaba;
+  saba.table = &table;
+  const CoRunResult managed = RunCoRun(topo, jobs, saba);
+
+  std::printf("%-4s %-5s %6s | %10s %10s %8s\n", "job", "wl", "nodes", "baseline", "saba",
+              "speedup");
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    std::printf("%-4zu %-5s %6zu | %9.1fs %9.1fs %7.2fx\n", j, jobs[j].spec.name.c_str(),
+                jobs[j].hosts.size(), base.completion_seconds[j],
+                managed.completion_seconds[j],
+                base.completion_seconds[j] / managed.completion_seconds[j]);
+  }
+  std::printf("average speedup: %.2fx\n\n", GeometricMean(Speedups(base, managed)));
+
+  const ControllerStats& stats = managed.controller_stats;
+  std::printf("controller: %llu registrations, %llu PL re-clusterings, %llu conn creates,\n"
+              "            %llu port reconfigurations, %.1f ms total calculation time\n",
+              static_cast<unsigned long long>(stats.registrations),
+              static_cast<unsigned long long>(stats.pl_reclusterings),
+              static_cast<unsigned long long>(stats.conn_creates),
+              static_cast<unsigned long long>(stats.port_reconfigurations),
+              stats.total_calc_wall_seconds * 1e3);
+  return 0;
+}

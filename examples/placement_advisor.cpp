@@ -1,0 +1,104 @@
+// Placement advisor: use sensitivity models to decide which jobs to
+// co-locate, then validate the advice by simulation.
+//
+//   ./build/examples/placement_advisor
+//
+// The planner predicts (from models alone, microseconds) that spreading
+// sensitive jobs across racks beats clustering them; the simulation then
+// confirms it on a two-rack fabric.
+
+#include <cstdio>
+
+#include "src/core/planner.h"
+#include "src/core/profiler.h"
+#include "src/exp/corun.h"
+#include "src/net/units.h"
+#include "src/numerics/stats.h"
+#include "src/workload/workload_catalog.h"
+
+namespace {
+
+using namespace saba;
+
+// Runs the 8 jobs with the given per-job rack assignment on a 2-rack fabric
+// under Saba and returns the geometric-mean job completion time — the
+// absolute quantity the planner minimizes (speedup *over baseline* would
+// reward bad placements for making the baseline worse).
+double SimulatePlacement(const std::vector<std::string>& mix, const std::vector<int>& rack,
+                         const SensitivityTable& table) {
+  Topology topo = BuildSpineLeaf({.num_spine = 1,
+                                  .num_leaf = 2,
+                                  .num_tor = 2,
+                                  .hosts_per_tor = 8,
+                                  .num_pods = 2,
+                                  .host_link_bps = Gbps(56),
+                                  .tor_leaf_bps = Gbps(56),
+                                  .leaf_spine_bps = Gbps(56)});
+  std::vector<JobSpec> jobs;
+  for (size_t j = 0; j < mix.size(); ++j) {
+    JobSpec job;
+    job.spec = ScaleWorkload(*FindWorkload(mix[j]), 1.0, 8);
+    const NodeId base = rack[j] == 0 ? 0 : 8;
+    for (NodeId i = 0; i < 8; ++i) {
+      job.hosts.push_back(base + i);
+    }
+    job.start_at = 0.25 * static_cast<double>(j);
+    jobs.push_back(std::move(job));
+  }
+  CoRunOptions saba;
+  saba.policy = PolicyKind::kSaba;
+  saba.table = &table;
+  const CoRunResult managed = RunCoRun(topo, jobs, saba);
+  return GeometricMean(managed.completion_seconds);
+}
+
+}  // namespace
+
+int main() {
+  using namespace saba;
+
+  const std::vector<std::string> mix = {"LR", "RF", "GBT", "SVM", "PR", "SQL", "WC", "Sort"};
+  OfflineProfiler profiler(ProfilerOptions{});
+  std::vector<WorkloadSpec> specs;
+  for (const std::string& name : mix) {
+    specs.push_back(*FindWorkload(name));
+  }
+  const SensitivityTable table = profiler.ProfileAll(specs);
+
+  CoRunPlanner planner(&table);
+  Rng rng(11);
+
+  // Model-only prediction of the whole mix on one shared domain.
+  const CoRunPrediction prediction = planner.Predict(mix, &rng);
+  std::printf("predicted Saba-vs-equal speedup for the full mix on one domain: %.2fx\n\n",
+              prediction.predicted_speedup);
+
+  // Partition advice: 2 racks.
+  const PartitionPlan plan = planner.Partition(mix, 2, &rng);
+  std::printf("advised split (sensitive jobs spread apart):\n  rack0:");
+  for (size_t j = 0; j < mix.size(); ++j) {
+    if (plan.group[j] == 0) {
+      std::printf(" %s", mix[j].c_str());
+    }
+  }
+  std::printf("\n  rack1:");
+  for (size_t j = 0; j < mix.size(); ++j) {
+    if (plan.group[j] == 1) {
+      std::printf(" %s", mix[j].c_str());
+    }
+  }
+  std::printf("\n\n");
+
+  // Validate against the naive split (first half / second half), which
+  // clusters all the ML jobs on one rack.
+  const std::vector<int> naive = {0, 0, 0, 0, 1, 1, 1, 1};
+  const double advised = SimulatePlacement(mix, plan.group, table);
+  const double clustered = SimulatePlacement(mix, naive, table);
+  std::printf("simulated completion time under Saba (geometric mean across jobs):\n");
+  std::printf("  advised placement:   %.1f s\n", advised);
+  std::printf("  clustered placement: %.1f s  (all ML jobs on one rack)\n", clustered);
+  std::printf("(spreading the sensitive jobs keeps them from fighting each other for\n"
+              " the same headroom: %.0f%% faster completion for the same hardware)\n",
+              (clustered / advised - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// sabasim: run a scenario file through the simulator and compare the chosen
+// policy against the baseline.
+//
+//   ./build/examples/sabasim scenario.txt
+//   ./build/examples/sabasim -          # read the scenario from stdin
+//
+// Scenario format: see src/exp/scenario.h. Example:
+//
+//   topology star servers=16 capacity_gbps=56
+//   policy saba
+//   seed 7
+//   job LR nodes=16
+//   job PR nodes=16
+//   job Sort nodes=8 dataset=10 start=3
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/profiler.h"
+#include "src/exp/scenario.h"
+#include "src/numerics/stats.h"
+#include "src/workload/workload_catalog.h"
+
+int main(int argc, char** argv) {
+  using namespace saba;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <scenario-file | ->\n", argv[0]);
+    return 1;
+  }
+  std::string text;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  std::string error;
+  const auto scenario = ParseScenario(text, &error);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "scenario error: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Profile only the workloads the scenario references.
+  std::vector<WorkloadSpec> needed;
+  for (const ScenarioJob& job : scenario->jobs) {
+    const WorkloadSpec* spec = FindWorkload(job.workload);
+    if (std::none_of(needed.begin(), needed.end(),
+                     [&](const WorkloadSpec& w) { return w.name == spec->name; })) {
+      needed.push_back(*spec);
+    }
+  }
+  std::fprintf(stderr, "profiling %zu workload(s)...\n", needed.size());
+  ProfilerOptions profiler_options;
+  profiler_options.seed = scenario->seed;
+  const SensitivityTable table = OfflineProfiler(profiler_options).ProfileAll(needed);
+
+  // Baseline reference run, then the scenario's policy.
+  Scenario baseline = *scenario;
+  baseline.options.policy = PolicyKind::kBaseline;
+  const CoRunResult base = RunScenario(baseline, table);
+  const CoRunResult result = RunScenario(*scenario, table);
+
+  std::printf("%-4s %-6s %7s %9s | %12s %12s %9s\n", "job", "wl", "nodes", "dataset",
+              "baseline s", "policy s", "speedup");
+  for (size_t j = 0; j < scenario->jobs.size(); ++j) {
+    const ScenarioJob& job = scenario->jobs[j];
+    std::printf("%-4zu %-6s %7d %9.2f | %12.1f %12.1f %8.2fx\n", j, job.workload.c_str(),
+                job.nodes, job.dataset_scale, base.completion_seconds[j],
+                result.completion_seconds[j],
+                base.completion_seconds[j] / result.completion_seconds[j]);
+  }
+  std::printf("policy: %s   average speedup: %.2fx\n", PolicyName(scenario->options.policy),
+              GeometricMean(Speedups(base, result)));
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Determinism gate: the quick benches must produce byte-identical output for
+# the same seed. Run from the repository root after building.
+set -euo pipefail
+
+BUILD=${1:-build}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# The fast, fully deterministic benches (heavy ones are covered by the seed
+# printing in their banners).
+BENCHES=(
+  bench_table1_workloads
+  bench_fig1_motivation
+  bench_fig2_utilization
+  bench_fig5_model_fit
+  bench_validation
+)
+
+status=0
+for b in "${BENCHES[@]}"; do
+  "$BUILD/bench/$b" > "$TMP/$b.1" 2>/dev/null
+  "$BUILD/bench/$b" > "$TMP/$b.2" 2>/dev/null
+  if ! diff -q "$TMP/$b.1" "$TMP/$b.2" > /dev/null; then
+    echo "NON-DETERMINISTIC: $b"
+    status=1
+  else
+    echo "ok: $b"
+  fi
+done
+exit $status

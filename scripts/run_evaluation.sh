@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full evaluation sweep at the paper's scale. Takes a while; see README for
+# the per-bench scale knobs.
+set -euo pipefail
+BUILD=${1:-build}
+export SABA_SETUPS=${SABA_SETUPS:-500}
+export SABA_SCENARIOS=${SABA_SCENARIOS:-200}
+for b in "$BUILD"/bench/*; do
+  echo "### $b"
+  "$b"
+  echo
+done

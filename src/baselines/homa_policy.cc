@@ -1,0 +1,36 @@
+#include "src/baselines/homa_policy.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace saba {
+
+HomaScheduler::HomaScheduler(FlowSimulator* flow_sim, HomaConfig config)
+    : flow_sim_(flow_sim), config_(config) {
+  assert(flow_sim != nullptr);
+  assert(config_.num_priorities >= 2);
+  assert(config_.cutoff_bits > 0);
+  flow_sim_->SetPreAllocateHook([this] { RefreshPriorities(); });
+}
+
+int HomaScheduler::PriorityFor(double remaining_bits) const {
+  if (remaining_bits > config_.cutoff_bits) {
+    return config_.num_priorities - 1;
+  }
+  // Geometric size buckets over (0, cutoff]: the smallest messages map to
+  // class 0. With P-1 graduated classes, bucket by log2 of the fraction of
+  // the cutoff.
+  const int graduated = config_.num_priorities - 1;
+  const double frac = remaining_bits / config_.cutoff_bits;  // (0, 1]
+  const int bucket = static_cast<int>(std::floor(-std::log2(frac)));
+  const int cls = graduated - 1 - bucket;
+  return cls < 0 ? 0 : cls;
+}
+
+void HomaScheduler::RefreshPriorities() {
+  for (const ActiveFlow* flow : flow_sim_->ActiveFlows()) {
+    flow_sim_->SetFlowPriority(flow->id, PriorityFor(flow->remaining_bits));
+  }
+}
+
+}  // namespace saba

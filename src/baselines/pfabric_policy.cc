@@ -1,0 +1,34 @@
+#include "src/baselines/pfabric_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace saba {
+
+PFabricScheduler::PFabricScheduler(FlowSimulator* flow_sim, PFabricConfig config)
+    : flow_sim_(flow_sim), config_(config) {
+  assert(flow_sim != nullptr);
+  assert(config_.num_priorities >= 2);
+  assert(config_.min_bits > 0 && config_.max_bits > config_.min_bits);
+  log_min_ = std::log(config_.min_bits);
+  log_range_ = std::log(config_.max_bits) - log_min_;
+  flow_sim_->SetPreAllocateHook([this] { RefreshPriorities(); });
+}
+
+int PFabricScheduler::PriorityFor(double remaining_bits) const {
+  if (remaining_bits <= config_.min_bits) {
+    return 0;
+  }
+  const double frac = (std::log(remaining_bits) - log_min_) / log_range_;
+  const int cls = static_cast<int>(frac * (config_.num_priorities - 1)) + 1;
+  return std::clamp(cls, 0, config_.num_priorities - 1);
+}
+
+void PFabricScheduler::RefreshPriorities() {
+  for (const ActiveFlow* flow : flow_sim_->ActiveFlows()) {
+    flow_sim_->SetFlowPriority(flow->id, PriorityFor(flow->remaining_bits));
+  }
+}
+
+}  // namespace saba

@@ -1,0 +1,119 @@
+#include "src/baselines/sincronia_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace saba {
+
+std::vector<AppId> ComputeBssiOrder(const std::vector<CoflowDemand>& coflows) {
+  const size_t n = coflows.size();
+  std::vector<bool> placed(n, false);
+  std::vector<AppId> order(n, kInvalidApp);
+
+  // Remaining (scaled) demand per coflow per port; BSSI scales the demand of
+  // unplaced coflows down as later positions are filled.
+  std::vector<std::unordered_map<LinkId, double>> demand;
+  demand.reserve(n);
+  for (const CoflowDemand& c : coflows) {
+    demand.push_back(c.port_demand);
+  }
+
+  for (size_t slot = n; slot > 0; --slot) {
+    // 1. Bottleneck port: largest total demand over unplaced coflows.
+    std::unordered_map<LinkId, double> port_total;
+    for (size_t c = 0; c < n; ++c) {
+      if (placed[c]) {
+        continue;
+      }
+      for (const auto& [port, bits] : demand[c]) {
+        port_total[port] += bits;
+      }
+    }
+    LinkId bottleneck = kInvalidLink;
+    double worst = -1;
+    for (const auto& [port, total] : port_total) {
+      if (total > worst || (total == worst && port < bottleneck)) {
+        worst = total;
+        bottleneck = port;
+      }
+    }
+
+    // 2. Select: the unplaced coflow with the largest demand on the
+    // bottleneck goes last (ties broken by app id for determinism). Coflows
+    // with no demand anywhere can be placed last trivially.
+    size_t chosen = n;
+    double chosen_demand = -1;
+    for (size_t c = 0; c < n; ++c) {
+      if (placed[c]) {
+        continue;
+      }
+      double d = 0;
+      if (bottleneck != kInvalidLink) {
+        auto it = demand[c].find(bottleneck);
+        d = it == demand[c].end() ? 0 : it->second;
+      }
+      if (d > chosen_demand ||
+          (d == chosen_demand && (chosen == n || coflows[c].app > coflows[chosen].app))) {
+        chosen_demand = d;
+        chosen = c;
+      }
+    }
+    assert(chosen < n);
+    placed[chosen] = true;
+    order[slot - 1] = coflows[chosen].app;
+
+    // 3. Scale: shrink the remaining coflows' demands by what the chosen one
+    // no longer contends for at the bottleneck (unit-weight specialization:
+    // subtract proportionally so earlier positions see the residual load).
+    if (bottleneck != kInvalidLink && chosen_demand > 0) {
+      for (size_t c = 0; c < n; ++c) {
+        if (placed[c]) {
+          continue;
+        }
+        auto it = demand[c].find(bottleneck);
+        if (it != demand[c].end()) {
+          it->second = std::max(0.0, it->second - chosen_demand * it->second / worst);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+SincroniaScheduler::SincroniaScheduler(FlowSimulator* flow_sim, SincroniaConfig config)
+    : flow_sim_(flow_sim), config_(config) {
+  assert(flow_sim != nullptr);
+  assert(config_.num_priorities >= 1);
+  flow_sim_->SetPreAllocateHook([this] { RefreshPriorities(); });
+}
+
+void SincroniaScheduler::RefreshPriorities() {
+  // Build one coflow per application from the in-flight flows.
+  std::unordered_map<AppId, size_t> index;
+  std::vector<CoflowDemand> coflows;
+  const std::vector<const ActiveFlow*> flows = flow_sim_->ActiveFlows();
+  for (const ActiveFlow* flow : flows) {
+    auto [it, inserted] = index.emplace(flow->app, coflows.size());
+    if (inserted) {
+      coflows.push_back({flow->app, {}});
+    }
+    for (LinkId link : *flow->path) {
+      coflows[it->second].port_demand[link] += flow->remaining_bits;
+    }
+  }
+  if (coflows.empty()) {
+    return;
+  }
+
+  const std::vector<AppId> order = ComputeBssiOrder(coflows);
+  std::unordered_map<AppId, int> priority;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    priority[order[pos]] =
+        std::min(static_cast<int>(pos), config_.num_priorities - 1);
+  }
+  for (const ActiveFlow* flow : flows) {
+    flow_sim_->SetFlowPriority(flow->id, priority.at(flow->app));
+  }
+}
+
+}  // namespace saba

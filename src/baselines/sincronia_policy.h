@@ -1,0 +1,57 @@
+// Sincronia-like baseline (paper §8.4, study 6).
+//
+// Sincronia schedules *coflows* — the set of related flows an application
+// stage produces — by computing a total order with the Bottleneck-Select-
+// Scale-Iterate (BSSI) primal-dual greedy and assigning flow priorities from
+// the order; a priority-enabled transport enforces the rates. It is
+// clairvoyant (assumes flow sizes are known a priori) and optimizes coflow
+// completion time, not application completion time — which is exactly the
+// contrast the paper draws with Saba.
+//
+// Here a coflow is an application's in-flight flow set. Before every
+// allocation the policy recomputes the BSSI order over remaining demands and
+// maps order positions onto the available strict-priority classes.
+
+#ifndef SRC_BASELINES_SINCRONIA_POLICY_H_
+#define SRC_BASELINES_SINCRONIA_POLICY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/flow_simulator.h"
+
+namespace saba {
+
+struct SincroniaConfig {
+  // Priority classes available in the fabric (8 in the paper's setups).
+  int num_priorities = 8;
+};
+
+// One coflow's per-port demand, used by the ordering algorithm.
+struct CoflowDemand {
+  AppId app = kInvalidApp;
+  // Port (link) -> total remaining bits the coflow must push through it.
+  std::unordered_map<LinkId, double> port_demand;
+};
+
+// Computes the BSSI order: result[0] is scheduled first (highest priority).
+// Greedy from the back: repeatedly find the most-bottlenecked port (largest
+// total unplaced demand) and place the coflow with the largest demand on it
+// *last* among the unplaced. This is Sincronia's 4-approximation ordering
+// specialized to unit coflow weights.
+std::vector<AppId> ComputeBssiOrder(const std::vector<CoflowDemand>& coflows);
+
+class SincroniaScheduler {
+ public:
+  SincroniaScheduler(FlowSimulator* flow_sim, SincroniaConfig config = {});
+
+ private:
+  void RefreshPriorities();
+
+  FlowSimulator* flow_sim_;
+  SincroniaConfig config_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_BASELINES_SINCRONIA_POLICY_H_

@@ -1,0 +1,269 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/log.h"
+#include "src/sim/wallclock.h"
+
+namespace saba {
+
+CentralizedController::CentralizedController(Network* network, FlowSimulator* flow_sim,
+                                             const SensitivityTable* table,
+                                             ControllerOptions options)
+    : network_(network),
+      flow_sim_(flow_sim),
+      table_(table),
+      options_(options),
+      solver_({.capacity = options.c_saba,
+               .min_weight = options.min_weight,
+               .relative_min_weight = options.relative_min_weight}),
+      rng_(options.seed) {
+  assert(network_ != nullptr);
+  assert(table_ != nullptr);
+  assert(options_.num_pls >= 1 && options_.num_pls <= kNumServiceLevels);
+  assert(options_.reserved_queues >= 0);
+  assert(options_.control_plane_latency_seconds >= 0);
+}
+
+int CentralizedController::AppRegister(AppId app, const std::string& workload_name) {
+  assert(apps_.find(app) == apps_.end() && "application already registered");
+  ++stats_.registrations;
+  AppState state;
+  state.workload = workload_name;
+  if (table_->Find(workload_name) == nullptr) {
+    SABA_LOG_WARNING << "no sensitivity profile for workload '" << workload_name
+                     << "'; treating it as bandwidth-insensitive";
+  }
+  state.model = table_->ModelOrDefault(workload_name);
+  apps_.emplace(app, std::move(state));
+  ReclusterPls();
+  return apps_.at(app).pl;
+}
+
+void CentralizedController::AppDeregister(AppId app) {
+  auto it = apps_.find(app);
+  assert(it != apps_.end());
+  assert(it->second.connections == 0 && "deregistering with live connections");
+  ++stats_.deregistrations;
+  apps_.erase(it);
+  if (!apps_.empty()) {
+    ReclusterPls();
+  }
+}
+
+int CentralizedController::CurrentServiceLevel(AppId app) const { return apps_.at(app).pl; }
+
+void CentralizedController::ConnCreate(AppId app, NodeId src, NodeId dst, uint64_t path_salt) {
+  auto it = apps_.find(app);
+  assert(it != apps_.end() && "connection from unregistered application");
+  ++stats_.conn_creates;
+  ++it->second.connections;
+
+  const std::vector<LinkId>& path = network_->router().Route(src, dst, path_salt);
+  std::vector<LinkId> dirty;
+  for (LinkId link : path) {
+    port_apps_[link][app] += 1;
+    dirty.push_back(link);
+  }
+  MarkPortsDirty(dirty);
+}
+
+void CentralizedController::ConnDestroy(AppId app, NodeId src, NodeId dst, uint64_t path_salt) {
+  auto it = apps_.find(app);
+  assert(it != apps_.end());
+  ++stats_.conn_destroys;
+  --it->second.connections;
+  assert(it->second.connections >= 0);
+
+  const std::vector<LinkId>& path = network_->router().Route(src, dst, path_salt);
+  std::vector<LinkId> dirty;
+  for (LinkId link : path) {
+    auto port_it = port_apps_.find(link);
+    assert(port_it != port_apps_.end());
+    auto app_it = port_it->second.find(app);
+    assert(app_it != port_it->second.end());
+    if (--app_it->second == 0) {
+      port_it->second.erase(app_it);
+    }
+    if (port_it->second.empty()) {
+      port_apps_.erase(port_it);
+      port_weights_.erase(link);
+    } else {
+      dirty.push_back(link);
+    }
+  }
+  MarkPortsDirty(dirty);
+}
+
+void CentralizedController::RegisterAppStatic(AppId app, const std::string& workload_name,
+                                              int pl) {
+  assert(apps_.find(app) == apps_.end() && "application already registered");
+  assert(pl >= 0 && pl < options_.num_pls);
+  ++stats_.registrations;
+  AppState state;
+  state.workload = workload_name;
+  state.model = table_->ModelOrDefault(workload_name);
+  state.pl = pl;
+  apps_.emplace(app, std::move(state));
+}
+
+void CentralizedController::InstallPlModels(const std::vector<SensitivityModel>& pl_models) {
+  queue_mapper_.emplace(pl_models);
+}
+
+void CentralizedController::ReclusterPls() {
+  assert(!apps_.empty());
+  ++stats_.pl_reclusterings;
+
+  std::vector<AppId> ids;
+  std::vector<SensitivityModel> models;
+  ids.reserve(apps_.size());
+  models.reserve(apps_.size());
+  for (const auto& [id, state] : apps_) {
+    ids.push_back(id);
+    models.push_back(state.model);
+  }
+
+  const PlMapping mapping = MapAppsToPls(models, options_.num_pls, &rng_);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    apps_.at(ids[i]).pl = mapping.app_to_pl[i];
+    if (flow_sim_ != nullptr) {
+      flow_sim_->SetAppServiceLevel(ids[i], mapping.app_to_pl[i]);
+    }
+  }
+  queue_mapper_.emplace(mapping.pl_models);
+
+  // PL geometry changed; every active port needs a fresh mapping.
+  std::vector<LinkId> dirty;
+  dirty.reserve(port_apps_.size());
+  for (const auto& [link, counts] : port_apps_) {
+    dirty.push_back(link);
+  }
+  MarkPortsDirty(dirty);
+}
+
+void CentralizedController::MarkPortsDirty(const std::vector<LinkId>& links) {
+  dirty_ports_.insert(links.begin(), links.end());
+  if (flow_sim_ == nullptr) {
+    FlushDirtyPorts();
+    return;
+  }
+  if (!flush_scheduled_ && !dirty_ports_.empty()) {
+    flush_scheduled_ = true;
+    flow_sim_->scheduler()->ScheduleAfter(options_.control_plane_latency_seconds, [this] {
+      flush_scheduled_ = false;
+      FlushDirtyPorts();
+    });
+  }
+}
+
+void CentralizedController::FlushDirtyPorts() {
+  if (dirty_ports_.empty()) {
+    return;
+  }
+  Stopwatch watch;
+  for (LinkId link : dirty_ports_) {
+    ReallocatePort(link);
+  }
+  dirty_ports_.clear();
+  stats_.last_calc_wall_seconds = watch.ElapsedSeconds();
+  stats_.total_calc_wall_seconds += stats_.last_calc_wall_seconds;
+
+  if (flow_sim_ != nullptr) {
+    flow_sim_->RequestReallocate();
+  }
+}
+
+void CentralizedController::ReallocatePort(LinkId link) {
+  auto port_it = port_apps_.find(link);
+  if (port_it == port_apps_.end() || port_it->second.empty()) {
+    return;
+  }
+  assert(queue_mapper_.has_value());
+  ++stats_.port_reconfigurations;
+
+  // Solve Eq 2 over the applications at this port.
+  std::vector<AppId> ids;
+  std::vector<SensitivityModel> models;
+  ids.reserve(port_it->second.size());
+  for (const auto& [app, count] : port_it->second) {
+    ids.push_back(app);
+    models.push_back(apps_.at(app).model);
+  }
+  const WeightSolverResult solved = solver_.Solve(models, &rng_);
+
+  std::map<AppId, double>& weights = port_weights_[link];
+  weights.clear();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    weights[ids[i]] = solved.weights[i];
+  }
+
+  // Group the PLs present at this port into the port's queues.
+  std::vector<int> present_pls;
+  for (AppId app : ids) {
+    const int pl = apps_.at(app).pl;
+    if (std::find(present_pls.begin(), present_pls.end(), pl) == present_pls.end()) {
+      present_pls.push_back(pl);
+    }
+  }
+  PortConfig& port = network_->port(link);
+  // The last `reserved_queues` queues belong to non-Saba traffic (§3) and
+  // are never remapped; Saba distributes its PLs over the rest.
+  const int saba_queues = port.num_queues - options_.reserved_queues;
+  assert(saba_queues >= 1 && "reservation leaves no queues for Saba traffic");
+  const QueueMapper::PortMapping mapping = queue_mapper_->MapPort(present_pls, saba_queues);
+
+  // Program the SL->queue table (SL == PL for Saba traffic; SLs outside the
+  // Saba PL range route to the first reserved queue when one exists) and the
+  // queue weights: each Saba queue's weight is the sum of the Eq-2 shares of
+  // the applications mapped into it (§5.3.2).
+  const int non_saba_queue = options_.reserved_queues > 0 ? saba_queues : 0;
+  std::vector<double> queue_weights(static_cast<size_t>(port.num_queues), 1e-6);
+  for (int sl = 0; sl < kNumServiceLevels; ++sl) {
+    const int queue = static_cast<size_t>(sl) < mapping.pl_to_queue.size()
+                          ? mapping.pl_to_queue[static_cast<size_t>(sl)]
+                          : -1;
+    port.sl_to_queue[static_cast<size_t>(sl)] = queue >= 0 ? queue : non_saba_queue;
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int pl = apps_.at(ids[i]).pl;
+    const int queue = mapping.pl_to_queue[static_cast<size_t>(pl)];
+    assert(queue >= 0 && queue < saba_queues);
+    queue_weights[static_cast<size_t>(queue)] += solved.weights[i];
+  }
+  for (int q = saba_queues; q < port.num_queues; ++q) {
+    queue_weights[static_cast<size_t>(q)] = options_.reserved_queue_weight;
+  }
+  port.queue_weights = std::move(queue_weights);
+}
+
+double CentralizedController::RecomputeAllPortsTimed() {
+  std::vector<LinkId> links;
+  links.reserve(port_apps_.size());
+  for (const auto& [link, counts] : port_apps_) {
+    links.push_back(link);
+  }
+  Stopwatch watch;
+  for (LinkId link : links) {
+    ReallocatePort(link);
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  stats_.last_calc_wall_seconds = elapsed;
+  stats_.total_calc_wall_seconds += elapsed;
+  if (flow_sim_ != nullptr && !links.empty()) {
+    flow_sim_->RequestReallocate();
+  }
+  return elapsed;
+}
+
+double CentralizedController::AppWeightAtPort(LinkId link, AppId app) const {
+  auto it = port_weights_.find(link);
+  if (it == port_weights_.end()) {
+    return 0;
+  }
+  auto app_it = it->second.find(app);
+  return app_it == it->second.end() ? 0 : app_it->second;
+}
+
+}  // namespace saba

@@ -1,0 +1,160 @@
+// Saba's controller (paper §5): tracks registered applications and their
+// connections, solves the per-port weight problem (Eq 2), maps applications
+// to PLs (K-means) and PLs to queues (hierarchy walk), and programs the
+// switches' SL-to-VL tables and VL weights.
+//
+// ControllerInterface mirrors the RPC surface the Saba library calls (Fig 7):
+// app_register / conn_create / conn_destroy / app_deregister.
+
+#ifndef SRC_CORE_CONTROLLER_H_
+#define SRC_CORE_CONTROLLER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/pl_mapper.h"
+#include "src/core/queue_mapper.h"
+#include "src/core/sensitivity.h"
+#include "src/core/weight_solver.h"
+#include "src/net/flow_simulator.h"
+#include "src/net/network.h"
+#include "src/sim/rng.h"
+
+namespace saba {
+
+class ControllerInterface {
+ public:
+  virtual ~ControllerInterface() = default;
+
+  // Registers a Saba-compliant application; returns its assigned PL (== the
+  // Service Level its connections must carry).
+  virtual int AppRegister(AppId app, const std::string& workload_name) = 0;
+
+  // Announces a connection. `path_salt` must match the salt the transport
+  // uses so the controller resolves the same path (the real controller reads
+  // the fabric's forwarding tables, §7.2).
+  virtual void ConnCreate(AppId app, NodeId src, NodeId dst, uint64_t path_salt) = 0;
+  virtual void ConnDestroy(AppId app, NodeId src, NodeId dst, uint64_t path_salt) = 0;
+
+  virtual void AppDeregister(AppId app) = 0;
+
+  // The application's current PL (PLs move when the controller re-clusters).
+  virtual int CurrentServiceLevel(AppId app) const = 0;
+};
+
+struct ControllerOptions {
+  // Number of priority levels used for Saba traffic. The testbed reserves 8
+  // VLs of the switch's 9 (§8.1); InfiniBand's ceiling is 16.
+  int num_pls = 8;
+  // C_saba: fraction of each link managed by Saba (1.0 in all experiments).
+  double c_saba = 1.0;
+  // Weight floor per application at a port (absolute and relative to the
+  // equal share; see WeightSolverOptions).
+  double min_weight = 0.01;
+  double relative_min_weight = 0.75;
+  // Non-Saba co-existence (§3): the operator may statically reserve the
+  // *last* `reserved_queues` queues of every port for non-compliant traffic
+  // (control services, latency-critical RPCs). Saba never remaps them; SLs
+  // not assigned to Saba PLs stay pointed at the first reserved queue, and
+  // each reserved queue keeps `reserved_queue_weight` of scheduling weight.
+  // With reservations the operator normally also sets c_saba < 1.
+  int reserved_queues = 0;
+  double reserved_queue_weight = 0.1;
+  // Control-plane latency: delay between a library notification and the
+  // switch configuration taking effect (RPC + switch programming time).
+  // 0 applies reconfigurations within the same simulated instant.
+  double control_plane_latency_seconds = 0;
+  uint64_t seed = 7;
+};
+
+struct ControllerStats {
+  uint64_t registrations = 0;
+  uint64_t deregistrations = 0;
+  uint64_t conn_creates = 0;
+  uint64_t conn_destroys = 0;
+  uint64_t port_reconfigurations = 0;
+  uint64_t pl_reclusterings = 0;
+  // Wall-clock cost of weight calculations (Eq 2 solves), for Fig 12.
+  double total_calc_wall_seconds = 0;
+  double last_calc_wall_seconds = 0;
+};
+
+class CentralizedController : public ControllerInterface {
+ public:
+  // `flow_sim` may be null for offline/what-if use (no live retagging).
+  CentralizedController(Network* network, FlowSimulator* flow_sim,
+                        const SensitivityTable* table, ControllerOptions options = {});
+
+  int AppRegister(AppId app, const std::string& workload_name) override;
+  void ConnCreate(AppId app, NodeId src, NodeId dst, uint64_t path_salt) override;
+  void ConnDestroy(AppId app, NodeId src, NodeId dst, uint64_t path_salt) override;
+  void AppDeregister(AppId app) override;
+  int CurrentServiceLevel(AppId app) const override;
+
+  const ControllerStats& stats() const { return stats_; }
+
+  // Recomputes every port currently carrying Saba connections and returns
+  // the wall-clock seconds spent — the Fig 12 "calculation time".
+  double RecomputeAllPortsTimed();
+
+  // The last solved weight of `app` at port `link` (its Eq-2 share before
+  // queue grouping), or 0 if the app has no flows there. Feeds the
+  // PerAppWfqAllocator in the unlimited-queues configuration (Fig 11b).
+  double AppWeightAtPort(LinkId link, AppId app) const;
+
+  size_t registered_app_count() const { return apps_.size(); }
+
+ protected:
+  struct AppState {
+    std::string workload;
+    SensitivityModel model;
+    int pl = 0;
+    int connections = 0;
+  };
+
+  // Registers `app` with a fixed PL and no re-clustering; the distributed
+  // controller uses this with its offline mapping database (§5.4).
+  void RegisterAppStatic(AppId app, const std::string& workload_name, int pl);
+
+  // Installs a fixed PL geometry (centroid models) for the queue mapper.
+  void InstallPlModels(const std::vector<SensitivityModel>& pl_models);
+
+  // Re-runs application-to-PL K-means and rebuilds the PL hierarchy; retags
+  // live flows; refreshes every active port.
+  void ReclusterPls();
+
+  // Solves Eq 2 for the applications at `link` and programs the port.
+  void ReallocatePort(LinkId link);
+
+  // Marks ports for recomputation. With a live flow simulator the flush is
+  // coalesced to the end of the current simulated instant (a burst of
+  // conn_create calls — e.g. a whole job starting — costs one recompute per
+  // port); offline it is synchronous.
+  void MarkPortsDirty(const std::vector<LinkId>& links);
+  void FlushDirtyPorts();
+
+  Network* network_;
+  FlowSimulator* flow_sim_;
+  const SensitivityTable* table_;
+  ControllerOptions options_;
+  WeightSolver solver_;
+  Rng rng_;
+  ControllerStats stats_;
+
+  std::map<AppId, AppState> apps_;
+  // Per port: connection count per application.
+  std::unordered_map<LinkId, std::map<AppId, int>> port_apps_;
+  // Per port: last solved per-application weights.
+  std::unordered_map<LinkId, std::map<AppId, double>> port_weights_;
+  std::optional<QueueMapper> queue_mapper_;
+  std::unordered_set<LinkId> dirty_ports_;
+  bool flush_scheduled_ = false;
+};
+
+}  // namespace saba
+
+#endif  // SRC_CORE_CONTROLLER_H_

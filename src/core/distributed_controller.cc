@@ -1,0 +1,180 @@
+#include "src/core/distributed_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+#include "src/numerics/linalg.h"
+
+namespace saba {
+
+MappingDatabase MappingDatabase::Build(const SensitivityTable& table, int num_pls,
+                                       uint64_t seed) {
+  assert(table.size() > 0);
+  std::vector<std::string> names;
+  std::vector<SensitivityModel> models;
+  names.reserve(table.size());
+  for (const auto& [name, entry] : table.entries()) {
+    names.push_back(name);
+    models.push_back(entry.model);
+  }
+  Rng rng(seed);
+  const PlMapping mapping = MapAppsToPls(models, num_pls, &rng);
+
+  MappingDatabase db;
+  for (size_t i = 0; i < names.size(); ++i) {
+    db.workload_to_pl[names[i]] = mapping.app_to_pl[i];
+  }
+  db.pl_models = mapping.pl_models;
+  return db;
+}
+
+int MappingDatabase::PlForWorkload(const std::string& workload) const {
+  auto it = workload_to_pl.find(workload);
+  if (it != workload_to_pl.end()) {
+    return it->second;
+  }
+  // Unknown workload: treat as insensitive and pick the nearest centroid.
+  const SensitivityModel fallback;
+  size_t dim = 1;
+  for (const SensitivityModel& model : pl_models) {
+    dim = std::max(dim, model.polynomial().degree() + 1);
+  }
+  const std::vector<double> target = fallback.CoefficientVector(dim);
+  int best_pl = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t p = 0; p < pl_models.size(); ++p) {
+    const double d = SquaredDistance(target, pl_models[p].CoefficientVector(dim));
+    if (d < best) {
+      best = d;
+      best_pl = static_cast<int>(p);
+    }
+  }
+  return best_pl;
+}
+
+std::string MappingDatabase::ToCsv() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (size_t p = 0; p < pl_models.size(); ++p) {
+    os << "pl," << p;
+    for (double coeff : pl_models[p].polynomial().coefficients()) {
+      os << ',' << coeff;
+    }
+    os << '\n';
+  }
+  for (const auto& [workload, pl] : workload_to_pl) {
+    os << "app," << workload << ',' << pl << '\n';
+  }
+  return os.str();
+}
+
+std::optional<MappingDatabase> MappingDatabase::FromCsv(const std::string& csv) {
+  MappingDatabase db;
+  std::istringstream is(csv);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row(line);
+    std::string kind;
+    if (!std::getline(row, kind, ',')) {
+      return std::nullopt;
+    }
+    if (kind == "pl") {
+      std::string field;
+      if (!std::getline(row, field, ',')) {
+        return std::nullopt;
+      }
+      const size_t id = static_cast<size_t>(std::stoul(field));
+      if (id != db.pl_models.size()) {
+        return std::nullopt;  // PL rows must be dense and in order.
+      }
+      std::vector<double> coeffs;
+      while (std::getline(row, field, ',')) {
+        coeffs.push_back(std::stod(field));
+      }
+      if (coeffs.empty()) {
+        return std::nullopt;
+      }
+      db.pl_models.emplace_back(Polynomial(std::move(coeffs)));
+    } else if (kind == "app") {
+      std::string workload;
+      std::string pl;
+      if (!std::getline(row, workload, ',') || !std::getline(row, pl, ',')) {
+        return std::nullopt;
+      }
+      const int pl_id = std::stoi(pl);
+      if (pl_id < 0 || static_cast<size_t>(pl_id) >= db.pl_models.size()) {
+        return std::nullopt;  // Assignments must reference declared PLs.
+      }
+      db.workload_to_pl[workload] = pl_id;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (db.pl_models.empty()) {
+    return std::nullopt;
+  }
+  return db;
+}
+
+DistributedController::DistributedController(Network* network, FlowSimulator* flow_sim,
+                                             const SensitivityTable* table,
+                                             MappingDatabase database,
+                                             DistributedControllerOptions options)
+    : CentralizedController(network, flow_sim, table, options.base),
+      database_(std::move(database)),
+      num_shards_(options.num_shards) {
+  assert(num_shards_ >= 1);
+  assert(!database_.pl_models.empty());
+  InstallPlModels(database_.pl_models);
+  dist_stats_.conn_setups_per_shard.assign(static_cast<size_t>(num_shards_), 0);
+}
+
+int DistributedController::AppRegister(AppId app, const std::string& workload_name) {
+  const int pl = database_.PlForWorkload(workload_name);
+  RegisterAppStatic(app, workload_name, pl);
+  if (flow_sim_ != nullptr) {
+    flow_sim_->SetAppServiceLevel(app, pl);
+  }
+  return pl;
+}
+
+void DistributedController::AppDeregister(AppId app) {
+  auto it = apps_.find(app);
+  assert(it != apps_.end());
+  assert(it->second.connections == 0);
+  ++stats_.deregistrations;
+  apps_.erase(it);
+  // No re-clustering: the PL geometry is fixed by the offline database.
+}
+
+int DistributedController::ShardOfPort(LinkId link) const {
+  const Link& l = network_->topology().link(link);
+  const NodeId owner = IsSwitch(network_->topology().node(l.src).kind) ? l.src : l.dst;
+  return static_cast<int>(owner) % num_shards_;
+}
+
+void DistributedController::ConnCreate(AppId app, NodeId src, NodeId dst, uint64_t path_salt) {
+  // Account the shard traffic: the library contacts the shard owning the
+  // first port; each shard boundary along the path costs one forward (§5.4).
+  const std::vector<LinkId>& path = network_->router().Route(src, dst, path_salt);
+  if (!path.empty()) {
+    const int first_shard = ShardOfPort(path.front());
+    dist_stats_.conn_setups_per_shard[static_cast<size_t>(first_shard)] += 1;
+    int prev = first_shard;
+    for (LinkId link : path) {
+      const int shard = ShardOfPort(link);
+      if (shard != prev) {
+        ++dist_stats_.cross_shard_messages;
+        prev = shard;
+      }
+    }
+  }
+  CentralizedController::ConnCreate(app, src, dst, path_salt);
+}
+
+}  // namespace saba

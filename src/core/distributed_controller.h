@@ -1,0 +1,87 @@
+// Distributed controller (paper §5.4).
+//
+// Eq 2 is independent per switch output port, so the controller logic shards
+// cleanly: each controller instance owns a group of switches and configures
+// only their ports, fetching the application-to-PL mapping and PL clusters
+// from a replicated database that the *profiler* populated offline. The price
+// of sharding is staleness: PLs are clustered over the full profiled catalog
+// rather than the live application mix, so the grouping can be coarser than
+// the centralized controller's (the paper measures this at ~4%, study 7).
+//
+// The implementation reuses the centralized port machinery (the math is
+// identical per port) and models the sharding explicitly for accounting:
+// every connection setup is routed to the shard owning its first switch,
+// which forwards along the path, one hop per shard boundary crossed.
+
+#ifndef SRC_CORE_DISTRIBUTED_CONTROLLER_H_
+#define SRC_CORE_DISTRIBUTED_CONTROLLER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.h"
+
+namespace saba {
+
+// The offline mapping database: workload -> PL plus the PL centroid models.
+// Built once by the profiler from the full sensitivity table; replicated to
+// every controller shard.
+struct MappingDatabase {
+  std::map<std::string, int> workload_to_pl;
+  std::vector<SensitivityModel> pl_models;
+
+  static MappingDatabase Build(const SensitivityTable& table, int num_pls, uint64_t seed);
+
+  // PL for a workload; unknown workloads get the PL whose centroid is
+  // nearest to the insensitive default model.
+  int PlForWorkload(const std::string& workload) const;
+
+  // Replication format (§5.4: the database is replicated to every controller
+  // shard). Two sections: "pl,<id>,<coefficients...>" rows for the centroid
+  // models, then "app,<workload>,<pl>" rows for the assignments.
+  std::string ToCsv() const;
+  static std::optional<MappingDatabase> FromCsv(const std::string& csv);
+};
+
+struct DistributedControllerOptions {
+  ControllerOptions base;
+  // Number of controller shards; switches are assigned round-robin by id.
+  int num_shards = 8;
+};
+
+struct DistributedControllerStats {
+  // Connection setups handled per shard (first-hop ownership).
+  std::vector<uint64_t> conn_setups_per_shard;
+  // Shard-to-shard forwarding messages (path crossed a shard boundary).
+  uint64_t cross_shard_messages = 0;
+};
+
+class DistributedController : public CentralizedController {
+ public:
+  DistributedController(Network* network, FlowSimulator* flow_sim,
+                        const SensitivityTable* table, MappingDatabase database,
+                        DistributedControllerOptions options = {});
+
+  // Registration consults the static database — no re-clustering happens at
+  // runtime (that is exactly the §5.4 trade-off).
+  int AppRegister(AppId app, const std::string& workload_name) override;
+  void AppDeregister(AppId app) override;
+  void ConnCreate(AppId app, NodeId src, NodeId dst, uint64_t path_salt) override;
+
+  const DistributedControllerStats& distributed_stats() const { return dist_stats_; }
+
+  // The shard owning a port (the src node for switch egress; the dst switch
+  // for host NIC egress, since the NIC is configured via its ToR's manager).
+  int ShardOfPort(LinkId link) const;
+
+ private:
+  MappingDatabase database_;
+  int num_shards_;
+  DistributedControllerStats dist_stats_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_CORE_DISTRIBUTED_CONTROLLER_H_

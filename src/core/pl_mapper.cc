@@ -1,0 +1,39 @@
+#include "src/core/pl_mapper.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/numerics/kmeans.h"
+
+namespace saba {
+
+PlMapping MapAppsToPls(const std::vector<SensitivityModel>& app_models, int num_pls, Rng* rng) {
+  assert(!app_models.empty());
+  assert(num_pls >= 1);
+  assert(rng != nullptr);
+
+  size_t dim = 0;
+  for (const SensitivityModel& model : app_models) {
+    dim = std::max(dim, model.polynomial().degree() + 1);
+  }
+  std::vector<std::vector<double>> points;
+  points.reserve(app_models.size());
+  for (const SensitivityModel& model : app_models) {
+    points.push_back(model.CoefficientVector(dim));
+  }
+
+  const KMeansResult clusters = KMeans(points, static_cast<size_t>(num_pls), rng);
+
+  PlMapping mapping;
+  mapping.app_to_pl.reserve(app_models.size());
+  for (size_t assignment : clusters.assignment) {
+    mapping.app_to_pl.push_back(static_cast<int>(assignment));
+  }
+  mapping.pl_models.reserve(clusters.centroids.size());
+  for (const std::vector<double>& centroid : clusters.centroids) {
+    mapping.pl_models.emplace_back(Polynomial(centroid));
+  }
+  return mapping;
+}
+
+}  // namespace saba

@@ -1,0 +1,34 @@
+// Application-to-Priority-Level mapping (paper §5.3.1).
+//
+// A datacenter runs far more applications than the network has priority
+// levels (InfiniBand: 16 SLs). Saba groups applications by the coefficients
+// of their sensitivity models using K-means; each group gets one PL, and the
+// group centroid serves as the PL's sensitivity model in all downstream
+// decisions.
+
+#ifndef SRC_CORE_PL_MAPPER_H_
+#define SRC_CORE_PL_MAPPER_H_
+
+#include <vector>
+
+#include "src/core/sensitivity.h"
+#include "src/sim/rng.h"
+
+namespace saba {
+
+struct PlMapping {
+  // app_to_pl[i] is the PL of the i-th input model, in [0, num_pls).
+  std::vector<int> app_to_pl;
+  // pl_models[p] is the centroid sensitivity model of PL p. Size equals the
+  // number of PLs actually produced (= min(num_pls, #distinct apps)).
+  std::vector<SensitivityModel> pl_models;
+};
+
+// Clusters `app_models` into at most `num_pls` groups. The feature space is
+// the coefficient vector padded to the longest model. Deterministic given the
+// Rng seed.
+PlMapping MapAppsToPls(const std::vector<SensitivityModel>& app_models, int num_pls, Rng* rng);
+
+}  // namespace saba
+
+#endif  // SRC_CORE_PL_MAPPER_H_

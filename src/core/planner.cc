@@ -1,0 +1,153 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace saba {
+
+CoRunPlanner::CoRunPlanner(const SensitivityTable* table, WeightSolverOptions options)
+    : table_(table), solver_(options) {
+  assert(table != nullptr);
+}
+
+CoRunPrediction CoRunPlanner::Predict(const std::vector<std::string>& workloads,
+                                      Rng* rng) const {
+  assert(!workloads.empty());
+  std::vector<SensitivityModel> models;
+  models.reserve(workloads.size());
+  for (const std::string& name : workloads) {
+    models.push_back(table_->ModelOrDefault(name));
+  }
+
+  CoRunPrediction prediction;
+  const WeightSolverResult solved = solver_.Solve(models, rng);
+  prediction.saba_weights = solved.weights;
+
+  const double equal_share =
+      solver_.options().capacity / static_cast<double>(workloads.size());
+  double log_ratio_sum = 0;
+  for (size_t i = 0; i < models.size(); ++i) {
+    const double saba = models[i].SlowdownAt(solved.weights[i]);
+    const double equal = models[i].SlowdownAt(equal_share);
+    prediction.saba_slowdowns.push_back(saba);
+    prediction.equal_slowdowns.push_back(equal);
+    prediction.saba_average += saba;
+    prediction.equal_average += equal;
+    log_ratio_sum += std::log(equal / saba);
+  }
+  prediction.saba_average /= static_cast<double>(models.size());
+  prediction.equal_average /= static_cast<double>(models.size());
+  prediction.predicted_speedup = std::exp(log_ratio_sum / static_cast<double>(models.size()));
+  return prediction;
+}
+
+double CoRunPlanner::GroupCost(const std::vector<SensitivityModel>& models, Rng* rng) const {
+  if (models.empty()) {
+    return 0;
+  }
+  return solver_.Solve(models, rng).objective;
+}
+
+PartitionPlan CoRunPlanner::Partition(const std::vector<std::string>& workloads,
+                                      int num_groups, Rng* rng) const {
+  assert(!workloads.empty());
+  assert(num_groups >= 1);
+  assert(rng != nullptr);
+  const size_t n = workloads.size();
+  num_groups = std::min(num_groups, static_cast<int>(n));
+
+  std::vector<SensitivityModel> models;
+  models.reserve(n);
+  for (const std::string& name : workloads) {
+    models.push_back(table_->ModelOrDefault(name));
+  }
+
+  // Greedy seed: most sensitive jobs first, each to the group that currently
+  // has the fewest jobs (ties: lowest added cost). Spreading the steep
+  // models apart is the intuition behind sensitivity-aware placement — two
+  // very sensitive jobs on one port fight over the same headroom.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&models](size_t a, size_t b) {
+    return models[a].SlowdownAt(0.25) > models[b].SlowdownAt(0.25);
+  });
+
+  std::vector<int> group(n, -1);
+  std::vector<std::vector<SensitivityModel>> members(static_cast<size_t>(num_groups));
+  const size_t max_per_group = (n + static_cast<size_t>(num_groups) - 1) /
+                               static_cast<size_t>(num_groups);
+  for (size_t rank = 0; rank < n; ++rank) {
+    const size_t job = order[rank];
+    int best_group = -1;
+    double best_cost = 0;
+    for (int g = 0; g < num_groups; ++g) {
+      auto& candidates = members[static_cast<size_t>(g)];
+      if (candidates.size() >= max_per_group) {
+        continue;  // Balance constraint.
+      }
+      candidates.push_back(models[job]);
+      const double cost = GroupCost(candidates, rng);
+      candidates.pop_back();
+      // Prefer emptier groups; break ties by cost.
+      const double score =
+          cost + static_cast<double>(candidates.size()) * 1e-6;  // Mild balance bias.
+      if (best_group < 0 || score < best_cost) {
+        best_group = g;
+        best_cost = score;
+      }
+    }
+    assert(best_group >= 0);
+    group[job] = best_group;
+    members[static_cast<size_t>(best_group)].push_back(models[job]);
+  }
+
+  // Pairwise-swap refinement until no improving swap exists.
+  auto total_cost = [&]() {
+    double total = 0;
+    for (const auto& m : members) {
+      total += GroupCost(m, rng);
+    }
+    return total;
+  };
+  auto rebuild_members = [&]() {
+    for (auto& m : members) {
+      m.clear();
+    }
+    for (size_t j = 0; j < n; ++j) {
+      members[static_cast<size_t>(group[j])].push_back(models[j]);
+    }
+  };
+
+  double current = total_cost();
+  bool improved = true;
+  int guard = 0;
+  while (improved && guard++ < 32) {
+    improved = false;
+    for (size_t a = 0; a < n && !improved; ++a) {
+      for (size_t b = a + 1; b < n && !improved; ++b) {
+        if (group[a] == group[b]) {
+          continue;
+        }
+        std::swap(group[a], group[b]);
+        rebuild_members();
+        const double candidate = total_cost();
+        if (candidate + 1e-9 < current) {
+          current = candidate;
+          improved = true;
+        } else {
+          std::swap(group[a], group[b]);
+          rebuild_members();
+        }
+      }
+    }
+  }
+
+  PartitionPlan plan;
+  plan.group = std::move(group);
+  plan.total_cost = current;
+  return plan;
+}
+
+}  // namespace saba

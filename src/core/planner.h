@@ -1,0 +1,77 @@
+// What-if planning from sensitivity models alone.
+//
+// The controller's Eq-2 machinery doubles as an *offline* estimator: given
+// the sensitivity models of applications that would share a port, the
+// predicted slowdowns under Saba (at the solved weights) and under equal
+// sharing fall straight out of the models — no simulation needed. Operators
+// can use this to answer "what happens if I co-locate these jobs?" and "how
+// should I partition this job mix across racks?" in microseconds.
+//
+// This is an extension beyond the paper (its §9 positions Saba against
+// performance predictors like Ernest/CherryPick); it reuses the paper's own
+// models for the prediction.
+
+#ifndef SRC_CORE_PLANNER_H_
+#define SRC_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/sensitivity.h"
+#include "src/core/weight_solver.h"
+#include "src/sim/rng.h"
+
+namespace saba {
+
+struct CoRunPrediction {
+  // Eq-2 weights, aligned with the input workloads.
+  std::vector<double> saba_weights;
+  // Predicted slowdowns at those weights: D_i(w_i).
+  std::vector<double> saba_slowdowns;
+  // Predicted slowdowns under equal sharing: D_i(1/n).
+  std::vector<double> equal_slowdowns;
+  // Arithmetic means of the above (the Eq-2 objective, normalized).
+  double saba_average = 0;
+  double equal_average = 0;
+  // Geometric mean of equal_slowdown / saba_slowdown — the predicted average
+  // speedup of switching this mix from fair sharing to Saba.
+  double predicted_speedup = 0;
+};
+
+// Result of partitioning a job mix into co-location groups.
+struct PartitionPlan {
+  // group[i] in [0, num_groups) for each input workload.
+  std::vector<int> group;
+  // Sum over groups of the predicted Saba total slowdown.
+  double total_cost = 0;
+};
+
+class CoRunPlanner {
+ public:
+  // The table must outlive the planner. Unprofiled workloads predict as
+  // insensitive (slowdown 1 everywhere), matching the controller's fallback.
+  explicit CoRunPlanner(const SensitivityTable* table, WeightSolverOptions options = {});
+
+  // Predicts the outcome of co-locating `workloads` on one shared port.
+  // Requires at least one workload; `rng` drives the solver's non-convex
+  // fallback (unused for well-formed models).
+  CoRunPrediction Predict(const std::vector<std::string>& workloads, Rng* rng) const;
+
+  // Partitions `workloads` into `num_groups` co-location groups, minimizing
+  // the summed predicted Saba slowdown. Greedy seeding (most sensitive jobs
+  // spread first) followed by pairwise-swap refinement; deterministic given
+  // the Rng seed. Groups are balanced to within one job.
+  PartitionPlan Partition(const std::vector<std::string>& workloads, int num_groups,
+                          Rng* rng) const;
+
+ private:
+  // Total predicted slowdown of one group (Eq-2 objective at the optimum).
+  double GroupCost(const std::vector<SensitivityModel>& models, Rng* rng) const;
+
+  const SensitivityTable* table_;
+  WeightSolver solver_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_CORE_PLANNER_H_

@@ -1,0 +1,85 @@
+// Saba's offline profiler (paper §4.1, §7.1).
+//
+// For each workload, the profiler deploys the application on a dedicated set
+// of nodes, runs it once per bandwidth fraction in {5, 10, 25, 50, 75, 90,
+// 100}% (throttling every NIC with the driver's token-bucket rate limiter —
+// realized here by scaling the host link capacity, the fluid-model
+// steady-state equivalent), measures completion time, converts to slowdowns
+// against the unthrottled run, fits a degree-k polynomial, and records the
+// coefficients in the sensitivity table.
+
+#ifndef SRC_CORE_PROFILER_H_
+#define SRC_CORE_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/sensitivity.h"
+#include "src/sim/rng.h"
+#include "src/workload/workload_spec.h"
+
+namespace saba {
+
+struct ProfilerOptions {
+  // §7.1: the bandwidth fractions the profiler sweeps.
+  std::vector<double> bandwidth_fractions = {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 1.00};
+  // Degree k of the fitted sensitivity model (the paper studies 1..3).
+  size_t polynomial_degree = 3;
+  // Profiling deployment size (8 nodes on the testbed, 18 in the at-scale
+  // simulation).
+  int num_nodes = 8;
+  // Unthrottled NIC/link capacity.
+  double link_capacity_bps = 56e9;
+  // Minimum effective bandwidth fraction the NIC throttle can actually
+  // enforce: at very low nominal rates the driver's token bucket leaks
+  // bursts, so the achieved fraction saturates (the paper's testbed shows
+  // the same saturation — LR slows only 4.5x at a nominal 10%, far less
+  // than a proportional model predicts).
+  double throttle_floor = 0.12;
+  // Run-to-run measurement noise: each measured completion time is
+  // multiplied by exp(N(0, sigma)). Real profiling runs are never exactly
+  // repeatable; this is what keeps R^2 below 1 even for k = 3.
+  double noise_sigma = 0.02;
+  uint64_t seed = 1;
+};
+
+struct ProfileResult {
+  std::string workload;
+  std::vector<Sample> samples;  // (bandwidth fraction, measured slowdown).
+  SensitivityModel model;
+  double r_squared = 0;
+  double base_completion_seconds = 0;  // At 100% bandwidth.
+};
+
+class OfflineProfiler {
+ public:
+  explicit OfflineProfiler(ProfilerOptions options);
+
+  // Profiles one workload: sweeps bandwidths, fits, reports.
+  ProfileResult Profile(const WorkloadSpec& spec);
+
+  // Profiles a set of workloads into a sensitivity table.
+  SensitivityTable ProfileAll(const std::vector<WorkloadSpec>& specs);
+
+  // Measures the slowdown curve of `spec` (possibly scaled to a different
+  // dataset/node count) without fitting — used by the accuracy studies
+  // (Fig 6b/6c) to score a previously fitted model against runtime truth.
+  std::vector<Sample> MeasureSlowdownCurve(const WorkloadSpec& spec);
+
+  // Runs `spec` alone on a star fabric of `num_nodes` hosts with every link
+  // throttled to `fraction` of `link_bps` (subject to `throttle_floor`),
+  // returning the completion time in simulated seconds. Deterministic and
+  // noise-free; the Profile() path adds noise.
+  static double RunIsolated(const WorkloadSpec& spec, double fraction, int num_nodes,
+                            double link_bps, double throttle_floor = 0.12);
+
+  const ProfilerOptions& options() const { return options_; }
+
+ private:
+  ProfilerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_CORE_PROFILER_H_

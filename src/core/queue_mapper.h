@@ -1,0 +1,50 @@
+// PL-to-queue mapping (paper §5.3.2).
+//
+// Different switches have different queue counts, and different ports see
+// different subsets of PLs, so the PL-to-queue mapping must be computed per
+// port. Saba avoids re-clustering at every port by precomputing one
+// agglomerative hierarchy over the PL sensitivity models (midpoint merging);
+// per port, it walks the hierarchy from the finest level until the PLs
+// present at that port occupy at most Q clusters, then maps each cluster to
+// one queue.
+
+#ifndef SRC_CORE_QUEUE_MAPPER_H_
+#define SRC_CORE_QUEUE_MAPPER_H_
+
+#include <vector>
+
+#include "src/core/sensitivity.h"
+#include "src/numerics/hierarchical.h"
+
+namespace saba {
+
+class QueueMapper {
+ public:
+  // Builds the hierarchy over the PL centroid models (from the PL mapper).
+  explicit QueueMapper(const std::vector<SensitivityModel>& pl_models);
+
+  struct PortMapping {
+    // pl_to_queue[p]: queue index for PL p, or -1 if PL p is not present at
+    // this port. Indexed by PL id over all PLs the mapper was built with.
+    std::vector<int> pl_to_queue;
+    // Sensitivity model representing each queue (the dendrogram centroid of
+    // the cluster mapped to it). queue_models.size() == number of queues
+    // actually used (<= max_queues).
+    std::vector<SensitivityModel> queue_models;
+    // The hierarchy level used (0 = all PLs distinct).
+    size_t level = 0;
+  };
+
+  // Maps the PLs present at a port onto at most `max_queues` queues.
+  // `present_pls` must be non-empty, duplicate-free, and within range.
+  PortMapping MapPort(const std::vector<int>& present_pls, int max_queues) const;
+
+  size_t num_pls() const { return hierarchy_.num_leaves(); }
+
+ private:
+  HierarchicalClustering hierarchy_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_CORE_QUEUE_MAPPER_H_

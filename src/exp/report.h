@@ -1,0 +1,37 @@
+// Table and series formatting for the benchmark binaries.
+//
+// Every bench prints the rows/series of the paper figure it reproduces in a
+// fixed-width layout (easy to eyeball) and nothing else on stdout, so bench
+// output can be diffed across runs.
+
+#ifndef SRC_EXP_REPORT_H_
+#define SRC_EXP_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace saba {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("1.88").
+std::string Fmt(double value, int precision = 2);
+
+// A figure/bench banner: name, description, and the seed for reproduction.
+void PrintBanner(std::ostream& os, const std::string& experiment, const std::string& description,
+                 uint64_t seed);
+
+}  // namespace saba
+
+#endif  // SRC_EXP_REPORT_H_

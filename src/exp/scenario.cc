@@ -1,0 +1,263 @@
+#include "src/exp/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+#include "src/net/units.h"
+#include "src/sim/rng.h"
+#include "src/workload/workload_catalog.h"
+
+namespace saba {
+namespace {
+
+// Splits "key=value" into its parts; returns false if there is no '='.
+bool SplitKeyValue(const std::string& token, std::string* key, std::string* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+    return false;
+  }
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  std::istringstream is(text);
+  return static_cast<bool>(is >> *out) && is.eof();
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  std::istringstream is(text);
+  return static_cast<bool>(is >> *out) && is.eof();
+}
+
+std::optional<PolicyKind> PolicyFromName(const std::string& name) {
+  static const std::map<std::string, PolicyKind> kPolicies = {
+      {"baseline", PolicyKind::kBaseline},
+      {"saba", PolicyKind::kSaba},
+      {"saba-distributed", PolicyKind::kSabaDistributed},
+      {"saba-unlimited", PolicyKind::kSabaUnlimited},
+      {"ideal-max-min", PolicyKind::kIdealMaxMin},
+      {"homa", PolicyKind::kHoma},
+      {"sincronia", PolicyKind::kSincronia},
+      {"pfabric", PolicyKind::kPFabric},
+  };
+  auto it = kPolicies.find(name);
+  if (it == kPolicies.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Fail(std::string* error, int line_number, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_number) + ": " + message;
+  }
+}
+
+}  // namespace
+
+std::optional<Scenario> ParseScenario(const std::string& text, std::string* error) {
+  Scenario scenario;
+  bool have_topology = false;
+
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive) || directive[0] == '#') {
+      continue;  // Blank line or comment.
+    }
+
+    // Collect the remaining key=value (or bare) tokens.
+    std::vector<std::string> rest;
+    std::string token;
+    while (tokens >> token) {
+      rest.push_back(token);
+    }
+
+    if (directive == "topology") {
+      if (rest.empty()) {
+        Fail(error, line_number, "topology needs a kind (star | spineleaf)");
+        return std::nullopt;
+      }
+      std::map<std::string, double> kv;
+      for (size_t i = 1; i < rest.size(); ++i) {
+        std::string key;
+        std::string value;
+        double number = 0;
+        if (!SplitKeyValue(rest[i], &key, &value) || !ParseDouble(value, &number)) {
+          Fail(error, line_number, "bad topology parameter '" + rest[i] + "'");
+          return std::nullopt;
+        }
+        kv[key] = number;
+      }
+      const double capacity = Gbps(kv.count("capacity_gbps") ? kv["capacity_gbps"] : 56.0);
+      if (rest[0] == "star") {
+        const int servers = static_cast<int>(kv.count("servers") ? kv["servers"] : 32);
+        if (servers < 2) {
+          Fail(error, line_number, "star needs servers >= 2");
+          return std::nullopt;
+        }
+        scenario.topology = BuildSingleSwitchStar(servers, capacity);
+      } else if (rest[0] == "spineleaf") {
+        SpineLeafParams params;
+        params.num_spine = static_cast<int>(kv.count("spine") ? kv["spine"] : 4);
+        params.num_leaf = static_cast<int>(kv.count("leaf") ? kv["leaf"] : 8);
+        params.num_tor = static_cast<int>(kv.count("tor") ? kv["tor"] : 8);
+        params.hosts_per_tor = static_cast<int>(kv.count("hosts_per_tor") ? kv["hosts_per_tor"] : 9);
+        params.num_pods = static_cast<int>(kv.count("pods") ? kv["pods"] : 2);
+        params.host_link_bps = params.tor_leaf_bps = params.leaf_spine_bps = capacity;
+        if (params.num_tor % params.num_pods != 0 || params.num_leaf % params.num_pods != 0) {
+          Fail(error, line_number, "tor and leaf counts must divide evenly into pods");
+          return std::nullopt;
+        }
+        scenario.topology = BuildSpineLeaf(params);
+      } else {
+        Fail(error, line_number, "unknown topology kind '" + rest[0] + "'");
+        return std::nullopt;
+      }
+      have_topology = true;
+    } else if (directive == "policy") {
+      if (rest.size() != 1) {
+        Fail(error, line_number, "policy needs exactly one name");
+        return std::nullopt;
+      }
+      const auto policy = PolicyFromName(rest[0]);
+      if (!policy.has_value()) {
+        Fail(error, line_number, "unknown policy '" + rest[0] + "'");
+        return std::nullopt;
+      }
+      scenario.options.policy = *policy;
+    } else if (directive == "seed") {
+      int seed = 0;
+      if (rest.size() != 1 || !ParseInt(rest[0], &seed) || seed < 0) {
+        Fail(error, line_number, "seed needs one non-negative integer");
+        return std::nullopt;
+      }
+      scenario.seed = static_cast<uint64_t>(seed);
+      scenario.options.seed = scenario.seed;
+    } else if (directive == "gamma") {
+      double gamma = 0;
+      if (rest.size() != 1 || !ParseDouble(rest[0], &gamma) || gamma < 0) {
+        Fail(error, line_number, "gamma needs one non-negative number");
+        return std::nullopt;
+      }
+      scenario.options.fecn_gamma = gamma;
+    } else if (directive == "floor") {
+      double floor = 0;
+      if (rest.size() != 1 || !ParseDouble(rest[0], &floor) || floor < 0 || floor > 1) {
+        Fail(error, line_number, "floor needs one number in [0, 1]");
+        return std::nullopt;
+      }
+      scenario.options.relative_min_weight = floor;
+    } else if (directive == "queues") {
+      int queues = 0;
+      if (rest.size() != 1 || !ParseInt(rest[0], &queues) || queues < 1) {
+        Fail(error, line_number, "queues needs one positive integer");
+        return std::nullopt;
+      }
+      scenario.options.queues_per_port = queues;
+    } else if (directive == "job") {
+      if (rest.empty()) {
+        Fail(error, line_number, "job needs a workload name");
+        return std::nullopt;
+      }
+      ScenarioJob job;
+      job.workload = rest[0];
+      if (FindWorkload(job.workload) == nullptr) {
+        Fail(error, line_number, "unknown workload '" + job.workload + "'");
+        return std::nullopt;
+      }
+      for (size_t i = 1; i < rest.size(); ++i) {
+        std::string key;
+        std::string value;
+        if (!SplitKeyValue(rest[i], &key, &value)) {
+          Fail(error, line_number, "bad job parameter '" + rest[i] + "'");
+          return std::nullopt;
+        }
+        if (key == "nodes") {
+          if (!ParseInt(value, &job.nodes) || job.nodes < 2) {
+            Fail(error, line_number, "nodes must be an integer >= 2");
+            return std::nullopt;
+          }
+        } else if (key == "dataset") {
+          if (!ParseDouble(value, &job.dataset_scale) || job.dataset_scale <= 0) {
+            Fail(error, line_number, "dataset must be a positive scale factor");
+            return std::nullopt;
+          }
+        } else if (key == "start") {
+          if (!ParseDouble(value, &job.start_at) || job.start_at < 0) {
+            Fail(error, line_number, "start must be a non-negative time");
+            return std::nullopt;
+          }
+        } else {
+          Fail(error, line_number, "unknown job parameter '" + key + "'");
+          return std::nullopt;
+        }
+      }
+      scenario.jobs.push_back(std::move(job));
+    } else {
+      Fail(error, line_number, "unknown directive '" + directive + "'");
+      return std::nullopt;
+    }
+  }
+
+  if (!have_topology) {
+    scenario.topology = BuildSingleSwitchStar(32, Gbps(56));
+  }
+  if (scenario.jobs.empty()) {
+    Fail(error, 0, "scenario declares no jobs");
+    return std::nullopt;
+  }
+  const size_t servers = scenario.topology.Hosts().size();
+  for (const ScenarioJob& job : scenario.jobs) {
+    if (static_cast<size_t>(job.nodes) > servers) {
+      Fail(error, 0, "job '" + job.workload + "' wants more nodes than the fabric has");
+      return std::nullopt;
+    }
+  }
+  return scenario;
+}
+
+std::vector<JobSpec> BuildScenarioJobs(const Scenario& scenario) {
+  Rng rng(scenario.seed);
+  const std::vector<NodeId> servers = scenario.topology.Hosts();
+  std::vector<int> load(servers.size(), 0);
+
+  std::vector<JobSpec> jobs;
+  for (const ScenarioJob& job : scenario.jobs) {
+    const WorkloadSpec* base = FindWorkload(job.workload);
+    assert(base != nullptr);  // Guaranteed by the parser.
+    JobSpec spec;
+    spec.spec = ScaleWorkload(*base, job.dataset_scale, job.nodes);
+    spec.start_at = job.start_at;
+
+    std::vector<size_t> order(servers.size());
+    for (size_t s = 0; s < servers.size(); ++s) {
+      order[s] = s;
+    }
+    rng.Shuffle(&order);
+    std::stable_sort(order.begin(), order.end(),
+                     [&load](size_t a, size_t b) { return load[a] < load[b]; });
+    for (int i = 0; i < job.nodes; ++i) {
+      load[order[static_cast<size_t>(i)]] += 1;
+      spec.hosts.push_back(servers[order[static_cast<size_t>(i)]]);
+    }
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+CoRunResult RunScenario(const Scenario& scenario, const SensitivityTable& table) {
+  CoRunOptions options = scenario.options;
+  options.table = &table;
+  return RunCoRun(scenario.topology, BuildScenarioJobs(scenario), options);
+}
+
+}  // namespace saba

@@ -1,0 +1,68 @@
+// Text-format experiment scenarios.
+//
+// A scenario file describes a fabric, an allocation policy, and a set of
+// jobs, so that experiments can be run (and shared) without writing C++:
+//
+//     # lines starting with '#' are comments
+//     topology star servers=32 capacity_gbps=56
+//     policy saba
+//     seed 7
+//     gamma 0.30
+//     queues 8
+//     floor 0.75
+//     job LR nodes=8
+//     job PR nodes=16 dataset=10 start=2.5
+//
+// Topologies: `star servers=N capacity_gbps=C` or
+// `spineleaf spine=S leaf=L tor=T hosts_per_tor=H pods=P capacity_gbps=C`.
+// Policies: baseline, saba, saba-distributed, saba-unlimited, ideal-max-min,
+// homa, sincronia, pfabric. Jobs reference catalog workload names; `nodes`, `dataset`
+// (scale factor) and `start` (seconds) are optional. Instances are placed on
+// the least-loaded servers (deterministic given the seed).
+//
+// The parser returns descriptive errors rather than throwing: scenario files
+// are user input.
+
+#ifndef SRC_EXP_SCENARIO_H_
+#define SRC_EXP_SCENARIO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/exp/corun.h"
+
+namespace saba {
+
+struct ScenarioJob {
+  std::string workload;
+  int nodes = 8;
+  double dataset_scale = 1.0;
+  double start_at = 0;
+};
+
+struct Scenario {
+  Topology topology;
+  CoRunOptions options;
+  std::vector<ScenarioJob> jobs;
+  uint64_t seed = 1;
+};
+
+// Parses scenario text. On failure returns std::nullopt and, if `error` is
+// non-null, stores a message naming the offending line.
+std::optional<Scenario> ParseScenario(const std::string& text, std::string* error = nullptr);
+
+// Materializes the scenario's jobs: scales workloads, places instances on the
+// least-loaded servers (shuffled, then stable-sorted by load), and applies
+// start times. Requires every workload to exist in the catalog (the parser
+// already guarantees this).
+std::vector<JobSpec> BuildScenarioJobs(const Scenario& scenario);
+
+// Convenience: parse + profile the referenced workloads + run the co-run.
+// The caller provides the profiled table (policies other than Saba ignore
+// it).
+CoRunResult RunScenario(const Scenario& scenario, const SensitivityTable& table);
+
+}  // namespace saba
+
+#endif  // SRC_EXP_SCENARIO_H_

@@ -1,0 +1,107 @@
+// Fluid bandwidth allocation over the fabric.
+//
+// The simulator is flow-level: instead of packets, each active flow has an
+// instantaneous rate, recomputed whenever the set of flows (or the switch
+// configuration) changes. Two disciplines are provided:
+//
+//  * WfqMaxMinAllocator — weighted max-min across per-port queues, matching
+//    the WFQ/WRR scheduling of InfiniBand switches (§5.2). A flow's weight at
+//    a link is queue_weight / flows_in_that_queue; rates are computed by
+//    weighted progressive filling: all flows grow proportionally to their
+//    path-wide minimum weight until a link saturates, whose flows then freeze
+//    at their share, and so on. The allocation is work-conserving and every
+//    flow ends up bottlenecked at some saturated link. (The per-flow weight
+//    is fixed at the start of each allocation — the classical approximation
+//    used by fluid simulators; per-queue shares at a single bottleneck are
+//    exact.)
+//
+//  * StrictPriorityAllocator — serves priority classes in order (class 0
+//    first), giving each class a max-min allocation of the capacity left by
+//    higher classes. Used by the Homa-like and Sincronia-like baselines.
+//
+// Capacity efficiency: each queue's share is scaled by the Network's
+// CongestionModel according to how many distinct applications share the
+// queue at that link (see network.h for the rationale).
+
+#ifndef SRC_NET_ALLOCATOR_H_
+#define SRC_NET_ALLOCATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace saba {
+
+using FlowId = int64_t;
+using AppId = int32_t;
+
+inline constexpr FlowId kInvalidFlow = -1;
+inline constexpr AppId kInvalidApp = -1;
+
+// A flow currently in the fabric, as seen by the allocator.
+struct ActiveFlow {
+  FlowId id = kInvalidFlow;
+  AppId app = kInvalidApp;
+  // Service level carried in the flow's packets; ports map it to a queue.
+  int sl = 0;
+  // Priority class for StrictPriorityAllocator (lower value = served first).
+  // Policies (Homa, Sincronia) maintain this; WFQ ignores it.
+  int priority = 0;
+  // Relative share of the flow within its queue (and class): normal traffic
+  // is 1.0; subordinate traffic (an application's own opportunistic
+  // prefetch) uses a small value so it yields to critical flows wherever
+  // they contend, while still soaking up idle capacity.
+  double intra_weight = 1.0;
+  double remaining_bits = 0;
+  // Path of the flow (non-empty; set by the flow simulator at start time).
+  const std::vector<LinkId>* path = nullptr;
+  // Output: instantaneous rate in bits/s, written by Allocate().
+  double rate = 0;
+};
+
+class BandwidthAllocator {
+ public:
+  virtual ~BandwidthAllocator() = default;
+
+  // Computes rates for all flows; writes ActiveFlow::rate. All flows must
+  // have non-empty paths and remaining_bits > 0.
+  virtual void Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) = 0;
+};
+
+class WfqMaxMinAllocator : public BandwidthAllocator {
+ public:
+  void Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) override;
+};
+
+class StrictPriorityAllocator : public BandwidthAllocator {
+ public:
+  void Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) override;
+};
+
+// WFQ where every application gets its own (virtual) queue at every port,
+// regardless of SL maps and port queue counts — the "unlimited queues"
+// idealization. With the default unit weights this is the paper's *ideal
+// max-min fairness* (study 4: "each workload is assigned to a dedicated
+// queue" served round-robin); with a weight function it is Saba's
+// upper-bound configuration in Fig 11b. Congestion efficiency is ideal
+// (queues are app-pure by construction).
+class PerAppWfqAllocator : public BandwidthAllocator {
+ public:
+  // Returns the weight of `app` at the port `link`; must be > 0.
+  using WeightFn = std::function<double(LinkId, AppId)>;
+
+  // Null `weights` means unit weight for every application (ideal max-min).
+  explicit PerAppWfqAllocator(WeightFn weights = nullptr) : weights_(std::move(weights)) {}
+
+  void Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) override;
+
+ private:
+  WeightFn weights_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_NET_ALLOCATOR_H_

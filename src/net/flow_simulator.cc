@@ -1,0 +1,218 @@
+#include "src/net/flow_simulator.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "src/sim/log.h"
+
+namespace saba {
+namespace {
+
+// Base dust floor in bits. A flow counts as drained when its residue is
+// within DustFor(rate) — the floor plus a nanosecond of transmission at the
+// flow's current rate, which absorbs the floating-point error of computing
+// the completion instant as now + remaining/rate.
+constexpr double kCompletionDustBits = 1e-6;
+
+double DustFor(double rate_bps) { return kCompletionDustBits + rate_bps * 1e-9; }
+
+}  // namespace
+
+FlowSimulator::FlowSimulator(EventScheduler* scheduler, Network* network,
+                             BandwidthAllocator* allocator)
+    : scheduler_(scheduler), network_(network), allocator_(allocator) {
+  assert(scheduler != nullptr && network != nullptr && allocator != nullptr);
+}
+
+FlowId FlowSimulator::StartFlow(AppId app, NodeId src, NodeId dst, double bits, int sl,
+                                uint64_t path_salt, CompletionCallback on_complete,
+                                double intra_weight) {
+  assert(src != dst && "flows must connect distinct hosts");
+  assert(bits > 0);
+  assert(sl >= 0 && sl < kNumServiceLevels);
+  assert(intra_weight > 0);
+
+  const FlowId id = next_flow_id_++;
+  auto record = std::make_unique<FlowRecord>();
+  record->flow.id = id;
+  record->flow.app = app;
+  record->flow.sl = sl;
+  record->flow.priority = 0;
+  record->flow.intra_weight = intra_weight;
+  record->flow.remaining_bits = bits;
+  // Router path cache entries are reference-stable (node-based map), so the
+  // flow can point straight into the cache.
+  record->flow.path = &network_->router().Route(src, dst, path_salt);
+  assert(!record->flow.path->empty());
+  record->on_complete = std::move(on_complete);
+  record->last_update = scheduler_->Now();
+  flows_.emplace(id, std::move(record));
+  MarkDirty();
+  return id;
+}
+
+void FlowSimulator::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  flows_.erase(it);
+  ++cancelled_;
+  MarkDirty();
+}
+
+void FlowSimulator::SetFlowPriority(FlowId id, int priority) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  if (it->second->flow.priority != priority) {
+    it->second->flow.priority = priority;
+    MarkDirty();
+  }
+}
+
+void FlowSimulator::SetAppServiceLevel(AppId app, int sl) {
+  assert(sl >= 0 && sl < kNumServiceLevels);
+  bool changed = false;
+  for (auto& [id, record] : flows_) {
+    if (record->flow.app == app && record->flow.sl != sl) {
+      record->flow.sl = sl;
+      changed = true;
+    }
+  }
+  if (changed) {
+    MarkDirty();
+  }
+}
+
+void FlowSimulator::RequestReallocate() { MarkDirty(); }
+
+double FlowSimulator::FlowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second->flow.rate;
+}
+
+double FlowSimulator::FlowRemainingBits(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return 0.0;
+  }
+  const FlowRecord& record = *it->second;
+  const double elapsed = scheduler_->Now() - record.last_update;
+  return std::max(0.0, record.flow.remaining_bits - record.flow.rate * elapsed);
+}
+
+double FlowSimulator::HostEgressRate(NodeId host) const {
+  double total = 0;
+  for (const auto& [id, record] : flows_) {
+    if (!record->flow.path->empty() &&
+        network_->topology().link(record->flow.path->front()).src == host) {
+      total += record->flow.rate;
+    }
+  }
+  return total;
+}
+
+std::vector<const ActiveFlow*> FlowSimulator::ActiveFlows() const {
+  std::vector<const ActiveFlow*> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, record] : flows_) {
+    out.push_back(&record->flow);
+  }
+  return out;
+}
+
+void FlowSimulator::SyncFlow(FlowRecord* record) {
+  const SimTime now = scheduler_->Now();
+  const double elapsed = now - record->last_update;
+  if (elapsed > 0) {
+    record->flow.remaining_bits -= record->flow.rate * elapsed;
+    // Keep a dust floor so the allocator precondition (remaining > 0) holds
+    // for flows that are completed later in this same instant.
+    if (record->flow.remaining_bits < kCompletionDustBits) {
+      record->flow.remaining_bits = kCompletionDustBits;
+    }
+    record->last_update = now;
+  }
+}
+
+void FlowSimulator::MarkDirty() {
+  if (dirty_) {
+    return;
+  }
+  dirty_ = true;
+  scheduler_->ScheduleAt(scheduler_->Now(), [this] {
+    dirty_ = false;
+    Reallocate();
+  });
+}
+
+void FlowSimulator::Reallocate() {
+  assert(!reallocating_ && "reentrant reallocation");
+  reallocating_ = true;
+  ++allocator_runs_;
+
+  for (auto& [id, record] : flows_) {
+    SyncFlow(record.get());
+  }
+  if (pre_allocate_hook_) {
+    pre_allocate_hook_();
+  }
+
+  std::vector<ActiveFlow*> active;
+  active.reserve(flows_.size());
+  for (auto& [id, record] : flows_) {
+    active.push_back(&record->flow);
+  }
+  allocator_->Allocate(active, *network_);
+
+  // Re-plan the single next-completion event at the earliest finish time.
+  const SimTime now = scheduler_->Now();
+  SimTime next = kNeverTime;
+  for (auto& [id, record] : flows_) {
+    const double rate = record->flow.rate;
+    if (rate > 0) {
+      next = std::min(next, now + record->flow.remaining_bits / rate);
+    }
+  }
+  if (next != kNeverTime && completion_quantum_ > 0) {
+    // Snap up to the grid so near-simultaneous completions share an event.
+    next = std::ceil(next / completion_quantum_) * completion_quantum_;
+  }
+  if (!TimeAlmostEqual(next, next_completion_time_) || !next_completion_event_.pending()) {
+    next_completion_event_.Cancel();
+    next_completion_time_ = next;
+    if (next != kNeverTime) {
+      next_completion_event_ = scheduler_->ScheduleAt(next, [this] { OnCompletionTick(); });
+    }
+  }
+  reallocating_ = false;
+}
+
+void FlowSimulator::OnCompletionTick() {
+  next_completion_time_ = kNeverTime;
+  // Drain everything up to now, then extract the finished flows before any
+  // callback runs (callbacks may start new flows; the allocator must never
+  // see the finished ones).
+  std::vector<std::unique_ptr<FlowRecord>> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    SyncFlow(it->second.get());
+    if (it->second->flow.remaining_bits <= DustFor(it->second->flow.rate)) {
+      finished.push_back(std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  completed_ += finished.size();
+  MarkDirty();  // Remaining flows need fresh rates and a new tick.
+  for (const auto& record : finished) {
+    if (record->on_complete) {
+      record->on_complete(record->flow.id);
+    }
+  }
+}
+
+}  // namespace saba

@@ -1,0 +1,137 @@
+// Event-driven fluid flow simulator.
+//
+// Flows are byte-counted transfers between hosts. Whenever the active flow
+// set, the switch configuration, or flow priorities change, the simulator
+// re-runs the bandwidth allocator and re-plans every flow's completion event.
+// Between events, each flow drains at its allocated rate. Re-allocations are
+// coalesced: any number of changes at the same simulated instant trigger a
+// single allocator run.
+
+#ifndef SRC_NET_FLOW_SIMULATOR_H_
+#define SRC_NET_FLOW_SIMULATOR_H_
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/allocator.h"
+#include "src/net/network.h"
+#include "src/sim/event_scheduler.h"
+
+namespace saba {
+
+class FlowSimulator {
+ public:
+  using CompletionCallback = std::function<void(FlowId)>;
+
+  // All pointers must outlive the simulator.
+  FlowSimulator(EventScheduler* scheduler, Network* network, BandwidthAllocator* allocator);
+
+  FlowSimulator(const FlowSimulator&) = delete;
+  FlowSimulator& operator=(const FlowSimulator&) = delete;
+
+  // Starts a transfer of `bits` from `src` to `dst` (distinct hosts) with
+  // service level `sl`. `path_salt` pins the ECMP path (same salt -> same
+  // path). `on_complete` fires when the last bit drains; it may start new
+  // flows. `intra_weight` sets the flow's relative share within its queue
+  // (see ActiveFlow::intra_weight). Returns the flow id.
+  FlowId StartFlow(AppId app, NodeId src, NodeId dst, double bits, int sl, uint64_t path_salt,
+                   CompletionCallback on_complete, double intra_weight = 1.0);
+
+  // Removes a flow before completion (no callback fires).
+  void CancelFlow(FlowId id);
+
+  // Changes the strict-priority class of a flow (used by the Sincronia-like
+  // policy). Triggers reallocation.
+  void SetFlowPriority(FlowId id, int priority);
+
+  // Changes the SL of every active flow of an application (used when a
+  // controller re-clusters PLs). Triggers reallocation.
+  void SetAppServiceLevel(AppId app, int sl);
+
+  // Notifies the simulator that port configurations changed; rates are
+  // recomputed at the current instant.
+  void RequestReallocate();
+
+  // Installed hook runs immediately before each allocator invocation — the
+  // Homa-like policy refreshes size-based priorities here.
+  void SetPreAllocateHook(std::function<void()> hook) { pre_allocate_hook_ = std::move(hook); }
+
+  // Quantizes flow-completion event times up to the next multiple of
+  // `quantum` seconds (0 = exact, the default). Large co-runs use a coarse
+  // grid (~0.25 s on minutes-long jobs) so that near-simultaneous completions
+  // coalesce into a single reallocation: the error is bounded by the quantum
+  // per stage, and the reallocation count drops by an order of magnitude.
+  void SetCompletionQuantum(double quantum) {
+    assert(quantum >= 0);
+    completion_quantum_ = quantum;
+  }
+
+  // --- Introspection -------------------------------------------------------
+
+  // Current rate of a flow in bits/s; 0 if unknown.
+  double FlowRate(FlowId id) const;
+
+  // Remaining bits of a flow at the current instant; 0 if unknown.
+  double FlowRemainingBits(FlowId id) const;
+
+  // Sum of rates of active flows whose source is `host` (egress throughput).
+  double HostEgressRate(NodeId host) const;
+
+  size_t active_flow_count() const { return flows_.size(); }
+  uint64_t completed_flow_count() const { return completed_; }
+  uint64_t cancelled_flow_count() const { return cancelled_; }
+  uint64_t allocator_runs() const { return allocator_runs_; }
+
+  // Access to every active flow (e.g. for policy modules).
+  std::vector<const ActiveFlow*> ActiveFlows() const;
+
+  EventScheduler* scheduler() { return scheduler_; }
+  Network* network() { return network_; }
+
+ private:
+  struct FlowRecord {
+    ActiveFlow flow;  // flow.path points into the router's stable path cache.
+    CompletionCallback on_complete;
+    SimTime last_update = 0;
+  };
+
+  // Applies elapsed drain to `record` up to Now().
+  void SyncFlow(FlowRecord* record);
+
+  // Recomputes all rates and re-plans the next-completion event.
+  void Reallocate();
+
+  // Schedules a coalesced reallocation at the current instant.
+  void MarkDirty();
+
+  // Fires at the earliest planned completion: drains and completes every
+  // flow that has reached zero. One event serves the whole flow set — the
+  // alternative (an event per flow, re-planned on every reallocation) floods
+  // the scheduler heap with cancelled entries.
+  void OnCompletionTick();
+
+  EventScheduler* scheduler_;
+  Network* network_;
+  BandwidthAllocator* allocator_;
+  std::function<void()> pre_allocate_hook_;
+
+  // unique_ptr keeps FlowRecord addresses stable across rehashing, since
+  // ActiveFlow::path points into the record itself.
+  std::unordered_map<FlowId, std::unique_ptr<FlowRecord>> flows_;
+  FlowId next_flow_id_ = 1;
+  EventHandle next_completion_event_;
+  SimTime next_completion_time_ = kNeverTime;
+  double completion_quantum_ = 0;
+  bool dirty_ = false;
+  bool reallocating_ = false;
+  uint64_t completed_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t allocator_runs_ = 0;
+};
+
+}  // namespace saba
+
+#endif  // SRC_NET_FLOW_SIMULATOR_H_

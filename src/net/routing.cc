@@ -1,0 +1,87 @@
+#include "src/net/routing.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace saba {
+namespace {
+
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t PathKey(NodeId src, NodeId dst, uint64_t salt) {
+  return Mix64((static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+               static_cast<uint64_t>(static_cast<uint32_t>(dst))) ^
+         Mix64(salt * 0x9e3779b97f4a7c15ULL + 1);
+}
+
+}  // namespace
+
+Router::Router(const Topology* topo) : topo_(topo) {
+  assert(topo != nullptr);
+  in_links_.resize(topo_->num_nodes());
+  for (size_t l = 0; l < topo_->num_links(); ++l) {
+    in_links_[static_cast<size_t>(topo_->link(static_cast<LinkId>(l)).dst)].push_back(
+        static_cast<LinkId>(l));
+  }
+}
+
+const std::vector<int32_t>& Router::DistanceTo(NodeId dst) {
+  auto it = dist_cache_.find(dst);
+  if (it != dist_cache_.end()) {
+    return it->second;
+  }
+  std::vector<int32_t> dist(topo_->num_nodes(), std::numeric_limits<int32_t>::max());
+  dist[static_cast<size_t>(dst)] = 0;
+  std::deque<NodeId> frontier{dst};
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop_front();
+    for (LinkId l : in_links_[static_cast<size_t>(n)]) {
+      const NodeId prev = topo_->link(l).src;
+      if (dist[static_cast<size_t>(prev)] == std::numeric_limits<int32_t>::max()) {
+        dist[static_cast<size_t>(prev)] = dist[static_cast<size_t>(n)] + 1;
+        frontier.push_back(prev);
+      }
+    }
+  }
+  return dist_cache_.emplace(dst, std::move(dist)).first->second;
+}
+
+const std::vector<LinkId>& Router::Route(NodeId src, NodeId dst, uint64_t salt) {
+  const uint64_t key = PathKey(src, dst, salt);
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) {
+    return it->second;
+  }
+
+  std::vector<LinkId> path;
+  if (src != dst) {
+    const std::vector<int32_t>& dist = DistanceTo(dst);
+    assert(dist[static_cast<size_t>(src)] != std::numeric_limits<int32_t>::max() &&
+           "destination unreachable");
+    NodeId u = src;
+    while (u != dst) {
+      // Collect all next hops on a shortest path.
+      std::vector<LinkId> candidates;
+      for (LinkId l : topo_->OutLinks(u)) {
+        const NodeId v = topo_->link(l).dst;
+        if (dist[static_cast<size_t>(v)] == dist[static_cast<size_t>(u)] - 1) {
+          candidates.push_back(l);
+        }
+      }
+      assert(!candidates.empty());
+      const uint64_t h = Mix64(key ^ (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 17));
+      const LinkId chosen = candidates[h % candidates.size()];
+      path.push_back(chosen);
+      u = topo_->link(chosen).dst;
+    }
+  }
+  return path_cache_.emplace(key, std::move(path)).first->second;
+}
+
+}  // namespace saba

@@ -1,0 +1,51 @@
+// Deterministic shortest-path routing with ECMP spreading.
+//
+// The real system reads switch forwarding tables through infiniband-diags
+// (paper §7.2); here routes are computed on the topology directly: BFS
+// shortest paths, with equal-cost next hops selected by a deterministic hash
+// of (src, dst, salt). The salt lets a connection pin its path (as an
+// InfiniBand connection does) while different connections spread across the
+// fabric like ECMP. Both distance tables and resolved paths are cached, since
+// the stage-structured workloads reuse the same node pairs across stages.
+
+#ifndef SRC_NET_ROUTING_H_
+#define SRC_NET_ROUTING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace saba {
+
+class Router {
+ public:
+  // The topology must outlive the router and must not change shape after
+  // construction (capacity changes are fine).
+  explicit Router(const Topology* topo);
+
+  // Returns the sequence of link ids from src to dst (empty if src == dst).
+  // `salt` selects among equal-cost paths; the same (src, dst, salt) always
+  // yields the same path. Returns an empty path and sets ok=false through the
+  // return value being empty when dst is unreachable and src != dst; in the
+  // provided builders every pair is reachable.
+  const std::vector<LinkId>& Route(NodeId src, NodeId dst, uint64_t salt);
+
+  // Number of distinct cached paths (for tests and capacity planning).
+  size_t cached_paths() const { return path_cache_.size(); }
+
+ private:
+  // Hop counts from every node to `dst`, computed by reverse BFS and cached.
+  const std::vector<int32_t>& DistanceTo(NodeId dst);
+
+  const Topology* topo_;
+  // Reverse adjacency: in_links_[n] lists links whose dst is n.
+  std::vector<std::vector<LinkId>> in_links_;
+  std::unordered_map<NodeId, std::vector<int32_t>> dist_cache_;
+  std::unordered_map<uint64_t, std::vector<LinkId>> path_cache_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_NET_ROUTING_H_

@@ -1,0 +1,52 @@
+#include "src/net/token_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace saba {
+
+TokenBucket::TokenBucket(double rate_bps, double burst_bits)
+    : rate_bps_(rate_bps), burst_bits_(burst_bits), tokens_(burst_bits) {
+  assert(rate_bps > 0);
+  assert(burst_bits > 0);
+}
+
+void TokenBucket::Refill(SimTime now) {
+  assert(now >= last_refill_ && "time must be monotone");
+  tokens_ = std::min(burst_bits_, tokens_ + rate_bps_ * (now - last_refill_));
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryConsume(double bits, SimTime now) {
+  assert(bits >= 0);
+  Refill(now);
+  if (tokens_ + kTimeEpsilon * rate_bps_ < bits) {
+    return false;
+  }
+  tokens_ -= bits;
+  return true;
+}
+
+SimTime TokenBucket::NextAdmissionTime(double bits, SimTime now) const {
+  assert(bits >= 0);
+  if (bits > burst_bits_) {
+    return kNeverTime;
+  }
+  const double tokens_now =
+      std::min(burst_bits_, tokens_ + rate_bps_ * std::max(0.0, now - last_refill_));
+  if (tokens_now >= bits) {
+    return now;
+  }
+  return now + (bits - tokens_now) / rate_bps_;
+}
+
+double TokenBucket::AvailableAt(SimTime now) const {
+  return std::min(burst_bits_, tokens_ + rate_bps_ * std::max(0.0, now - last_refill_));
+}
+
+void TokenBucket::SetRate(double rate_bps) {
+  assert(rate_bps > 0);
+  rate_bps_ = rate_bps;
+}
+
+}  // namespace saba

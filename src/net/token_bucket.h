@@ -1,0 +1,53 @@
+// Token-bucket rate limiter.
+//
+// The paper's profiler throttles NIC bandwidth with the token-bucket rate
+// limiter in the InfiniBand driver (§7.1). In the fluid simulator the
+// throttle is applied by scaling host link capacity (the steady-state
+// equivalent); this class models the actual mechanism at packet granularity
+// and is used by tests and the profiler example to document conformance
+// (long-run rate == configured rate, bursts bounded by bucket depth).
+
+#ifndef SRC_NET_TOKEN_BUCKET_H_
+#define SRC_NET_TOKEN_BUCKET_H_
+
+#include "src/sim/sim_time.h"
+
+namespace saba {
+
+class TokenBucket {
+ public:
+  // `rate_bps`: sustained token refill rate. `burst_bits`: bucket depth (the
+  // maximum burst admitted after idling). The bucket starts full.
+  TokenBucket(double rate_bps, double burst_bits);
+
+  // Attempts to admit `bits` at time `now`. Returns true (and consumes
+  // tokens) if the bucket holds enough; false otherwise. `now` must be
+  // monotone across calls.
+  bool TryConsume(double bits, SimTime now);
+
+  // Earliest time at which `bits` can be admitted (>= now). If `bits`
+  // exceeds the bucket depth it can never be admitted whole; returns
+  // kNeverTime in that case.
+  SimTime NextAdmissionTime(double bits, SimTime now) const;
+
+  // Tokens available at `now` (after refill, clamped to depth).
+  double AvailableAt(SimTime now) const;
+
+  double rate_bps() const { return rate_bps_; }
+  double burst_bits() const { return burst_bits_; }
+
+  // Changes the sustained rate (the profiler adjusts this between runs).
+  void SetRate(double rate_bps);
+
+ private:
+  void Refill(SimTime now);
+
+  double rate_bps_;
+  double burst_bits_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace saba
+
+#endif  // SRC_NET_TOKEN_BUCKET_H_

@@ -1,0 +1,133 @@
+#include "src/net/topology.h"
+
+#include <cassert>
+#include <utility>
+
+namespace saba {
+
+NodeId Topology::AddNode(NodeKind kind, std::string label) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({kind, std::move(label)});
+  out_links_.emplace_back();
+  return id;
+}
+
+LinkId Topology::AddLink(NodeId src, NodeId dst, double capacity_bps) {
+  assert(src >= 0 && static_cast<size_t>(src) < nodes_.size());
+  assert(dst >= 0 && static_cast<size_t>(dst) < nodes_.size());
+  assert(src != dst);
+  assert(capacity_bps > 0);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back({src, dst, capacity_bps});
+  out_links_[static_cast<size_t>(src)].push_back(id);
+  return id;
+}
+
+LinkId Topology::AddDuplexLink(NodeId a, NodeId b, double capacity_bps) {
+  const LinkId forward = AddLink(a, b, capacity_bps);
+  AddLink(b, a, capacity_bps);
+  return forward;
+}
+
+void Topology::SetLinkCapacity(LinkId id, double capacity_bps) {
+  assert(id >= 0 && static_cast<size_t>(id) < links_.size());
+  assert(capacity_bps > 0);
+  links_[static_cast<size_t>(id)].capacity_bps = capacity_bps;
+}
+
+LinkId Topology::FindLink(NodeId src, NodeId dst) const {
+  for (LinkId id : out_links_[static_cast<size_t>(src)]) {
+    if (links_[static_cast<size_t>(id)].dst == dst) {
+      return id;
+    }
+  }
+  return kInvalidLink;
+}
+
+std::vector<NodeId> Topology::Hosts() const {
+  std::vector<NodeId> hosts;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kHost) {
+      hosts.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return hosts;
+}
+
+std::vector<NodeId> Topology::Switches() const {
+  std::vector<NodeId> switches;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (IsSwitch(nodes_[i].kind)) {
+      switches.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return switches;
+}
+
+Topology BuildSingleSwitchStar(int num_hosts, double link_capacity_bps) {
+  assert(num_hosts >= 2);
+  Topology topo;
+  std::vector<NodeId> hosts;
+  hosts.reserve(static_cast<size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
+    hosts.push_back(topo.AddNode(NodeKind::kHost, "host" + std::to_string(h)));
+  }
+  const NodeId sw = topo.AddNode(NodeKind::kSwitch, "switch");
+  for (NodeId h : hosts) {
+    topo.AddDuplexLink(h, sw, link_capacity_bps);
+  }
+  return topo;
+}
+
+Topology BuildSpineLeaf(const SpineLeafParams& p) {
+  assert(p.num_pods > 0);
+  assert(p.num_tor % p.num_pods == 0 && "ToRs must partition evenly into pods");
+  assert(p.num_leaf % p.num_pods == 0 && "leaves must partition evenly into pods");
+  Topology topo;
+
+  const int num_hosts = p.num_tor * p.hosts_per_tor;
+  for (int h = 0; h < num_hosts; ++h) {
+    topo.AddNode(NodeKind::kHost, "host" + std::to_string(h));
+  }
+  std::vector<NodeId> tors;
+  tors.reserve(static_cast<size_t>(p.num_tor));
+  for (int t = 0; t < p.num_tor; ++t) {
+    tors.push_back(topo.AddNode(NodeKind::kTorSwitch, "tor" + std::to_string(t)));
+  }
+  std::vector<NodeId> leaves;
+  leaves.reserve(static_cast<size_t>(p.num_leaf));
+  for (int l = 0; l < p.num_leaf; ++l) {
+    leaves.push_back(topo.AddNode(NodeKind::kLeafSwitch, "leaf" + std::to_string(l)));
+  }
+  std::vector<NodeId> spines;
+  spines.reserve(static_cast<size_t>(p.num_spine));
+  for (int s = 0; s < p.num_spine; ++s) {
+    spines.push_back(topo.AddNode(NodeKind::kSpineSwitch, "spine" + std::to_string(s)));
+  }
+
+  // Hosts to their ToR.
+  for (int h = 0; h < num_hosts; ++h) {
+    topo.AddDuplexLink(static_cast<NodeId>(h), tors[static_cast<size_t>(h / p.hosts_per_tor)],
+                       p.host_link_bps);
+  }
+  // ToR to every leaf of its pod.
+  const int tors_per_pod = p.num_tor / p.num_pods;
+  const int leaves_per_pod = p.num_leaf / p.num_pods;
+  for (int t = 0; t < p.num_tor; ++t) {
+    const int pod = t / tors_per_pod;
+    for (int l = 0; l < leaves_per_pod; ++l) {
+      topo.AddDuplexLink(tors[static_cast<size_t>(t)],
+                         leaves[static_cast<size_t>(pod * leaves_per_pod + l)], p.tor_leaf_bps);
+    }
+  }
+  // Every leaf to every spine.
+  for (int l = 0; l < p.num_leaf; ++l) {
+    for (int s = 0; s < p.num_spine; ++s) {
+      topo.AddDuplexLink(leaves[static_cast<size_t>(l)], spines[static_cast<size_t>(s)],
+                         p.leaf_spine_bps);
+    }
+  }
+  return topo;
+}
+
+}  // namespace saba

@@ -1,0 +1,112 @@
+// Datacenter topology graph.
+//
+// Nodes are hosts or switches; links are directed (an egress port on the
+// source node). The two topologies the paper evaluates are provided as
+// builders: the single-switch testbed star (8- and 32-server experiments) and
+// the 1,944-server three-tier spine-leaf fabric of §8.1 (54 spine, 102 leaf,
+// 108 ToR switches, 18 servers per ToR).
+
+#ifndef SRC_NET_TOPOLOGY_H_
+#define SRC_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace saba {
+
+using NodeId = int32_t;
+using LinkId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind : uint8_t {
+  kHost = 0,
+  kTorSwitch = 1,
+  kLeafSwitch = 2,
+  kSpineSwitch = 3,
+  kSwitch = 4,  // Generic switch (single-switch star).
+};
+
+inline bool IsSwitch(NodeKind kind) { return kind != NodeKind::kHost; }
+
+struct Node {
+  NodeKind kind = NodeKind::kHost;
+  std::string label;
+};
+
+// A directed link: the egress port of `src` facing `dst`.
+struct Link {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double capacity_bps = 0;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  NodeId AddNode(NodeKind kind, std::string label = "");
+
+  // Adds a single directed link and returns its id.
+  LinkId AddLink(NodeId src, NodeId dst, double capacity_bps);
+
+  // Adds both directions with equal capacity; returns the src->dst id (the
+  // reverse id is the returned id + 1).
+  LinkId AddDuplexLink(NodeId a, NodeId b, double capacity_bps);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_links() const { return links_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  const Link& link(LinkId id) const { return links_[static_cast<size_t>(id)]; }
+
+  // Mutable capacity access (the profiler throttles host links this way).
+  void SetLinkCapacity(LinkId id, double capacity_bps);
+
+  // Outgoing link ids of a node, in insertion order.
+  const std::vector<LinkId>& OutLinks(NodeId id) const {
+    return out_links_[static_cast<size_t>(id)];
+  }
+
+  // The link src->dst, or kInvalidLink if absent.
+  LinkId FindLink(NodeId src, NodeId dst) const;
+
+  // All host node ids, in insertion order.
+  std::vector<NodeId> Hosts() const;
+
+  // All switch node ids, in insertion order.
+  std::vector<NodeId> Switches() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+// Builder for the testbed-style star: `num_hosts` hosts on one switch, every
+// host link at `link_capacity_bps` (the paper's testbed uses 56 Gb/s).
+Topology BuildSingleSwitchStar(int num_hosts, double link_capacity_bps);
+
+// Parameters for the three-tier spine-leaf fabric of §8.1.
+struct SpineLeafParams {
+  int num_spine = 54;
+  int num_leaf = 102;
+  int num_tor = 108;
+  int hosts_per_tor = 18;
+  // Each ToR uplinks to all leaves of its pod; each leaf uplinks to every
+  // spine. Pods partition ToRs and leaves evenly.
+  int num_pods = 6;
+  double host_link_bps = 56e9;
+  double tor_leaf_bps = 56e9;
+  double leaf_spine_bps = 56e9;
+};
+
+// Builds the fabric. Host ids are assigned first (so host h is node h),
+// followed by ToR, leaf, then spine switches.
+Topology BuildSpineLeaf(const SpineLeafParams& params);
+
+}  // namespace saba
+
+#endif  // SRC_NET_TOPOLOGY_H_

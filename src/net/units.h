@@ -1,0 +1,27 @@
+// Units for network quantities.
+//
+// Capacities are double-precision bits per second; data volumes are bits.
+// Helpers keep call sites legible ("Gbps(56)", "Gigabytes(2.5)") and make the
+// unit conventions impossible to miss.
+
+#ifndef SRC_NET_UNITS_H_
+#define SRC_NET_UNITS_H_
+
+namespace saba {
+
+// Rates (bits per second).
+inline constexpr double Bps(double x) { return x; }
+inline constexpr double Kbps(double x) { return x * 1e3; }
+inline constexpr double Mbps(double x) { return x * 1e6; }
+inline constexpr double Gbps(double x) { return x * 1e9; }
+
+// Volumes (bits).
+inline constexpr double Bits(double x) { return x; }
+inline constexpr double Bytes(double x) { return x * 8.0; }
+inline constexpr double Kilobytes(double x) { return x * 8e3; }
+inline constexpr double Megabytes(double x) { return x * 8e6; }
+inline constexpr double Gigabytes(double x) { return x * 8e9; }
+
+}  // namespace saba
+
+#endif  // SRC_NET_UNITS_H_

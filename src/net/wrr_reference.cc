@@ -1,0 +1,127 @@
+#include "src/net/wrr_reference.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace saba {
+namespace {
+
+struct FlowState {
+  double intra_weight = 1.0;
+  double budget_bits = std::numeric_limits<double>::infinity();
+  double deficit = 0;
+  double sent = 0;
+
+  bool Backlogged(double packet_bits) const { return budget_bits >= packet_bits; }
+};
+
+struct QueueState {
+  double weight = 1.0;
+  double deficit = 0;
+  std::vector<int> flow_ids;
+  size_t cursor = 0;  // Intra-queue round-robin position.
+};
+
+}  // namespace
+
+WrrResult SimulateWrrPort(const WrrPortSpec& port, const std::vector<WrrFlowSpec>& flows,
+                          double horizon_seconds) {
+  assert(port.capacity_bps > 0);
+  assert(!port.queue_weights.empty());
+  assert(port.packet_bits > 0);
+  assert(horizon_seconds > 0);
+
+  std::vector<QueueState> queues(port.queue_weights.size());
+  double min_weight = std::numeric_limits<double>::infinity();
+  for (size_t q = 0; q < queues.size(); ++q) {
+    assert(port.queue_weights[q] > 0);
+    queues[q].weight = port.queue_weights[q];
+    min_weight = std::min(min_weight, port.queue_weights[q]);
+  }
+
+  std::vector<FlowState> state(flows.size());
+  for (size_t f = 0; f < flows.size(); ++f) {
+    assert(flows[f].queue >= 0 && static_cast<size_t>(flows[f].queue) < queues.size());
+    assert(flows[f].intra_weight > 0);
+    state[f].intra_weight = flows[f].intra_weight;
+    if (flows[f].total_bits >= 0) {
+      state[f].budget_bits = flows[f].total_bits;
+    }
+    queues[static_cast<size_t>(flows[f].queue)].flow_ids.push_back(static_cast<int>(f));
+  }
+
+  const double budget = port.capacity_bps * horizon_seconds;
+  double served = 0;
+
+  // One packet-sized quantum per unit of normalized weight per round.
+  auto queue_backlogged = [&](const QueueState& queue) {
+    for (int f : queue.flow_ids) {
+      if (state[static_cast<size_t>(f)].Backlogged(port.packet_bits)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool progress = true;
+  while (served + port.packet_bits <= budget && progress) {
+    progress = false;
+    for (QueueState& queue : queues) {
+      if (!queue_backlogged(queue)) {
+        queue.deficit = 0;  // Idle queues don't bank service (work conservation).
+        continue;
+      }
+      queue.deficit += queue.weight / min_weight * port.packet_bits;
+
+      // Serve packets while the queue's deficit and the port budget allow.
+      while (queue.deficit >= port.packet_bits && served + port.packet_bits <= budget &&
+             queue_backlogged(queue)) {
+        // Intra-queue deficit round robin over backlogged flows. The scan
+        // starts from a snapshot of the cursor so each flow is visited at
+        // most once per packet opportunity.
+        bool sent_one = false;
+        const size_t start = queue.cursor;
+        for (size_t step = 0; step < queue.flow_ids.size() && !sent_one; ++step) {
+          const size_t idx = (start + step) % queue.flow_ids.size();
+          FlowState& flow = state[static_cast<size_t>(queue.flow_ids[idx])];
+          if (!flow.Backlogged(port.packet_bits)) {
+            continue;
+          }
+          flow.deficit += flow.intra_weight * port.packet_bits;
+          if (flow.deficit >= port.packet_bits) {
+            flow.deficit -= port.packet_bits;
+            flow.sent += port.packet_bits;
+            flow.budget_bits -= port.packet_bits;
+            queue.deficit -= port.packet_bits;
+            served += port.packet_bits;
+            sent_one = true;
+            progress = true;
+            queue.cursor = (idx + 1) % queue.flow_ids.size();
+          }
+        }
+        if (!sent_one) {
+          // Every backlogged flow banked intra-deficit this pass; advance the
+          // scan start so accumulation is fair and keep cycling (a sender is
+          // guaranteed within 1/min_intra_weight passes).
+          queue.cursor = (start + 1) % queue.flow_ids.size();
+        }
+      }
+      // Cap banked deficit at one round's worth so weights stay proportional.
+      queue.deficit = std::min(queue.deficit, queue.weight / min_weight * port.packet_bits);
+    }
+  }
+
+  WrrResult result;
+  result.flow_bits.reserve(flows.size());
+  result.queue_bits.assign(queues.size(), 0);
+  for (size_t f = 0; f < flows.size(); ++f) {
+    result.flow_bits.push_back(state[f].sent);
+    result.queue_bits[static_cast<size_t>(flows[f].queue)] += state[f].sent;
+    result.total_bits += state[f].sent;
+  }
+  return result;
+}
+
+}  // namespace saba

@@ -1,0 +1,123 @@
+#include "src/numerics/hierarchical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/numerics/linalg.h"
+
+namespace saba {
+
+HierarchicalClustering HierarchicalClustering::Build(
+    const std::vector<std::vector<double>>& points) {
+  assert(!points.empty());
+  HierarchicalClustering hc;
+  hc.num_leaves_ = points.size();
+
+  // Working state: active clusters, each with a centroid and member leaves.
+  struct Active {
+    std::vector<double> centroid;
+    std::vector<size_t> leaves;
+  };
+  std::vector<Active> active;
+  active.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    active.push_back({points[i], {i}});
+  }
+
+  auto snapshot = [&hc, &active]() {
+    Level level;
+    level.cluster_of.assign(hc.num_leaves_, 0);
+    level.centroids.reserve(active.size());
+    for (size_t c = 0; c < active.size(); ++c) {
+      level.centroids.push_back(active[c].centroid);
+      for (size_t leaf : active[c].leaves) {
+        level.cluster_of[leaf] = c;
+      }
+    }
+    hc.levels_.push_back(std::move(level));
+  };
+
+  snapshot();  // Level 0: singletons.
+
+  while (active.size() > 1) {
+    // Find the closest pair of active clusters (O(n^2); n is the PL count,
+    // at most 16 in any real deployment, so this is never hot).
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0;
+    size_t bj = 1;
+    for (size_t i = 0; i < active.size(); ++i) {
+      for (size_t j = i + 1; j < active.size(); ++j) {
+        const double d = SquaredDistance(active[i].centroid, active[j].centroid);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge: centroid is the Euclidean midpoint of the two children (§5.3.2).
+    Active merged;
+    merged.centroid = Midpoint(active[bi].centroid, active[bj].centroid);
+    merged.leaves = active[bi].leaves;
+    merged.leaves.insert(merged.leaves.end(), active[bj].leaves.begin(), active[bj].leaves.end());
+    // Remove j first (j > i) so indices stay valid.
+    active.erase(active.begin() + static_cast<long>(bj));
+    active.erase(active.begin() + static_cast<long>(bi));
+    active.push_back(std::move(merged));
+    snapshot();
+  }
+  return hc;
+}
+
+size_t HierarchicalClustering::ClusterOf(size_t level, size_t leaf) const {
+  assert(level < levels_.size());
+  assert(leaf < num_leaves_);
+  return levels_[level].cluster_of[leaf];
+}
+
+const std::vector<double>& HierarchicalClustering::Centroid(size_t level, size_t cluster) const {
+  assert(level < levels_.size());
+  assert(cluster < levels_[level].centroids.size());
+  return levels_[level].centroids[cluster];
+}
+
+HierarchicalClustering::Grouping HierarchicalClustering::GroupSubset(
+    const std::vector<size_t>& leaves, size_t max_groups) const {
+  assert(!leaves.empty());
+  assert(max_groups >= 1);
+
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    // Collect the distinct clusters the present leaves map to at this level.
+    std::vector<size_t> cluster_ids;
+    for (size_t leaf : leaves) {
+      const size_t c = ClusterOf(level, leaf);
+      if (std::find(cluster_ids.begin(), cluster_ids.end(), c) == cluster_ids.end()) {
+        cluster_ids.push_back(c);
+      }
+    }
+    if (cluster_ids.size() > max_groups) {
+      continue;
+    }
+    Grouping grouping;
+    grouping.level = level;
+    grouping.groups.resize(cluster_ids.size());
+    grouping.centroids.reserve(cluster_ids.size());
+    for (size_t g = 0; g < cluster_ids.size(); ++g) {
+      grouping.centroids.push_back(levels_[level].centroids[cluster_ids[g]]);
+    }
+    for (size_t leaf : leaves) {
+      const size_t c = ClusterOf(level, leaf);
+      const size_t g = static_cast<size_t>(
+          std::find(cluster_ids.begin(), cluster_ids.end(), c) - cluster_ids.begin());
+      grouping.groups[g].push_back(leaf);
+    }
+    return grouping;
+  }
+  // Unreachable: the deepest level has one cluster, which satisfies any
+  // max_groups >= 1.
+  assert(false && "dendrogram must terminate in a single cluster");
+  return {};
+}
+
+}  // namespace saba

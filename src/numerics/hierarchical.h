@@ -1,0 +1,73 @@
+// Agglomerative hierarchical clustering with midpoint merging.
+//
+// Saba's controller must map priority levels (PLs) onto a per-port number of
+// switch queues that varies across switches and with the set of flows present
+// at each port. To avoid re-clustering at every port, the paper (§5.3.2)
+// precomputes a *hierarchy*: level 0 holds every PL in its own cluster, and
+// each subsequent level merges the two closest clusters, the merged cluster's
+// coefficients being the Euclidean midpoint of its children (the "fast
+// hierarchical clustering" of Müllner's fastcluster). At runtime, for each
+// switch output port, the controller walks the hierarchy from the top
+// (finest) level down until the PLs present at that port occupy at most Q
+// clusters, then maps each cluster to a queue.
+
+#ifndef SRC_NUMERICS_HIERARCHICAL_H_
+#define SRC_NUMERICS_HIERARCHICAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace saba {
+
+class HierarchicalClustering {
+ public:
+  // Builds the full dendrogram over `points` (one leaf per point; all points
+  // the same dimension; at least one point). Level L has (n - L) clusters,
+  // for L in [0, n-1]; the deepest level has a single cluster.
+  static HierarchicalClustering Build(const std::vector<std::vector<double>>& points);
+
+  // Number of leaves (the original points).
+  size_t num_leaves() const { return num_leaves_; }
+
+  // Number of levels (== num_leaves(); level 0 is all-singletons).
+  size_t num_levels() const { return levels_.size(); }
+
+  // Cluster index of `leaf` at `level`, in [0, num_leaves() - level).
+  size_t ClusterOf(size_t level, size_t leaf) const;
+
+  // Representative coefficients (midpoint-merged) of `cluster` at `level`.
+  const std::vector<double>& Centroid(size_t level, size_t cluster) const;
+
+  // Result of grouping a subset of leaves under a queue-count constraint.
+  struct Grouping {
+    // The hierarchy level that satisfied the constraint.
+    size_t level = 0;
+    // groups[g] lists the leaf ids in group g; groups are non-empty.
+    std::vector<std::vector<size_t>> groups;
+    // centroids[g] is the dendrogram centroid of the cluster behind group g.
+    std::vector<std::vector<double>> centroids;
+  };
+
+  // Finds the shallowest (finest) level at which the given leaves fall into
+  // at most `max_groups` clusters, and returns that grouping. This is the
+  // per-port PL-to-queue mapping step of §5.3.2. Requires a non-empty,
+  // duplicate-free `leaves` and max_groups >= 1.
+  Grouping GroupSubset(const std::vector<size_t>& leaves, size_t max_groups) const;
+
+ private:
+  struct Level {
+    // cluster_of[leaf] -> cluster id at this level.
+    std::vector<size_t> cluster_of;
+    // centroid per cluster id.
+    std::vector<std::vector<double>> centroids;
+  };
+
+  HierarchicalClustering() = default;
+
+  size_t num_leaves_ = 0;
+  std::vector<Level> levels_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_NUMERICS_HIERARCHICAL_H_

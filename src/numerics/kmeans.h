@@ -1,0 +1,48 @@
+// K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//
+// Saba groups applications by the coefficients of their sensitivity models to
+// map hundreds of applications onto the network's limited priority levels
+// (paper §5.3.1, citing MacQueen's K-means). Points are the coefficient
+// vectors; the centroid of each group represents the group's sensitivity.
+
+#ifndef SRC_NUMERICS_KMEANS_H_
+#define SRC_NUMERICS_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace saba {
+
+struct KMeansResult {
+  // assignment[i] is the cluster index of points[i], in [0, k).
+  std::vector<size_t> assignment;
+  // centroids[c] is the mean of the points assigned to cluster c. Every
+  // centroid has at least one assigned point.
+  std::vector<std::vector<double>> centroids;
+  // Sum over points of squared distance to their centroid (the k-means
+  // objective at convergence).
+  double inertia = 0;
+  // Lloyd iterations executed.
+  size_t iterations = 0;
+};
+
+struct KMeansOptions {
+  size_t max_iterations = 100;
+  // Convergence threshold on centroid movement (max over centroids of the
+  // squared displacement in one iteration).
+  double tolerance = 1e-10;
+  // Independent restarts; the run with the lowest inertia wins.
+  size_t restarts = 4;
+};
+
+// Clusters `points` (all the same dimension, at least one point) into
+// min(k, points.size()) groups. `rng` drives the k-means++ seeding; with a
+// fixed seed the result is deterministic.
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, size_t k, Rng* rng,
+                    const KMeansOptions& options = {});
+
+}  // namespace saba
+
+#endif  // SRC_NUMERICS_KMEANS_H_

@@ -1,0 +1,123 @@
+#include "src/numerics/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace saba {
+
+std::vector<double> LeastSquaresQr(const Matrix& a, const std::vector<double>& b) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  assert(m >= n && "least squares requires a tall matrix");
+  assert(b.size() == m);
+
+  // Work on copies: R is built in-place in `r`, and Q^T is applied to `rhs`
+  // as each Householder reflector is formed.
+  Matrix r = a;
+  std::vector<double> rhs = b;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) {
+      norm += r.at(i, k) * r.at(i, k);
+    }
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      continue;  // Column already zero; pivot stays zero (rank-deficient).
+    }
+    const double alpha = r.at(k, k) >= 0 ? -norm : norm;
+    std::vector<double> v(m - k);
+    v[0] = r.at(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) {
+      v[i - k] = r.at(i, k);
+    }
+    double vnorm2 = 0.0;
+    for (double x : v) {
+      vnorm2 += x * x;
+    }
+    if (vnorm2 == 0.0) {
+      continue;
+    }
+
+    // Apply the reflector H = I - 2 v v^T / (v^T v) to the trailing block.
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) {
+        dot += v[i - k] * r.at(i, j);
+      }
+      const double scale = 2.0 * dot / vnorm2;
+      for (size_t i = k; i < m; ++i) {
+        r.at(i, j) -= scale * v[i - k];
+      }
+    }
+    // Apply to the right-hand side.
+    {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) {
+        dot += v[i - k] * rhs[i];
+      }
+      const double scale = 2.0 * dot / vnorm2;
+      for (size_t i = k; i < m; ++i) {
+        rhs[i] -= scale * v[i - k];
+      }
+    }
+  }
+
+  // Back-substitution on the upper-triangular R (top n rows).
+  std::vector<double> x(n, 0.0);
+  for (size_t kk = n; kk > 0; --kk) {
+    const size_t k = kk - 1;
+    double sum = rhs[k];
+    for (size_t j = k + 1; j < n; ++j) {
+      sum -= r.at(k, j) * x[j];
+    }
+    const double pivot = r.at(k, k);
+    if (std::fabs(pivot) < 1e-12) {
+      x[k] = 0.0;  // Rank-deficient: leave this component at zero.
+    } else {
+      x[k] = sum / pivot;
+    }
+  }
+  return x;
+}
+
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double EuclideanDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+std::vector<double> Midpoint(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> m(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    m[i] = 0.5 * (a[i] + b[i]);
+  }
+  return m;
+}
+
+std::vector<double> MeanVector(const std::vector<std::vector<double>>& vs) {
+  assert(!vs.empty());
+  std::vector<double> mean(vs[0].size(), 0.0);
+  for (const auto& v : vs) {
+    assert(v.size() == mean.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      mean[i] += v[i];
+    }
+  }
+  for (double& x : mean) {
+    x /= static_cast<double>(vs.size());
+  }
+  return mean;
+}
+
+}  // namespace saba

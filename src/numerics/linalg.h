@@ -1,0 +1,57 @@
+// Small dense linear-algebra helpers.
+//
+// The profiler's polynomial regression needs a numerically stable
+// least-squares solve on tall Vandermonde matrices; the clustering code needs
+// Euclidean geometry on coefficient vectors. This file provides exactly that
+// — a row-major Matrix, Householder QR least squares, and vector helpers —
+// with no external dependency.
+
+#ifndef SRC_NUMERICS_LINALG_H_
+#define SRC_NUMERICS_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace saba {
+
+// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves min_x ||A x - b||_2 for a tall (rows >= cols) full-column-rank A via
+// Householder QR. Returns the solution vector of size A.cols(). If A is
+// rank-deficient within tolerance, the affected solution entries are set by
+// back-substitution with zero pivoting contribution (the caller should
+// validate the fit, e.g. through R^2).
+std::vector<double> LeastSquaresQr(const Matrix& a, const std::vector<double>& b);
+
+// Euclidean distance between equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a, const std::vector<double>& b);
+
+// Squared Euclidean distance (avoids the sqrt in inner loops).
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b);
+
+// Component-wise midpoint of two equal-length vectors.
+std::vector<double> Midpoint(const std::vector<double>& a, const std::vector<double>& b);
+
+// Component-wise mean of a non-empty set of equal-length vectors.
+std::vector<double> MeanVector(const std::vector<std::vector<double>>& vs);
+
+}  // namespace saba
+
+#endif  // SRC_NUMERICS_LINALG_H_

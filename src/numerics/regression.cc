@@ -1,0 +1,56 @@
+#include "src/numerics/regression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/numerics/linalg.h"
+
+namespace saba {
+
+Polynomial FitPolynomial(const std::vector<Sample>& samples, size_t degree) {
+  assert(samples.size() >= degree + 1 && "underdetermined polynomial fit");
+  const size_t m = samples.size();
+  const size_t n = degree + 1;
+  Matrix vandermonde(m, n);
+  std::vector<double> rhs(m);
+  for (size_t i = 0; i < m; ++i) {
+    double pow = 1.0;
+    for (size_t j = 0; j < n; ++j) {
+      vandermonde.at(i, j) = pow;
+      pow *= samples[i].b;
+    }
+    rhs[i] = samples[i].d;
+  }
+  return Polynomial(LeastSquaresQr(vandermonde, rhs));
+}
+
+double RSquared(const Polynomial& model, const std::vector<Sample>& samples) {
+  assert(!samples.empty());
+  double mean = 0.0;
+  for (const Sample& s : samples) {
+    mean += s.d;
+  }
+  mean /= static_cast<double>(samples.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (const Sample& s : samples) {
+    const double pred = model.Evaluate(s.b);
+    ss_res += (s.d - pred) * (s.d - pred);
+    ss_tot += (s.d - mean) * (s.d - mean);
+  }
+  // Guard the all-observations-equal case against floating-point dust: both
+  // sums can be a few ulps instead of exact zeros.
+  const double scale = std::max(1.0, mean * mean) * static_cast<double>(samples.size());
+  if (ss_tot <= 1e-20 * scale) {
+    return ss_res <= 1e-18 * scale ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double RSquaredClamped(const Polynomial& model, const std::vector<Sample>& samples) {
+  return std::clamp(RSquared(model, samples), 0.0, 1.0);
+}
+
+}  // namespace saba

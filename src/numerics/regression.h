@@ -1,0 +1,43 @@
+// Polynomial regression and goodness-of-fit, as used by Saba's offline
+// profiler (paper §4.1-§4.2).
+//
+// The profiler collects samples (b_i, d_i) — bandwidth fraction versus
+// measured slowdown — and fits D(b) = sum_j c_j b^j by least squares. Model
+// quality is reported as R^2, the coefficient of determination, exactly as the
+// paper evaluates its sensitivity models (Fig 6).
+
+#ifndef SRC_NUMERICS_REGRESSION_H_
+#define SRC_NUMERICS_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/numerics/polynomial.h"
+
+namespace saba {
+
+// One profiling observation: slowdown `d` measured at bandwidth fraction `b`
+// (b in (0, 1]; d >= 1 for well-formed measurements).
+struct Sample {
+  double b = 0;
+  double d = 0;
+};
+
+// Fits a polynomial of the given degree to the samples by least squares.
+// Requires samples.size() >= degree + 1. Degrees are small (the paper uses
+// k <= 3) and the Vandermonde system is solved by Householder QR.
+Polynomial FitPolynomial(const std::vector<Sample>& samples, size_t degree);
+
+// Coefficient of determination of `model` against `samples`:
+//   R^2 = 1 - SS_res / SS_tot.
+// Follows the standard convention: if SS_tot == 0 (all observations equal),
+// returns 1 when the residuals are ~0 and 0 otherwise. Can be negative when
+// the model fits worse than the mean; callers that plot accuracy may clamp.
+double RSquared(const Polynomial& model, const std::vector<Sample>& samples);
+
+// RSquared clamped into [0, 1] — the form the paper's figures display.
+double RSquaredClamped(const Polynomial& model, const std::vector<Sample>& samples);
+
+}  // namespace saba
+
+#endif  // SRC_NUMERICS_REGRESSION_H_

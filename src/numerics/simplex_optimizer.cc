@@ -1,0 +1,224 @@
+#include "src/numerics/simplex_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace saba {
+namespace {
+
+double Clamp(double x, double lo, double hi) { return std::min(std::max(x, lo), hi); }
+
+double TotalObjective(const std::vector<ScalarObjective>& objectives,
+                      const std::vector<double>& w) {
+  double total = 0;
+  for (size_t i = 0; i < objectives.size(); ++i) {
+    total += objectives[i].value(w[i]);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<double> ProjectToCapacitySimplex(const std::vector<double>& v,
+                                             const SimplexConstraints& c) {
+  const size_t n = v.size();
+  assert(n > 0);
+  assert(c.lower_bound <= c.upper_bound);
+  assert(static_cast<double>(n) * c.lower_bound <= c.capacity + 1e-12);
+  assert(static_cast<double>(n) * c.upper_bound >= c.capacity - 1e-12);
+
+  // The projection has the form w_i = clamp(v_i - tau, lo, hi) where tau is
+  // chosen so the weights sum to capacity. The sum is non-increasing in tau;
+  // bisect over a bracket that certainly contains the root.
+  double lo_tau = -c.upper_bound;
+  double hi_tau = c.upper_bound;
+  for (double x : v) {
+    lo_tau = std::min(lo_tau, x - c.upper_bound);
+    hi_tau = std::max(hi_tau, x - c.lower_bound);
+  }
+  auto sum_at = [&](double tau) {
+    double s = 0;
+    for (double x : v) {
+      s += Clamp(x - tau, c.lower_bound, c.upper_bound);
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo_tau + hi_tau);
+    if (sum_at(mid) > c.capacity) {
+      lo_tau = mid;
+    } else {
+      hi_tau = mid;
+    }
+  }
+  const double tau = 0.5 * (lo_tau + hi_tau);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = Clamp(v[i] - tau, c.lower_bound, c.upper_bound);
+  }
+  // Compensate residual rounding by nudging an interior coordinate so the
+  // equality constraint holds tightly.
+  double s = 0;
+  for (double x : w) {
+    s += x;
+  }
+  double residual = c.capacity - s;
+  for (size_t i = 0; i < n && std::fabs(residual) > 1e-12; ++i) {
+    const double adjusted = Clamp(w[i] + residual, c.lower_bound, c.upper_bound);
+    residual -= adjusted - w[i];
+    w[i] = adjusted;
+  }
+  return w;
+}
+
+SimplexMinimizeResult MinimizeConvexSeparable(const std::vector<ScalarObjective>& objectives,
+                                              const SimplexConstraints& constraints) {
+  const size_t n = objectives.size();
+  assert(n > 0);
+  const double lo = constraints.lower_bound;
+  const double hi = constraints.upper_bound;
+
+  // KKT: w_i minimizes f_i(w_i) - lambda*w_i over [lo, hi]; for convex f_i the
+  // minimizer is w_i(lambda) = clamp((f_i')^{-1}(lambda), lo, hi), found by
+  // bisection on w since f_i' is non-decreasing. sum_i w_i(lambda) is
+  // non-decreasing in lambda, so an outer bisection matches the capacity.
+  auto w_of_lambda = [&](size_t i, double lambda) {
+    const auto& df = objectives[i].derivative;
+    if (df(lo) >= lambda) {
+      return lo;
+    }
+    if (df(hi) <= lambda) {
+      return hi;
+    }
+    double a = lo;
+    double b = hi;
+    for (int it = 0; it < 80; ++it) {
+      const double m = 0.5 * (a + b);
+      if (df(m) < lambda) {
+        a = m;
+      } else {
+        b = m;
+      }
+    }
+    return 0.5 * (a + b);
+  };
+
+  double lambda_lo = std::numeric_limits<double>::infinity();
+  double lambda_hi = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    lambda_lo = std::min(lambda_lo, objectives[i].derivative(lo));
+    lambda_hi = std::max(lambda_hi, objectives[i].derivative(hi));
+  }
+  // Widen slightly so the bracket is strict even with flat derivatives.
+  lambda_lo -= 1.0;
+  lambda_hi += 1.0;
+
+  SimplexMinimizeResult result;
+  for (int it = 0; it < 200; ++it) {
+    const double lambda = 0.5 * (lambda_lo + lambda_hi);
+    double s = 0;
+    for (size_t i = 0; i < n; ++i) {
+      s += w_of_lambda(i, lambda);
+    }
+    if (s < constraints.capacity) {
+      lambda_lo = lambda;
+    } else {
+      lambda_hi = lambda;
+    }
+    result.iterations = static_cast<size_t>(it) + 1;
+  }
+  const double lambda = 0.5 * (lambda_lo + lambda_hi);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = w_of_lambda(i, lambda);
+  }
+  // Tighten the equality constraint exactly (bisection leaves ~1e-12 slack).
+  w = ProjectToCapacitySimplex(w, constraints);
+  result.weights = std::move(w);
+  result.objective = TotalObjective(objectives, result.weights);
+  result.converged = true;
+  return result;
+}
+
+SimplexMinimizeResult MinimizeSeparableProjectedGradient(
+    const std::vector<ScalarObjective>& objectives, const SimplexConstraints& constraints,
+    Rng* rng, const ProjectedGradientOptions& options) {
+  const size_t n = objectives.size();
+  assert(n > 0);
+  assert(rng != nullptr);
+
+  SimplexMinimizeResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  const size_t restarts = std::max<size_t>(1, options.restarts);
+  for (size_t restart = 0; restart < restarts; ++restart) {
+    // Start point: equal split on the first restart, then random feasible
+    // points (exponential draws normalized onto the simplex).
+    std::vector<double> w(n, constraints.capacity / static_cast<double>(n));
+    if (restart > 0) {
+      double total = 0;
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = rng->Exponential(1.0);
+        total += w[i];
+      }
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = w[i] / total * constraints.capacity;
+      }
+      w = ProjectToCapacitySimplex(w, constraints);
+    }
+
+    double fw = TotalObjective(objectives, w);
+    double step = options.initial_step;
+    size_t iterations = 0;
+    bool converged = false;
+    for (size_t it = 0; it < options.max_iterations; ++it) {
+      iterations = it + 1;
+      std::vector<double> grad(n);
+      for (size_t i = 0; i < n; ++i) {
+        grad[i] = objectives[i].derivative(w[i]);
+      }
+      // Backtracking line search on the projected step.
+      bool improved = false;
+      double trial_step = step;
+      for (int bt = 0; bt < 30; ++bt) {
+        std::vector<double> cand(n);
+        for (size_t i = 0; i < n; ++i) {
+          cand[i] = w[i] - trial_step * grad[i];
+        }
+        cand = ProjectToCapacitySimplex(cand, constraints);
+        const double fc = TotalObjective(objectives, cand);
+        if (fc < fw - 1e-15) {
+          const double gain = fw - fc;
+          w = std::move(cand);
+          fw = fc;
+          improved = true;
+          step = trial_step * 1.5;  // Allow the step to grow again.
+          if (gain < options.tolerance) {
+            converged = true;
+          }
+          break;
+        }
+        trial_step *= 0.5;
+      }
+      if (!improved) {
+        converged = true;
+        break;
+      }
+      if (converged) {
+        break;
+      }
+    }
+
+    if (fw < best.objective) {
+      best.weights = w;
+      best.objective = fw;
+      best.iterations = iterations;
+      best.converged = converged;
+    }
+  }
+  return best;
+}
+
+}  // namespace saba

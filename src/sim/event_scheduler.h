@@ -1,0 +1,141 @@
+// Discrete-event scheduler: the core loop of the fluid network simulator.
+//
+// Events are closures scheduled at absolute simulated times. The scheduler
+// dispatches them in time order; ties are broken by insertion order so that
+// runs are fully deterministic. Events can be cancelled through the handle
+// returned at scheduling time, which the flow simulator uses extensively to
+// re-plan a flow's completion when bandwidth allocations change.
+//
+// Implementation notes: the heap holds small PODs that index into a slab of
+// slots carrying the closures, so sift-downs never move std::functions —
+// re-planning cancels and reschedules the majority of flow completions in a
+// busy simulation, and moving fat entries through the heap dominated its
+// cost. Cancelled entries are skipped (and their slots freed) at pop time.
+
+#ifndef SRC_SIM_EVENT_SCHEDULER_H_
+#define SRC_SIM_EVENT_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace saba {
+
+// Handle to a scheduled event. Copyable; all copies refer to the same event.
+// A default-constructed handle refers to nothing and is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly and on
+  // default-constructed handles.
+  void Cancel();
+
+  // True if the event is still queued and not cancelled.
+  bool pending() const;
+
+ private:
+  friend class EventScheduler;
+
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+// Single-threaded discrete-event scheduler.
+//
+// Typical usage:
+//   EventScheduler sched;
+//   sched.ScheduleAt(1.5, [&] { ... });
+//   sched.Run();                        // runs until the queue drains
+//
+// Event callbacks may schedule further events, including at the current time
+// (which dispatch after all earlier-scheduled same-time events).
+class EventScheduler {
+ public:
+  EventScheduler() = default;
+
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  // Current simulated time. Starts at 0 and only moves forward.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when`. `when` must not be in the
+  // past; scheduling at exactly Now() is allowed and dispatches after events
+  // already queued for Now(). Returns a cancellable handle.
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` seconds from now.
+  EventHandle ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Runs events until the queue is empty. Returns the number of events
+  // dispatched (cancelled events are not counted).
+  uint64_t Run();
+
+  // Runs events with time <= `deadline`, then sets Now() to `deadline` if the
+  // queue drained earlier or the next event is later. Returns the number of
+  // events dispatched.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Runs at most one event. Returns false if the queue is empty.
+  bool Step();
+
+  // Number of queued, non-cancelled events. O(n): intended for tests.
+  size_t PendingCount() const;
+
+  // Total events dispatched over the scheduler's lifetime.
+  uint64_t dispatched_count() const { return dispatched_; }
+
+ private:
+  struct HeapEntry {
+    SimTime when = 0;
+    uint64_t seq = 0;  // Tie-breaker: FIFO among same-time events.
+    uint32_t slot = 0;
+    uint32_t generation = 0;  // Guards against slot reuse.
+  };
+
+  struct Slot {
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+    uint32_t generation = 0;
+    bool live = false;
+  };
+
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.when < b.when || (a.when == b.when && a.seq < b.seq);
+  }
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void Push(HeapEntry entry);
+  void PopTop();
+
+  // True if the heap entry still refers to a live, uncancelled event.
+  bool EntryLive(const HeapEntry& entry) const;
+
+  // Pops and dispatches the next live event, if any.
+  bool DispatchNext();
+
+  // Releases a slot back to the freelist.
+  void ReleaseSlot(uint32_t slot);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace saba
+
+#endif  // SRC_SIM_EVENT_SCHEDULER_H_

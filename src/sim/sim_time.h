@@ -1,0 +1,50 @@
+// Simulated-time primitives shared by the event scheduler, the fluid network
+// simulator, and the workload models.
+//
+// Simulated time is a double-precision count of seconds since the start of the
+// simulation. Seconds are the natural unit for Saba: the paper's workloads run
+// for minutes and the controller reacts on the order of milliseconds, so a
+// double keeps microsecond precision over week-long simulations.
+
+#ifndef SRC_SIM_SIM_TIME_H_
+#define SRC_SIM_SIM_TIME_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace saba {
+
+// A point in simulated time, in seconds. Negative values are invalid except
+// for the sentinel kNeverTime.
+using SimTime = double;
+
+// A span of simulated time, in seconds.
+using SimDuration = double;
+
+// Sentinel meaning "this event will never happen" (e.g. the completion time of
+// a flow whose current rate is zero).
+inline constexpr SimTime kNeverTime = std::numeric_limits<double>::infinity();
+
+// Tolerance used when comparing simulated times for equality. Rate
+// recomputation produces completion times through divisions, so exact
+// comparison is meaningless below this granularity (1 nanosecond).
+inline constexpr SimDuration kTimeEpsilon = 1e-9;
+
+// Returns true if two simulated times are equal within kTimeEpsilon.
+inline bool TimeAlmostEqual(SimTime a, SimTime b) {
+  if (std::isinf(a) || std::isinf(b)) {
+    return a == b;
+  }
+  return std::fabs(a - b) <= kTimeEpsilon;
+}
+
+// Convenience constructors so call sites read as units rather than raw
+// magic numbers.
+inline constexpr SimDuration Seconds(double s) { return s; }
+inline constexpr SimDuration Milliseconds(double ms) { return ms * 1e-3; }
+inline constexpr SimDuration Microseconds(double us) { return us * 1e-6; }
+
+}  // namespace saba
+
+#endif  // SRC_SIM_SIM_TIME_H_

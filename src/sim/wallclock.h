@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for measuring real computation cost (e.g. the
+// controller's bandwidth-calculation time in Fig 12), as opposed to SimTime.
+
+#ifndef SRC_SIM_WALLCLOCK_H_
+#define SRC_SIM_WALLCLOCK_H_
+
+#include <chrono>
+
+namespace saba {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace saba
+
+#endif  // SRC_SIM_WALLCLOCK_H_

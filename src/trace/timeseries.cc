@@ -1,0 +1,140 @@
+#include "src/trace/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <set>
+
+namespace saba {
+
+void TimeSeries::Append(SimTime t, double value) {
+  assert(points_.empty() || t >= points_.back().first);
+  points_.emplace_back(t, value);
+}
+
+double TimeSeries::Mean() const {
+  assert(!points_.empty());
+  double sum = 0;
+  for (const auto& [t, v] : points_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::Max() const {
+  assert(!points_.empty());
+  double best = points_.front().second;
+  for (const auto& [t, v] : points_) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double TimeSeries::MeanInWindow(SimTime from, SimTime to) const {
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= from && t <= to) {
+      sum += v;
+      ++n;
+    }
+  }
+  assert(n > 0 && "no samples in window");
+  return sum / static_cast<double>(n);
+}
+
+double TimeSeries::FractionAbove(double threshold) const {
+  assert(!points_.empty());
+  size_t above = 0;
+  for (const auto& [t, v] : points_) {
+    above += v >= threshold ? 1 : 0;
+  }
+  return static_cast<double>(above) / static_cast<double>(points_.size());
+}
+
+TimeSeries& TraceRecorder::Series(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(name)).first;
+  }
+  return it->second;
+}
+
+const TimeSeries* TraceRecorder::Find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void TraceRecorder::WriteCsv(std::ostream& os) const {
+  os << "time";
+  for (const auto& [name, series] : series_) {
+    os << ',' << name;
+  }
+  os << '\n';
+
+  // Union of sample instants across series.
+  std::set<SimTime> instants;
+  for (const auto& [name, series] : series_) {
+    for (const auto& [t, v] : series.points()) {
+      instants.insert(t);
+    }
+  }
+
+  // Per-series cursor walk (points are time-ordered).
+  std::map<std::string, size_t> cursor;
+  for (SimTime t : instants) {
+    os << t;
+    for (const auto& [name, series] : series_) {
+      size_t& i = cursor[name];
+      const auto& points = series.points();
+      os << ',';
+      if (i < points.size() && TimeAlmostEqual(points[i].first, t)) {
+        os << points[i].second;
+        ++i;
+      }
+    }
+    os << '\n';
+  }
+}
+
+PeriodicSampler::PeriodicSampler(EventScheduler* scheduler, TraceRecorder* recorder,
+                                 SimDuration period)
+    : scheduler_(scheduler), recorder_(recorder), period_(period) {
+  assert(scheduler != nullptr && recorder != nullptr);
+  assert(period > 0);
+}
+
+void PeriodicSampler::AddProbe(const std::string& series_name, Probe probe) {
+  assert(probe != nullptr);
+  probes_.emplace_back(series_name, std::move(probe));
+}
+
+void PeriodicSampler::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  scheduler_->ScheduleAt(scheduler_->Now(), [this] { Tick(); });
+}
+
+void PeriodicSampler::Stop() { running_ = false; }
+
+void PeriodicSampler::Tick() {
+  if (!running_) {
+    return;
+  }
+  ++ticks_;
+  const SimTime now = scheduler_->Now();
+  for (const auto& [name, probe] : probes_) {
+    recorder_->Series(name).Append(now, probe());
+  }
+  // Self-terminate once the sampler is the only thing keeping the simulation
+  // alive; otherwise the scheduler would never drain.
+  if (scheduler_->PendingCount() == 0) {
+    running_ = false;
+    return;
+  }
+  scheduler_->ScheduleAfter(period_, [this] { Tick(); });
+}
+
+}  // namespace saba

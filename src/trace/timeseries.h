@@ -1,0 +1,101 @@
+// Time-series recording for simulations.
+//
+// Experiments that look *inside* a run (Fig 2's utilization timelines, link
+// heat maps, controller activity) need sampled series keyed by simulated
+// time. A TraceRecorder owns named series, a PeriodicSampler drives
+// collection off the event scheduler, and the CSV writer emits one row per
+// sample instant for offline plotting.
+
+#ifndef SRC_TRACE_TIMESERIES_H_
+#define SRC_TRACE_TIMESERIES_H_
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_scheduler.h"
+#include "src/sim/sim_time.h"
+
+namespace saba {
+
+// One named series of (time, value) points, appended in time order.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void Append(SimTime t, double value);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const std::vector<std::pair<SimTime, double>>& points() const { return points_; }
+
+  // Mean of the values (requires a non-empty series).
+  double Mean() const;
+  double Max() const;
+
+  // Mean over samples within [from, to].
+  double MeanInWindow(SimTime from, SimTime to) const;
+
+  // Fraction of samples with value >= threshold (a duty-cycle measure).
+  double FractionAbove(double threshold) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+// A bundle of series sharing a sampling clock.
+class TraceRecorder {
+ public:
+  // Returns the series with `name`, creating it on first use.
+  TimeSeries& Series(const std::string& name);
+
+  const TimeSeries* Find(const std::string& name) const;
+  size_t series_count() const { return series_.size(); }
+
+  // Writes "time,<series...>" CSV. Rows are the union of sample times;
+  // series without a sample at a row's instant leave the cell empty.
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+// Samples a set of probes at a fixed period until stopped or until the
+// scheduler drains. Probes run in registration order at each tick.
+class PeriodicSampler {
+ public:
+  using Probe = std::function<double()>;
+
+  // Samples every `period` seconds starting at the current time.
+  PeriodicSampler(EventScheduler* scheduler, TraceRecorder* recorder, SimDuration period);
+
+  // Registers a probe writing into `series_name`.
+  void AddProbe(const std::string& series_name, Probe probe);
+
+  // Begins sampling (idempotent).
+  void Start();
+
+  // Stops future ticks.
+  void Stop();
+
+  size_t ticks() const { return ticks_; }
+
+ private:
+  void Tick();
+
+  EventScheduler* scheduler_;
+  TraceRecorder* recorder_;
+  SimDuration period_;
+  std::vector<std::pair<std::string, Probe>> probes_;
+  bool running_ = false;
+  size_t ticks_ = 0;
+};
+
+}  // namespace saba
+
+#endif  // SRC_TRACE_TIMESERIES_H_

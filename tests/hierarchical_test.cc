@@ -1,0 +1,126 @@
+#include "src/numerics/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/numerics/linalg.h"
+#include "src/sim/rng.h"
+
+namespace saba {
+namespace {
+
+TEST(HierarchicalTest, LevelZeroIsSingletons) {
+  const auto hc = HierarchicalClustering::Build({{0.0}, {1.0}, {5.0}});
+  EXPECT_EQ(hc.num_leaves(), 3u);
+  EXPECT_EQ(hc.num_levels(), 3u);
+  std::set<size_t> clusters;
+  for (size_t leaf = 0; leaf < 3; ++leaf) {
+    clusters.insert(hc.ClusterOf(0, leaf));
+  }
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(HierarchicalTest, DeepestLevelIsOneCluster) {
+  const auto hc = HierarchicalClustering::Build({{0.0}, {1.0}, {5.0}, {9.0}});
+  const size_t last = hc.num_levels() - 1;
+  for (size_t leaf = 0; leaf < 4; ++leaf) {
+    EXPECT_EQ(hc.ClusterOf(last, leaf), 0u);
+  }
+}
+
+TEST(HierarchicalTest, EachLevelMergesExactlyOnePair) {
+  const auto hc = HierarchicalClustering::Build({{0.0}, {1.0}, {5.0}, {9.0}, {20.0}});
+  for (size_t level = 0; level < hc.num_levels(); ++level) {
+    std::set<size_t> clusters;
+    for (size_t leaf = 0; leaf < hc.num_leaves(); ++leaf) {
+      clusters.insert(hc.ClusterOf(level, leaf));
+    }
+    EXPECT_EQ(clusters.size(), hc.num_leaves() - level);
+  }
+}
+
+TEST(HierarchicalTest, ClosestPairMergesFirst) {
+  // 0.0 and 0.1 are by far the closest; they must share a cluster at level 1.
+  const auto hc = HierarchicalClustering::Build({{0.0}, {0.1}, {5.0}, {9.0}});
+  EXPECT_EQ(hc.ClusterOf(1, 0), hc.ClusterOf(1, 1));
+  EXPECT_NE(hc.ClusterOf(1, 2), hc.ClusterOf(1, 3));
+}
+
+TEST(HierarchicalTest, MergedCentroidIsMidpoint) {
+  const auto hc = HierarchicalClustering::Build({{0.0}, {2.0}, {100.0}});
+  // Level 1 merges {0} and {2}; centroid must be 1.0 (midpoint, §5.3.2).
+  const size_t merged = hc.ClusterOf(1, 0);
+  ASSERT_EQ(merged, hc.ClusterOf(1, 1));
+  EXPECT_DOUBLE_EQ(hc.Centroid(1, merged)[0], 1.0);
+}
+
+TEST(HierarchicalTest, MergesAreNested) {
+  // Once two leaves share a cluster they share it at all deeper levels.
+  std::vector<std::vector<double>> points;
+  Rng rng(3);
+  for (int i = 0; i < 12; ++i) {
+    points.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const auto hc = HierarchicalClustering::Build(points);
+  for (size_t level = 0; level + 1 < hc.num_levels(); ++level) {
+    for (size_t a = 0; a < points.size(); ++a) {
+      for (size_t b = a + 1; b < points.size(); ++b) {
+        if (hc.ClusterOf(level, a) == hc.ClusterOf(level, b)) {
+          EXPECT_EQ(hc.ClusterOf(level + 1, a), hc.ClusterOf(level + 1, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(HierarchicalTest, GroupSubsetRespectsMaxGroups) {
+  std::vector<std::vector<double>> points;
+  Rng rng(5);
+  for (int i = 0; i < 16; ++i) {
+    points.push_back({rng.Uniform(0, 100)});
+  }
+  const auto hc = HierarchicalClustering::Build(points);
+  const std::vector<size_t> leaves = {0, 3, 5, 7, 9, 11, 13, 15};
+  for (size_t q : {1u, 2u, 4u, 8u}) {
+    const auto grouping = hc.GroupSubset(leaves, q);
+    EXPECT_LE(grouping.groups.size(), q);
+    // Every requested leaf appears exactly once.
+    std::multiset<size_t> seen;
+    for (const auto& group : grouping.groups) {
+      EXPECT_FALSE(group.empty());
+      seen.insert(group.begin(), group.end());
+    }
+    EXPECT_EQ(seen.size(), leaves.size());
+    for (size_t leaf : leaves) {
+      EXPECT_EQ(seen.count(leaf), 1u);
+    }
+    EXPECT_EQ(grouping.centroids.size(), grouping.groups.size());
+  }
+}
+
+TEST(HierarchicalTest, GroupSubsetUsesShallowestSufficientLevel) {
+  // Distinct leaves with plenty of queues: level 0 (all distinct) suffices.
+  const auto hc = HierarchicalClustering::Build({{0.0}, {10.0}, {20.0}, {30.0}});
+  const auto grouping = hc.GroupSubset({0, 1, 2}, 8);
+  EXPECT_EQ(grouping.level, 0u);
+  EXPECT_EQ(grouping.groups.size(), 3u);
+}
+
+TEST(HierarchicalTest, GroupSubsetSingleLeaf) {
+  const auto hc = HierarchicalClustering::Build({{0.0}, {10.0}});
+  const auto grouping = hc.GroupSubset({1}, 4);
+  EXPECT_EQ(grouping.groups.size(), 1u);
+  EXPECT_EQ(grouping.groups[0][0], 1u);
+}
+
+TEST(HierarchicalTest, SingleLeafHierarchy) {
+  const auto hc = HierarchicalClustering::Build({{1.0, 2.0}});
+  EXPECT_EQ(hc.num_levels(), 1u);
+  const auto grouping = hc.GroupSubset({0}, 1);
+  EXPECT_EQ(grouping.groups.size(), 1u);
+}
+
+}  // namespace
+}  // namespace saba

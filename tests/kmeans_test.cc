@@ -1,0 +1,131 @@
+#include "src/numerics/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/numerics/linalg.h"
+
+namespace saba {
+namespace {
+
+TEST(KMeansTest, SinglePointSingleCluster) {
+  Rng rng(1);
+  const auto result = KMeans({{1.0, 2.0}}, 1, &rng);
+  EXPECT_EQ(result.centroids.size(), 1u);
+  EXPECT_EQ(result.assignment[0], 0u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, KLargerThanPointsClampsToPointCount) {
+  Rng rng(1);
+  const auto result = KMeans({{0.0}, {10.0}}, 5, &rng);
+  EXPECT_EQ(result.centroids.size(), 2u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back({0.0 + i * 0.01, 0.0});
+    points.push_back({100.0 + i * 0.01, 0.0});
+  }
+  Rng rng(7);
+  const auto result = KMeans(points, 2, &rng);
+  // Even-indexed points are near 0, odd near 100; they must land in
+  // different clusters, consistently.
+  for (size_t i = 2; i < points.size(); ++i) {
+    EXPECT_EQ(result.assignment[i], result.assignment[i % 2]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+TEST(KMeansTest, EveryClusterNonEmpty) {
+  std::vector<std::vector<double>> points;
+  Rng data_rng(3);
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({data_rng.Uniform(0, 1), data_rng.Uniform(0, 1)});
+  }
+  Rng rng(11);
+  const auto result = KMeans(points, 8, &rng);
+  std::vector<int> counts(result.centroids.size(), 0);
+  for (size_t a : result.assignment) {
+    ASSERT_LT(a, result.centroids.size());
+    ++counts[a];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 0);
+  }
+}
+
+TEST(KMeansTest, CentroidIsMeanOfMembers) {
+  std::vector<std::vector<double>> points = {{0, 0}, {2, 0}, {100, 100}, {102, 100}};
+  Rng rng(5);
+  const auto result = KMeans(points, 2, &rng);
+  for (size_t c = 0; c < result.centroids.size(); ++c) {
+    std::vector<std::vector<double>> members;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (result.assignment[i] == c) {
+        members.push_back(points[i]);
+      }
+    }
+    ASSERT_FALSE(members.empty());
+    const std::vector<double> mean = MeanVector(members);
+    EXPECT_NEAR(EuclideanDistance(mean, result.centroids[c]), 0.0, 1e-9);
+  }
+}
+
+TEST(KMeansTest, AssignmentIsToNearestCentroid) {
+  std::vector<std::vector<double>> points;
+  Rng data_rng(13);
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({data_rng.Uniform(0, 10)});
+  }
+  Rng rng(17);
+  const auto result = KMeans(points, 4, &rng);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double own = SquaredDistance(points[i], result.centroids[result.assignment[i]]);
+    for (const auto& centroid : result.centroids) {
+      EXPECT_LE(own, SquaredDistance(points[i], centroid) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> points;
+  Rng data_rng(19);
+  for (int i = 0; i < 25; ++i) {
+    points.push_back({data_rng.Uniform(0, 1), data_rng.Uniform(0, 1)});
+  }
+  Rng rng_a(23);
+  Rng rng_b(23);
+  const auto a = KMeans(points, 5, &rng_a);
+  const auto b = KMeans(points, 5, &rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  std::vector<std::vector<double>> points(10, {1.0, 1.0});
+  Rng rng(29);
+  const auto result = KMeans(points, 3, &rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, MoreClustersLowerInertia) {
+  std::vector<std::vector<double>> points;
+  Rng data_rng(31);
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({data_rng.Uniform(0, 100)});
+  }
+  double prev = 1e300;
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    Rng rng(37);
+    const auto result = KMeans(points, k, &rng);
+    EXPECT_LE(result.inertia, prev + 1e-9);
+    prev = result.inertia;
+  }
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,102 @@
+#include "src/numerics/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/rng.h"
+
+namespace saba {
+namespace {
+
+TEST(MatrixTest, StorageAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.5);
+}
+
+TEST(LeastSquaresQrTest, SquareSystemExact) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const std::vector<double> x = LeastSquaresQr(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquaresQrTest, OverdeterminedMatchesNormalEquations) {
+  // Fit y = a + b*x to noisy-but-consistent data with known LS solution.
+  // Points: (0,1), (1,2), (2,2), (3,4). Normal equations give a = 0.9, b = 0.9.
+  Matrix a(4, 2);
+  std::vector<double> b = {1, 2, 2, 4};
+  for (int i = 0; i < 4; ++i) {
+    a.at(static_cast<size_t>(i), 0) = 1;
+    a.at(static_cast<size_t>(i), 1) = i;
+  }
+  const std::vector<double> x = LeastSquaresQr(a, b);
+  EXPECT_NEAR(x[0], 0.9, 1e-12);
+  EXPECT_NEAR(x[1], 0.9, 1e-12);
+}
+
+TEST(LeastSquaresQrTest, ResidualOrthogonalToColumns) {
+  // LS property: A^T (Ax - b) = 0.
+  Rng rng(5);
+  Matrix a(8, 3);
+  std::vector<double> b(8);
+  for (size_t r = 0; r < 8; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      a.at(r, c) = rng.Uniform(-2, 2);
+    }
+    b[r] = rng.Uniform(-2, 2);
+  }
+  const std::vector<double> x = LeastSquaresQr(a, b);
+  for (size_t c = 0; c < 3; ++c) {
+    double dot = 0;
+    for (size_t r = 0; r < 8; ++r) {
+      double residual = -b[r];
+      for (size_t k = 0; k < 3; ++k) {
+        residual += a.at(r, k) * x[k];
+      }
+      dot += a.at(r, c) * residual;
+    }
+    EXPECT_NEAR(dot, 0.0, 1e-9);
+  }
+}
+
+TEST(LeastSquaresQrTest, RankDeficientColumnYieldsZeroComponent) {
+  // Second column is all zeros: its coefficient must come out zero rather
+  // than NaN.
+  Matrix a(3, 2);
+  for (size_t r = 0; r < 3; ++r) {
+    a.at(r, 0) = 1;
+    a.at(r, 1) = 0;
+  }
+  const std::vector<double> x = LeastSquaresQr(a, {2, 2, 2});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_FALSE(std::isnan(x[0]));
+}
+
+TEST(VectorHelpersTest, Distances) {
+  const std::vector<double> a = {0, 3};
+  const std::vector<double> b = {4, 0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(VectorHelpersTest, MidpointAndMean) {
+  EXPECT_EQ(Midpoint({0, 2}, {4, 6}), (std::vector<double>{2, 4}));
+  EXPECT_EQ(MeanVector({{0, 0}, {2, 4}, {4, 2}}), (std::vector<double>{2, 2}));
+  EXPECT_EQ(MeanVector({{7, 7}}), (std::vector<double>{7, 7}));
+}
+
+}  // namespace
+}  // namespace saba

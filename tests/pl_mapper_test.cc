@@ -1,0 +1,85 @@
+#include "src/core/pl_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace saba {
+namespace {
+
+SensitivityModel Linear(double slope) {
+  return SensitivityModel{Polynomial({1.0 + slope, -slope})};
+}
+
+TEST(PlMapperTest, FewerAppsThanPlsGetDistinctPls) {
+  Rng rng(1);
+  const PlMapping mapping = MapAppsToPls({Linear(5.0), Linear(0.1)}, 8, &rng);
+  ASSERT_EQ(mapping.app_to_pl.size(), 2u);
+  EXPECT_NE(mapping.app_to_pl[0], mapping.app_to_pl[1]);
+  EXPECT_EQ(mapping.pl_models.size(), 2u);
+}
+
+TEST(PlMapperTest, SimilarAppsShareAPl) {
+  Rng rng(2);
+  std::vector<SensitivityModel> models;
+  for (int i = 0; i < 6; ++i) {
+    models.push_back(Linear(5.0 + 0.01 * i));  // Sensitive cluster.
+  }
+  for (int i = 0; i < 6; ++i) {
+    models.push_back(Linear(0.1 + 0.01 * i));  // Insensitive cluster.
+  }
+  const PlMapping mapping = MapAppsToPls(models, 2, &rng);
+  // The first six share one PL, the last six the other.
+  for (size_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(mapping.app_to_pl[i], mapping.app_to_pl[0]);
+  }
+  for (size_t i = 7; i < 12; ++i) {
+    EXPECT_EQ(mapping.app_to_pl[i], mapping.app_to_pl[6]);
+  }
+  EXPECT_NE(mapping.app_to_pl[0], mapping.app_to_pl[6]);
+}
+
+TEST(PlMapperTest, CentroidRepresentsGroupSensitivity) {
+  Rng rng(3);
+  const PlMapping mapping = MapAppsToPls({Linear(4.0), Linear(4.2)}, 1, &rng);
+  ASSERT_EQ(mapping.pl_models.size(), 1u);
+  // Centroid of slopes 4.0 and 4.2 -> slope 4.1: D(0.5) = 1 + 4.1*0.5.
+  EXPECT_NEAR(mapping.pl_models[0].SlowdownAt(0.5), 1.0 + 4.1 * 0.5, 1e-9);
+}
+
+TEST(PlMapperTest, PlIndicesAreDense) {
+  Rng rng(4);
+  std::vector<SensitivityModel> models;
+  for (int i = 0; i < 20; ++i) {
+    models.push_back(Linear(0.2 * i));
+  }
+  const PlMapping mapping = MapAppsToPls(models, 8, &rng);
+  std::set<int> used(mapping.app_to_pl.begin(), mapping.app_to_pl.end());
+  EXPECT_EQ(used.size(), mapping.pl_models.size());
+  for (int pl : mapping.app_to_pl) {
+    EXPECT_GE(pl, 0);
+    EXPECT_LT(pl, static_cast<int>(mapping.pl_models.size()));
+  }
+}
+
+TEST(PlMapperTest, MixedDegreeModelsArePaddedConsistently) {
+  Rng rng(5);
+  const SensitivityModel cubic{Polynomial({6.0, -10.0, 7.0, -2.0})};
+  const SensitivityModel linear = Linear(1.0);
+  const PlMapping mapping = MapAppsToPls({cubic, linear}, 2, &rng);
+  EXPECT_EQ(mapping.pl_models.size(), 2u);
+  EXPECT_NE(mapping.app_to_pl[0], mapping.app_to_pl[1]);
+}
+
+TEST(PlMapperTest, DeterministicGivenSeed) {
+  std::vector<SensitivityModel> models;
+  for (int i = 0; i < 10; ++i) {
+    models.push_back(Linear(0.5 * i));
+  }
+  Rng a(6);
+  Rng b(6);
+  EXPECT_EQ(MapAppsToPls(models, 4, &a).app_to_pl, MapAppsToPls(models, 4, &b).app_to_pl);
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,128 @@
+#include "src/core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace saba {
+namespace {
+
+SensitivityModel Quadratic(double steepness) {
+  return SensitivityModel{Polynomial({steepness + 1.0, -2.0 * steepness, steepness})};
+}
+
+SensitivityTable MakeTable() {
+  SensitivityTable table;
+  table.Put("steep", {Quadratic(8.0), 0.99, {}, 100});
+  table.Put("medium", {Quadratic(2.0), 0.99, {}, 100});
+  table.Put("flat", {Quadratic(0.2), 0.99, {}, 100});
+  return table;
+}
+
+TEST(PlannerPredictTest, SingleJobIsUnharmed) {
+  const SensitivityTable table = MakeTable();
+  CoRunPlanner planner(&table);
+  Rng rng(1);
+  const CoRunPrediction p = planner.Predict({"steep"}, &rng);
+  EXPECT_DOUBLE_EQ(p.saba_weights[0], 1.0);
+  EXPECT_NEAR(p.saba_slowdowns[0], 1.0, 1e-9);
+  EXPECT_NEAR(p.predicted_speedup, 1.0, 1e-9);
+}
+
+TEST(PlannerPredictTest, SabaNeverWorseThanEqualOnObjective) {
+  const SensitivityTable table = MakeTable();
+  CoRunPlanner planner(&table);
+  Rng rng(2);
+  const CoRunPrediction p = planner.Predict({"steep", "medium", "flat", "flat"}, &rng);
+  EXPECT_LE(p.saba_average, p.equal_average + 1e-9);
+  EXPECT_GE(p.predicted_speedup, 0.9);
+}
+
+TEST(PlannerPredictTest, SteepJobGetsMoreWeightAndGains) {
+  const SensitivityTable table = MakeTable();
+  CoRunPlanner planner(&table);
+  Rng rng(3);
+  const CoRunPrediction p = planner.Predict({"steep", "flat"}, &rng);
+  EXPECT_GT(p.saba_weights[0], p.saba_weights[1]);
+  // The steep job's predicted slowdown improves vs equal sharing...
+  EXPECT_LT(p.saba_slowdowns[0], p.equal_slowdowns[0]);
+  // ...at a bounded cost to the flat one.
+  EXPECT_LT(p.saba_slowdowns[1] / p.equal_slowdowns[1], 1.5);
+}
+
+TEST(PlannerPredictTest, UnknownWorkloadPredictsInsensitive) {
+  const SensitivityTable table = MakeTable();
+  CoRunPlanner planner(&table);
+  Rng rng(4);
+  const CoRunPrediction p = planner.Predict({"steep", "mystery"}, &rng);
+  EXPECT_NEAR(p.equal_slowdowns[1], 1.0, 1e-9);
+}
+
+TEST(PlannerPartitionTest, BalancedGroups) {
+  const SensitivityTable table = MakeTable();
+  CoRunPlanner planner(&table);
+  Rng rng(5);
+  const std::vector<std::string> mix = {"steep", "steep", "medium", "medium",
+                                        "flat",  "flat",  "flat",   "flat"};
+  const PartitionPlan plan = planner.Partition(mix, 2, &rng);
+  ASSERT_EQ(plan.group.size(), mix.size());
+  int count0 = 0;
+  for (int g : plan.group) {
+    ASSERT_GE(g, 0);
+    ASSERT_LT(g, 2);
+    count0 += g == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(count0, 4);
+}
+
+TEST(PlannerPartitionTest, SpreadsSensitiveJobsApart) {
+  // Two steep jobs and two flat ones into two groups: the optimal pairing
+  // puts one steep with one flat in each group (steep jobs fight each other
+  // for the same headroom).
+  const SensitivityTable table = MakeTable();
+  CoRunPlanner planner(&table);
+  Rng rng(6);
+  const PartitionPlan plan = planner.Partition({"steep", "steep", "flat", "flat"}, 2, &rng);
+  EXPECT_NE(plan.group[0], plan.group[1]) << "steep jobs must be separated";
+  EXPECT_NE(plan.group[2], plan.group[3]);
+}
+
+TEST(PlannerPartitionTest, CostNoWorseThanNaiveSplit) {
+  const SensitivityTable table = MakeTable();
+  CoRunPlanner planner(&table);
+  Rng rng(7);
+  const std::vector<std::string> mix = {"steep", "steep", "steep", "medium",
+                                        "medium", "flat", "flat", "flat"};
+  const PartitionPlan plan = planner.Partition(mix, 2, &rng);
+
+  // Naive split: first half / second half (clusters the steep jobs).
+  WeightSolver solver;
+  auto group_cost = [&](const std::vector<std::string>& names) {
+    std::vector<SensitivityModel> models;
+    for (const auto& name : names) {
+      models.push_back(table.ModelOrDefault(name));
+    }
+    Rng solver_rng(8);
+    return solver.Solve(models, &solver_rng).objective;
+  };
+  const double naive = group_cost({"steep", "steep", "steep", "medium"}) +
+                       group_cost({"medium", "flat", "flat", "flat"});
+  EXPECT_LE(plan.total_cost, naive + 1e-9);
+}
+
+TEST(PlannerPartitionTest, SingleGroupAndDeterminism) {
+  const SensitivityTable table = MakeTable();
+  CoRunPlanner planner(&table);
+  Rng a(9);
+  Rng b(9);
+  const std::vector<std::string> mix = {"steep", "medium", "flat"};
+  const PartitionPlan pa = planner.Partition(mix, 1, &a);
+  EXPECT_EQ(pa.group, (std::vector<int>{0, 0, 0}));
+  const PartitionPlan pb = planner.Partition(mix, 2, &b);
+  Rng c(9);
+  const PartitionPlan pc = planner.Partition(mix, 2, &c);
+  EXPECT_EQ(pb.group, pc.group);
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,105 @@
+#include "src/numerics/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/rng.h"
+
+namespace saba {
+namespace {
+
+std::vector<Sample> SampleCurve(const Polynomial& p, const std::vector<double>& xs) {
+  std::vector<Sample> samples;
+  for (double x : xs) {
+    samples.push_back({x, p.Evaluate(x)});
+  }
+  return samples;
+}
+
+// Property: fitting recovers polynomials of the exact degree from clean
+// samples, across degrees (parameterized sweep).
+class FitRecoveryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FitRecoveryTest, RecoversExactPolynomial) {
+  const size_t degree = GetParam();
+  Rng rng(17 + degree);
+  std::vector<double> coeffs;
+  for (size_t i = 0; i <= degree; ++i) {
+    coeffs.push_back(rng.Uniform(-5, 5));
+  }
+  const Polynomial truth(coeffs);
+  const std::vector<double> xs = {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+  const std::vector<Sample> samples = SampleCurve(truth, xs);
+  const Polynomial fit = FitPolynomial(samples, degree);
+  for (double x : xs) {
+    EXPECT_NEAR(fit.Evaluate(x), truth.Evaluate(x), 1e-6);
+  }
+  EXPECT_NEAR(RSquared(fit, samples), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FitRecoveryTest, ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+TEST(FitPolynomialTest, LeastSquaresBeatsLowerDegreeOnCurvedData) {
+  // 1/x-like data: higher degree must fit at least as well.
+  std::vector<Sample> samples;
+  for (double x : {0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    samples.push_back({x, 1.0 / x});
+  }
+  double prev = -1;
+  for (size_t k = 1; k <= 3; ++k) {
+    const double r2 = RSquared(FitPolynomial(samples, k), samples);
+    EXPECT_GE(r2, prev - 1e-12) << "R^2 must not decrease with degree";
+    prev = r2;
+  }
+  EXPECT_GT(prev, 0.9);
+}
+
+TEST(FitPolynomialTest, NoisyFitStillExplainsTrend) {
+  Rng rng(5);
+  const Polynomial truth({4.0, -6.0, 3.0});
+  std::vector<Sample> samples;
+  for (double x = 0.05; x <= 1.0; x += 0.05) {
+    samples.push_back({x, truth.Evaluate(x) + rng.Normal(0, 0.05)});
+  }
+  const Polynomial fit = FitPolynomial(samples, 2);
+  EXPECT_GT(RSquared(fit, samples), 0.95);
+}
+
+TEST(RSquaredTest, PerfectModelIsOne) {
+  const Polynomial p({1.0, 1.0});
+  const auto samples = SampleCurve(p, {0.1, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(RSquared(p, samples), 1.0);
+}
+
+TEST(RSquaredTest, MeanModelIsZero) {
+  // A constant model equal to the sample mean has R^2 == 0.
+  std::vector<Sample> samples = {{0.1, 1.0}, {0.5, 2.0}, {1.0, 3.0}};
+  const Polynomial mean_model({2.0});
+  EXPECT_NEAR(RSquared(mean_model, samples), 0.0, 1e-12);
+}
+
+TEST(RSquaredTest, WorseThanMeanIsNegativeAndClampWorks) {
+  std::vector<Sample> samples = {{0.1, 1.0}, {0.5, 2.0}, {1.0, 3.0}};
+  const Polynomial bad({100.0});
+  EXPECT_LT(RSquared(bad, samples), 0.0);
+  EXPECT_DOUBLE_EQ(RSquaredClamped(bad, samples), 0.0);
+}
+
+TEST(RSquaredTest, ConstantObservations) {
+  std::vector<Sample> samples = {{0.1, 2.0}, {0.5, 2.0}, {1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(RSquared(Polynomial({2.0}), samples), 1.0);
+  EXPECT_DOUBLE_EQ(RSquared(Polynomial({3.0}), samples), 0.0);
+}
+
+TEST(FitPolynomialTest, MinimalSampleCountExactInterpolation) {
+  // degree+1 samples: the fit interpolates exactly.
+  std::vector<Sample> samples = {{0.2, 5.0}, {0.6, 2.0}, {1.0, 7.0}};
+  const Polynomial fit = FitPolynomial(samples, 2);
+  for (const Sample& s : samples) {
+    EXPECT_NEAR(fit.Evaluate(s.b), s.d, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,62 @@
+#include "src/exp/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace saba {
+namespace {
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(Fmt(1.884, 2), "1.88");
+  EXPECT_EQ(Fmt(1.885, 1), "1.9");
+  EXPECT_EQ(Fmt(3.0, 0), "3");
+  EXPECT_EQ(Fmt(-0.25, 2), "-0.25");
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndSeparatesHeader) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-name", "2.50"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+
+  // Header present, separator line present, rows present.
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+
+  // Every line has the same "Value" column start: check the header and the
+  // long row align on the second column.
+  std::istringstream lines(out);
+  std::string header;
+  std::getline(lines, header);
+  const size_t value_col = header.find("Value");
+  std::string sep;
+  std::getline(lines, sep);
+  std::string row1;
+  std::getline(lines, row1);
+  std::string row2;
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.find('1'), value_col);
+  EXPECT_EQ(row2.find("2.50"), value_col);
+}
+
+TEST(TablePrinterTest, EmptyTablePrintsHeaderOnly) {
+  TablePrinter table({"A", "B"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find('A'), std::string::npos);
+}
+
+TEST(PrintBannerTest, ContainsNameDescriptionAndSeed) {
+  std::ostringstream os;
+  PrintBanner(os, "Figure 42", "An experiment.", 1234);
+  EXPECT_NE(os.str().find("Figure 42"), std::string::npos);
+  EXPECT_NE(os.str().find("An experiment."), std::string::npos);
+  EXPECT_NE(os.str().find("1234"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,120 @@
+#include "src/net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/net/units.h"
+
+namespace saba {
+namespace {
+
+// Validates that `path` is a contiguous walk from src to dst.
+void ExpectValidPath(const Topology& topo, const std::vector<LinkId>& path, NodeId src,
+                     NodeId dst) {
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(topo.link(path.front()).src, src);
+  EXPECT_EQ(topo.link(path.back()).dst, dst);
+  for (size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(topo.link(path[i - 1]).dst, topo.link(path[i]).src);
+  }
+}
+
+TEST(RouterTest, StarPathsAreTwoHops) {
+  const Topology topo = BuildSingleSwitchStar(4, Gbps(10));
+  Router router(&topo);
+  for (NodeId s = 0; s < 4; ++s) {
+    for (NodeId d = 0; d < 4; ++d) {
+      if (s == d) {
+        continue;
+      }
+      const auto& path = router.Route(s, d, 0);
+      EXPECT_EQ(path.size(), 2u);
+      ExpectValidPath(topo, path, s, d);
+    }
+  }
+}
+
+TEST(RouterTest, SelfRouteIsEmpty) {
+  const Topology topo = BuildSingleSwitchStar(4, Gbps(10));
+  Router router(&topo);
+  EXPECT_TRUE(router.Route(2, 2, 0).empty());
+}
+
+TEST(RouterTest, SameSaltSamePath) {
+  const Topology topo = BuildSpineLeaf(
+      {.num_spine = 4, .num_leaf = 4, .num_tor = 4, .hosts_per_tor = 2, .num_pods = 2});
+  Router router(&topo);
+  const auto& a = router.Route(0, 7, 42);
+  const auto& b = router.Route(0, 7, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RouterTest, DifferentSaltsSpreadAcrossEcmp) {
+  const Topology topo = BuildSpineLeaf(
+      {.num_spine = 8, .num_leaf = 8, .num_tor = 4, .hosts_per_tor = 2, .num_pods = 2});
+  Router router(&topo);
+  // Hosts 0 and 7 are in different pods; many spine choices exist.
+  std::set<std::vector<LinkId>> distinct;
+  for (uint64_t salt = 0; salt < 32; ++salt) {
+    distinct.insert(router.Route(0, 7, salt));
+  }
+  EXPECT_GT(distinct.size(), 2u) << "ECMP salting must spread paths";
+}
+
+TEST(RouterTest, SpineLeafPathsAreValidAndShortest) {
+  SpineLeafParams params{
+      .num_spine = 4, .num_leaf = 4, .num_tor = 4, .hosts_per_tor = 3, .num_pods = 2};
+  const Topology topo = BuildSpineLeaf(params);
+  Router router(&topo);
+  const auto hosts = topo.Hosts();
+  for (NodeId s : hosts) {
+    for (NodeId d : hosts) {
+      if (s == d) {
+        continue;
+      }
+      const auto& path = router.Route(s, d, 1);
+      ExpectValidPath(topo, path, s, d);
+      const int same_tor = (s / params.hosts_per_tor) == (d / params.hosts_per_tor);
+      const int same_pod = (s / (params.hosts_per_tor * 2)) == (d / (params.hosts_per_tor * 2));
+      if (same_tor) {
+        EXPECT_EQ(path.size(), 2u);  // host -> ToR -> host.
+      } else if (same_pod) {
+        EXPECT_EQ(path.size(), 4u);  // host -> ToR -> leaf -> ToR -> host.
+      } else {
+        EXPECT_EQ(path.size(), 6u);  // ... -> leaf -> spine -> leaf -> ...
+      }
+    }
+  }
+}
+
+TEST(RouterTest, PathCacheGrowsOncePerKey) {
+  const Topology topo = BuildSingleSwitchStar(4, Gbps(10));
+  Router router(&topo);
+  router.Route(0, 1, 5);
+  const size_t after_first = router.cached_paths();
+  router.Route(0, 1, 5);
+  EXPECT_EQ(router.cached_paths(), after_first);
+  router.Route(0, 1, 6);
+  EXPECT_EQ(router.cached_paths(), after_first + 1);
+}
+
+TEST(RouterTest, CachedPathReferenceStable) {
+  const Topology topo = BuildSingleSwitchStar(8, Gbps(10));
+  Router router(&topo);
+  const std::vector<LinkId>* first = &router.Route(0, 1, 0);
+  // Force many insertions (potential rehash).
+  for (NodeId s = 0; s < 8; ++s) {
+    for (NodeId d = 0; d < 8; ++d) {
+      if (s != d) {
+        for (uint64_t salt = 0; salt < 8; ++salt) {
+          router.Route(s, d, salt);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(first, &router.Route(0, 1, 0)) << "cache entries must be reference-stable";
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,129 @@
+#include "src/exp/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/profiler.h"
+#include "src/workload/workload_catalog.h"
+
+namespace saba {
+namespace {
+
+constexpr const char* kValidScenario = R"(
+# two jobs on a small star
+topology star servers=8 capacity_gbps=56
+policy saba
+seed 9
+gamma 0.25
+queues 4
+job LR nodes=8
+job PR nodes=8 dataset=1 start=1.5
+)";
+
+TEST(ScenarioParserTest, ParsesValidScenario) {
+  std::string error;
+  const auto scenario = ParseScenario(kValidScenario, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->topology.Hosts().size(), 8u);
+  EXPECT_EQ(scenario->options.policy, PolicyKind::kSaba);
+  EXPECT_EQ(scenario->seed, 9u);
+  EXPECT_DOUBLE_EQ(scenario->options.fecn_gamma, 0.25);
+  EXPECT_EQ(scenario->options.queues_per_port, 4);
+  ASSERT_EQ(scenario->jobs.size(), 2u);
+  EXPECT_EQ(scenario->jobs[0].workload, "LR");
+  EXPECT_DOUBLE_EQ(scenario->jobs[1].start_at, 1.5);
+}
+
+TEST(ScenarioParserTest, ParsesFloorDirective) {
+  const auto scenario = ParseScenario("floor 0.5\njob LR nodes=4\n");
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_DOUBLE_EQ(scenario->options.relative_min_weight, 0.5);
+  EXPECT_FALSE(ParseScenario("floor 1.5\njob LR\n").has_value());
+}
+
+TEST(ScenarioParserTest, ParsesSpineLeafTopology) {
+  std::string error;
+  const auto scenario = ParseScenario(
+      "topology spineleaf spine=2 leaf=4 tor=4 hosts_per_tor=3 pods=2\njob LR nodes=4\n",
+      &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->topology.Hosts().size(), 12u);
+}
+
+TEST(ScenarioParserTest, DefaultsWhenOmitted) {
+  const auto scenario = ParseScenario("job Sort nodes=4\n");
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_EQ(scenario->topology.Hosts().size(), 32u);  // Default star.
+  EXPECT_EQ(scenario->options.policy, PolicyKind::kBaseline);
+  EXPECT_EQ(scenario->jobs[0].nodes, 4);
+  EXPECT_DOUBLE_EQ(scenario->jobs[0].dataset_scale, 1.0);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+};
+
+class ScenarioParserErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ScenarioParserErrorTest, RejectsWithMessage) {
+  std::string error;
+  EXPECT_FALSE(ParseScenario(GetParam().text, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadScenarios, ScenarioParserErrorTest,
+    ::testing::Values(
+        BadCase{"no_jobs", "topology star servers=4\n"},
+        BadCase{"unknown_directive", "jobs LR\n"},
+        BadCase{"unknown_workload", "job NotAWorkload nodes=4\n"},
+        BadCase{"unknown_policy", "policy tcp\njob LR\n"},
+        BadCase{"bad_topology_kind", "topology ring servers=4\njob LR\n"},
+        BadCase{"bad_kv", "job LR nodes\n"},
+        BadCase{"bad_nodes", "job LR nodes=1\n"},
+        BadCase{"negative_start", "job LR start=-2\n"},
+        BadCase{"oversized_job", "topology star servers=4\njob LR nodes=8\n"},
+        BadCase{"bad_pods", "topology spineleaf tor=3 pods=2\njob LR nodes=2\n"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) { return info.param.name; });
+
+TEST(ScenarioJobsTest, PlacementRespectsNodeCountsAndDistinctHosts) {
+  const auto scenario = ParseScenario(
+      "topology star servers=8\njob LR nodes=8\njob PR nodes=4\njob Sort nodes=2\n");
+  ASSERT_TRUE(scenario.has_value());
+  const std::vector<JobSpec> jobs = BuildScenarioJobs(*scenario);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].hosts.size(), 8u);
+  EXPECT_EQ(jobs[1].hosts.size(), 4u);
+  EXPECT_EQ(jobs[2].hosts.size(), 2u);
+  for (const JobSpec& job : jobs) {
+    std::set<NodeId> distinct(job.hosts.begin(), job.hosts.end());
+    EXPECT_EQ(distinct.size(), job.hosts.size());
+  }
+}
+
+TEST(ScenarioJobsTest, DeterministicPlacementGivenSeed) {
+  const auto scenario = ParseScenario("seed 5\njob LR nodes=8\njob PR nodes=8\n");
+  ASSERT_TRUE(scenario.has_value());
+  const auto a = BuildScenarioJobs(*scenario);
+  const auto b = BuildScenarioJobs(*scenario);
+  for (size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].hosts, b[j].hosts);
+  }
+}
+
+TEST(ScenarioRunTest, EndToEndSabaScenarioCompletes) {
+  const auto scenario = ParseScenario(kValidScenario);
+  ASSERT_TRUE(scenario.has_value());
+  ProfilerOptions options;
+  options.noise_sigma = 0;
+  OfflineProfiler profiler(options);
+  const SensitivityTable table =
+      profiler.ProfileAll({*FindWorkload("LR"), *FindWorkload("PR")});
+  const CoRunResult result = RunScenario(*scenario, table);
+  ASSERT_EQ(result.completion_seconds.size(), 2u);
+  EXPECT_GT(result.completion_seconds[0], 0);
+  EXPECT_GT(result.completion_seconds[1], 0);
+}
+
+}  // namespace
+}  // namespace saba

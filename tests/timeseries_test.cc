@@ -1,0 +1,108 @@
+#include "src/trace/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace saba {
+namespace {
+
+TEST(TimeSeriesTest, AppendAndStats) {
+  TimeSeries series("cpu");
+  series.Append(0.0, 0.2);
+  series.Append(1.0, 0.8);
+  series.Append(2.0, 0.5);
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(series.Max(), 0.8);
+  EXPECT_DOUBLE_EQ(series.FractionAbove(0.5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(series.MeanInWindow(0.5, 2.5), 0.65);
+}
+
+TEST(TraceRecorderTest, SeriesCreatedOnFirstUse) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.Find("net"), nullptr);
+  recorder.Series("net").Append(0, 1.0);
+  ASSERT_NE(recorder.Find("net"), nullptr);
+  EXPECT_EQ(recorder.Find("net")->size(), 1u);
+  EXPECT_EQ(recorder.series_count(), 1u);
+}
+
+TEST(TraceRecorderTest, CsvHasHeaderAndAlignedRows) {
+  TraceRecorder recorder;
+  recorder.Series("a").Append(0.0, 1.0);
+  recorder.Series("a").Append(1.0, 2.0);
+  recorder.Series("b").Append(1.0, 9.0);
+  std::ostringstream os;
+  recorder.WriteCsv(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "time,a,b");
+  std::getline(is, line);
+  EXPECT_EQ(line, "0,1,");  // b has no sample at t=0.
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,2,9");
+}
+
+TEST(PeriodicSamplerTest, SamplesAtFixedPeriodWhileSimulationLives) {
+  EventScheduler scheduler;
+  TraceRecorder recorder;
+  PeriodicSampler sampler(&scheduler, &recorder, 1.0);
+  double value = 0;
+  sampler.AddProbe("v", [&value] { return value; });
+  // Keep the simulation alive for 5.5 seconds with a value change midway.
+  scheduler.ScheduleAt(2.5, [&value] { value = 10; });
+  scheduler.ScheduleAt(5.5, [] {});
+  sampler.Start();
+  scheduler.Run();
+
+  const TimeSeries* series = recorder.Find("v");
+  ASSERT_NE(series, nullptr);
+  // Ticks at t = 0,1,2,3,4,5 (+ the drain tick at 6 is not guaranteed).
+  ASSERT_GE(series->size(), 6u);
+  EXPECT_DOUBLE_EQ(series->points()[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(series->points()[3].second, 10.0);
+  for (size_t i = 1; i < series->size(); ++i) {
+    EXPECT_NEAR(series->points()[i].first - series->points()[i - 1].first, 1.0, 1e-9);
+  }
+}
+
+TEST(PeriodicSamplerTest, StopsWhenSimulationDrains) {
+  EventScheduler scheduler;
+  TraceRecorder recorder;
+  PeriodicSampler sampler(&scheduler, &recorder, 0.5);
+  sampler.AddProbe("x", [] { return 1.0; });
+  scheduler.ScheduleAt(1.0, [] {});
+  sampler.Start();
+  scheduler.Run();  // Must terminate.
+  EXPECT_LE(sampler.ticks(), 4u);
+  EXPECT_GE(sampler.ticks(), 2u);
+}
+
+TEST(PeriodicSamplerTest, StopPreventsFurtherTicks) {
+  EventScheduler scheduler;
+  TraceRecorder recorder;
+  PeriodicSampler sampler(&scheduler, &recorder, 1.0);
+  sampler.AddProbe("x", [] { return 1.0; });
+  scheduler.ScheduleAt(10.0, [] {});
+  scheduler.ScheduleAt(2.5, [&sampler] { sampler.Stop(); });
+  sampler.Start();
+  scheduler.Run();
+  EXPECT_LE(sampler.ticks(), 3u);
+}
+
+TEST(PeriodicSamplerTest, MultipleProbesShareTicks) {
+  EventScheduler scheduler;
+  TraceRecorder recorder;
+  PeriodicSampler sampler(&scheduler, &recorder, 1.0);
+  sampler.AddProbe("a", [] { return 1.0; });
+  sampler.AddProbe("b", [] { return 2.0; });
+  scheduler.ScheduleAt(3.0, [] {});
+  sampler.Start();
+  scheduler.Run();
+  EXPECT_EQ(recorder.Find("a")->size(), recorder.Find("b")->size());
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,146 @@
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/units.h"
+
+namespace saba {
+namespace {
+
+TEST(TopologyTest, AddNodesAndLinks) {
+  Topology topo;
+  const NodeId a = topo.AddNode(NodeKind::kHost, "a");
+  const NodeId b = topo.AddNode(NodeKind::kSwitch, "b");
+  const LinkId l = topo.AddLink(a, b, Gbps(10));
+  EXPECT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.num_links(), 1u);
+  EXPECT_EQ(topo.link(l).src, a);
+  EXPECT_EQ(topo.link(l).dst, b);
+  EXPECT_DOUBLE_EQ(topo.link(l).capacity_bps, Gbps(10));
+  EXPECT_EQ(topo.node(a).kind, NodeKind::kHost);
+  EXPECT_EQ(topo.node(b).label, "b");
+}
+
+TEST(TopologyTest, DuplexLinkAddsBothDirections) {
+  Topology topo;
+  const NodeId a = topo.AddNode(NodeKind::kHost);
+  const NodeId b = topo.AddNode(NodeKind::kSwitch);
+  const LinkId forward = topo.AddDuplexLink(a, b, Gbps(5));
+  EXPECT_EQ(topo.num_links(), 2u);
+  EXPECT_EQ(topo.FindLink(a, b), forward);
+  EXPECT_EQ(topo.FindLink(b, a), forward + 1);
+  EXPECT_EQ(topo.FindLink(a, a), kInvalidLink);
+}
+
+TEST(TopologyTest, SetLinkCapacity) {
+  Topology topo;
+  const NodeId a = topo.AddNode(NodeKind::kHost);
+  const NodeId b = topo.AddNode(NodeKind::kSwitch);
+  const LinkId l = topo.AddLink(a, b, Gbps(10));
+  topo.SetLinkCapacity(l, Gbps(2.5));
+  EXPECT_DOUBLE_EQ(topo.link(l).capacity_bps, Gbps(2.5));
+}
+
+TEST(TopologyTest, OutLinksInOrder) {
+  Topology topo;
+  const NodeId a = topo.AddNode(NodeKind::kSwitch);
+  const NodeId b = topo.AddNode(NodeKind::kHost);
+  const NodeId c = topo.AddNode(NodeKind::kHost);
+  const LinkId l1 = topo.AddLink(a, b, Gbps(1));
+  const LinkId l2 = topo.AddLink(a, c, Gbps(1));
+  EXPECT_EQ(topo.OutLinks(a), (std::vector<LinkId>{l1, l2}));
+  EXPECT_TRUE(topo.OutLinks(b).empty());
+}
+
+TEST(SingleSwitchStarTest, ShapeAndCapacities) {
+  const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
+  EXPECT_EQ(topo.num_nodes(), 9u);
+  EXPECT_EQ(topo.Hosts().size(), 8u);
+  EXPECT_EQ(topo.Switches().size(), 1u);
+  EXPECT_EQ(topo.num_links(), 16u);  // 8 duplex host links.
+  for (size_t l = 0; l < topo.num_links(); ++l) {
+    EXPECT_DOUBLE_EQ(topo.link(static_cast<LinkId>(l)).capacity_bps, Gbps(56));
+  }
+  // Every host connects exactly to the switch.
+  const NodeId sw = topo.Switches()[0];
+  for (NodeId h : topo.Hosts()) {
+    EXPECT_NE(topo.FindLink(h, sw), kInvalidLink);
+    EXPECT_NE(topo.FindLink(sw, h), kInvalidLink);
+  }
+}
+
+TEST(SpineLeafTest, PaperScaleShape) {
+  // §8.1: 54 spine, 102 leaf, 108 ToR, 18 servers per ToR = 1,944 servers.
+  const Topology topo = BuildSpineLeaf(SpineLeafParams{});
+  EXPECT_EQ(topo.Hosts().size(), 1944u);
+  size_t tors = 0;
+  size_t leaves = 0;
+  size_t spines = 0;
+  for (size_t n = 0; n < topo.num_nodes(); ++n) {
+    switch (topo.node(static_cast<NodeId>(n)).kind) {
+      case NodeKind::kTorSwitch:
+        ++tors;
+        break;
+      case NodeKind::kLeafSwitch:
+        ++leaves;
+        break;
+      case NodeKind::kSpineSwitch:
+        ++spines;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(tors, 108u);
+  EXPECT_EQ(leaves, 102u);
+  EXPECT_EQ(spines, 54u);
+  // Link count: hosts (1944) + ToR-to-pod-leaves (108*17) + leaf-spine
+  // (102*54), all duplex.
+  EXPECT_EQ(topo.num_links(), 2u * (1944u + 108u * 17u + 102u * 54u));
+}
+
+TEST(SpineLeafTest, SmallConfigConnectivity) {
+  SpineLeafParams params;
+  params.num_spine = 2;
+  params.num_leaf = 4;
+  params.num_tor = 4;
+  params.hosts_per_tor = 3;
+  params.num_pods = 2;
+  const Topology topo = BuildSpineLeaf(params);
+  EXPECT_EQ(topo.Hosts().size(), 12u);
+  // Every leaf connects to every spine.
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> spines;
+  for (size_t n = 0; n < topo.num_nodes(); ++n) {
+    if (topo.node(static_cast<NodeId>(n)).kind == NodeKind::kLeafSwitch) {
+      leaves.push_back(static_cast<NodeId>(n));
+    }
+    if (topo.node(static_cast<NodeId>(n)).kind == NodeKind::kSpineSwitch) {
+      spines.push_back(static_cast<NodeId>(n));
+    }
+  }
+  for (NodeId leaf : leaves) {
+    for (NodeId spine : spines) {
+      EXPECT_NE(topo.FindLink(leaf, spine), kInvalidLink);
+    }
+  }
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Gbps(56), 56e9);
+  EXPECT_DOUBLE_EQ(Mbps(1), 1e6);
+  EXPECT_DOUBLE_EQ(Bytes(1), 8.0);
+  EXPECT_DOUBLE_EQ(Kilobytes(10), 80e3);
+  EXPECT_DOUBLE_EQ(Gigabytes(1), 8e9);
+}
+
+TEST(NodeKindTest, IsSwitch) {
+  EXPECT_FALSE(IsSwitch(NodeKind::kHost));
+  EXPECT_TRUE(IsSwitch(NodeKind::kSwitch));
+  EXPECT_TRUE(IsSwitch(NodeKind::kTorSwitch));
+  EXPECT_TRUE(IsSwitch(NodeKind::kLeafSwitch));
+  EXPECT_TRUE(IsSwitch(NodeKind::kSpineSwitch));
+}
+
+}  // namespace
+}  // namespace saba

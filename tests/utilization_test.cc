@@ -1,0 +1,88 @@
+// Quantitative checks of the §2.3 mechanism, via the trace module: LR
+// alternates compute and communication phases, while PR keeps the network
+// busy almost continuously yet stays compute-dominated — the facts behind
+// Fig 2 and behind the whole sensitivity story.
+
+#include <gtest/gtest.h>
+
+#include "src/net/allocator.h"
+#include "src/net/flow_simulator.h"
+#include "src/net/units.h"
+#include "src/sim/event_scheduler.h"
+#include "src/trace/timeseries.h"
+#include "src/workload/app_runtime.h"
+#include "src/workload/workload_catalog.h"
+
+namespace saba {
+namespace {
+
+struct UtilizationProfile {
+  double cpu_duty = 0;        // Fraction of samples with CPU busy.
+  double net_duty = 0;        // Fraction of samples with network active.
+  double mean_net_share = 0;  // Mean egress utilization of host 0.
+  double completion = 0;
+};
+
+UtilizationProfile Profile(const WorkloadSpec& spec, double bandwidth_fraction) {
+  EventScheduler scheduler;
+  Network network(BuildSingleSwitchStar(8, Gbps(56) * bandwidth_fraction));
+  WfqMaxMinAllocator allocator;
+  FlowSimulator flow_sim(&scheduler, &network, &allocator);
+  NullNetworkPolicy policy;
+  Application app(&scheduler, &flow_sim, spec, network.topology().Hosts(), 0, &policy);
+
+  TraceRecorder recorder;
+  PeriodicSampler sampler(&scheduler, &recorder, 1.0);
+  sampler.AddProbe("cpu", [&app] { return app.IsComputing() ? 1.0 : 0.0; });
+  sampler.AddProbe("net", [&flow_sim, &network, bandwidth_fraction] {
+    return flow_sim.HostEgressRate(0) / (Gbps(56) * bandwidth_fraction);
+  });
+  sampler.Start();
+
+  UtilizationProfile result;
+  app.Start([&result](AppId, SimTime seconds) { result.completion = seconds; });
+  scheduler.Run();
+
+  result.cpu_duty = recorder.Find("cpu")->FractionAbove(0.5);
+  result.net_duty = recorder.Find("net")->FractionAbove(0.05);
+  result.mean_net_share = recorder.Find("net")->Mean();
+  return result;
+}
+
+TEST(UtilizationMechanicsTest, LrAlternatesPhases) {
+  const UtilizationProfile lr = Profile(*FindWorkload("LR"), 0.75);
+  // LR computes only a small fraction of the time; the rest is shuffle.
+  EXPECT_LT(lr.cpu_duty, 0.4);
+  EXPECT_GT(lr.net_duty, 0.5);
+}
+
+TEST(UtilizationMechanicsTest, PrKeepsNetworkBusyWhileComputing) {
+  // The Fig 2b signature: network utilization high through most of the run
+  // *and* high CPU duty at the same time (overlap + prefetch traffic).
+  const UtilizationProfile pr = Profile(*FindWorkload("PR"), 0.75);
+  EXPECT_GT(pr.cpu_duty, 0.8);
+  EXPECT_GT(pr.net_duty, 0.8);
+}
+
+TEST(UtilizationMechanicsTest, ThrottlingStretchesLrCommPhases) {
+  const UtilizationProfile fast = Profile(*FindWorkload("LR"), 0.75);
+  const UtilizationProfile slow = Profile(*FindWorkload("LR"), 0.25);
+  // §2.3: compute phases stay constant, comm phases stretch -> CPU duty
+  // shrinks and completion grows ~2.6x.
+  EXPECT_LT(slow.cpu_duty, fast.cpu_duty);
+  EXPECT_NEAR(slow.completion / fast.completion, 2.6, 0.4);
+}
+
+TEST(UtilizationMechanicsTest, ThrottlingBarelyMovesPr) {
+  const UtilizationProfile fast = Profile(*FindWorkload("PR"), 0.75);
+  const UtilizationProfile slow = Profile(*FindWorkload("PR"), 0.25);
+  EXPECT_NEAR(slow.completion / fast.completion, 1.37, 0.25);
+}
+
+TEST(UtilizationMechanicsTest, SortIsComputeBound) {
+  const UtilizationProfile sort = Profile(*FindWorkload("Sort"), 1.0);
+  EXPECT_GT(sort.cpu_duty, 0.9);
+}
+
+}  // namespace
+}  // namespace saba

@@ -1,0 +1,223 @@
+#include "src/workload/workload_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/net/allocator.h"
+#include "src/net/flow_simulator.h"
+#include "src/net/network.h"
+#include "src/net/units.h"
+#include "src/sim/event_scheduler.h"
+#include "src/workload/app_runtime.h"
+#include "src/workload/workload_catalog.h"
+
+namespace saba {
+namespace {
+
+WorkloadSpec TinySpec(int stages, double compute_s, double bits_per_peer, double overlap) {
+  WorkloadSpec spec;
+  spec.name = "tiny";
+  spec.fanout = 1;
+  spec.reference_nodes = 2;
+  StageSpec stage;
+  stage.compute_seconds = compute_s;
+  stage.bits_per_peer = bits_per_peer;
+  stage.overlap = overlap;
+  spec.stages.assign(static_cast<size_t>(stages), stage);
+  return spec;
+}
+
+// Runs `spec` alone on a 2..n-host star and returns completion seconds.
+double RunAlone(const WorkloadSpec& spec, int hosts, double link_bps) {
+  EventScheduler scheduler;
+  Network network(BuildSingleSwitchStar(hosts, link_bps), 8);
+  WfqMaxMinAllocator allocator;
+  FlowSimulator flow_sim(&scheduler, &network, &allocator);
+  NullNetworkPolicy policy;
+  Application app(&scheduler, &flow_sim, spec, network.topology().Hosts(), 0, &policy);
+  double completion = -1;
+  app.Start([&](AppId, SimTime seconds) { completion = seconds; });
+  scheduler.Run();
+  return completion;
+}
+
+TEST(ApplicationTest, ComputeOnlyWorkloadTakesSumOfStages) {
+  const WorkloadSpec spec = TinySpec(3, 2.0, 0.0, 0.0);
+  EXPECT_NEAR(RunAlone(spec, 2, Gbps(10)), 6.0, 1e-9);
+}
+
+TEST(ApplicationTest, CommOnlyWorkloadMatchesVolumeOverRate) {
+  // 2 hosts, fanout 1: each host sends 10 Gb to the other per stage; both
+  // links carry exactly one flow at 10 Gb/s -> 1 s per stage.
+  const WorkloadSpec spec = TinySpec(2, 0.0, Gbps(10), 0.0);
+  EXPECT_NEAR(RunAlone(spec, 2, Gbps(10)), 2.0, 1e-6);
+}
+
+TEST(ApplicationTest, SequentialStageIsComputePlusComm) {
+  const WorkloadSpec spec = TinySpec(1, 2.0, Gbps(10), 0.0);
+  EXPECT_NEAR(RunAlone(spec, 2, Gbps(10)), 3.0, 1e-6);
+}
+
+TEST(ApplicationTest, FullOverlapHidesCommBehindCompute) {
+  // Comm takes 1 s, compute 2 s, fully overlapped: stage is 2 s.
+  const WorkloadSpec spec = TinySpec(1, 2.0, Gbps(10), 1.0);
+  EXPECT_NEAR(RunAlone(spec, 2, Gbps(10)), 2.0, 1e-6);
+}
+
+TEST(ApplicationTest, PartialOverlapMatchesAnalyticModel) {
+  // overlap 0.5: max(2, 0.5*1) + 0.5*1 = 2.5 s.
+  const WorkloadSpec spec = TinySpec(1, 2.0, Gbps(10), 0.5);
+  const double simulated = RunAlone(spec, 2, Gbps(10));
+  EXPECT_NEAR(simulated, AnalyticCompletionSeconds(spec, Gbps(10)), 0.05);
+  EXPECT_NEAR(simulated, 2.5, 1e-6);
+}
+
+TEST(ApplicationTest, SlowdownIsMonotoneInBandwidth) {
+  const WorkloadSpec& lr = *FindWorkload("LR");
+  double previous = 0;
+  for (double fraction : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const double t = RunAlone(lr, 8, Gbps(56) * fraction);
+    EXPECT_GT(t, 0);
+    if (previous > 0) {
+      EXPECT_LE(t, previous * (1 + 1e-9)) << "more bandwidth must not slow the job down";
+    }
+    previous = t;
+  }
+}
+
+TEST(ApplicationTest, SimulatorTracksAnalyticModelInIsolation) {
+  // In isolation on a star, each instance's aggregate rate is the NIC rate;
+  // the BSP simulation should match the closed form within a few percent.
+  for (const char* name : {"LR", "PR", "SQL", "Sort"}) {
+    const WorkloadSpec& spec = *FindWorkload(name);
+    const double simulated = RunAlone(spec, 8, Gbps(56));
+    const double analytic = AnalyticCompletionSeconds(spec, Gbps(56));
+    EXPECT_NEAR(simulated / analytic, 1.0, 0.05) << name;
+  }
+}
+
+TEST(ApplicationTest, IsComputingReflectsStagePhase) {
+  EventScheduler scheduler;
+  Network network(BuildSingleSwitchStar(2, Gbps(10)), 8);
+  WfqMaxMinAllocator allocator;
+  FlowSimulator flow_sim(&scheduler, &network, &allocator);
+  NullNetworkPolicy policy;
+  const WorkloadSpec spec = TinySpec(1, 2.0, Gbps(10), 0.0);
+  Application app(&scheduler, &flow_sim, spec, network.topology().Hosts(), 0, &policy);
+  app.Start(nullptr);
+  scheduler.RunUntil(1.0);
+  EXPECT_TRUE(app.IsComputing());
+  scheduler.RunUntil(2.5);
+  EXPECT_FALSE(app.IsComputing());  // In the shuffle phase now.
+  EXPECT_FALSE(app.finished());
+  scheduler.Run();
+  EXPECT_TRUE(app.finished());
+  EXPECT_NEAR(app.CompletionSeconds(), 3.0, 1e-6);
+}
+
+TEST(ApplicationTest, ElasticPrefetchIsEmittedAndAbandonedAtBarriers) {
+  // PR ships elastic prefetch traffic it never waits for; under a throttled
+  // NIC the prefetcher cannot finish within a stage, so stage barriers must
+  // cancel leftovers rather than stall.
+  EventScheduler scheduler;
+  Network network(BuildSingleSwitchStar(8, Gbps(56) * 0.25), 8);
+  WfqMaxMinAllocator allocator;
+  FlowSimulator flow_sim(&scheduler, &network, &allocator);
+  NullNetworkPolicy policy;
+  Application app(&scheduler, &flow_sim, *FindWorkload("PR"), network.topology().Hosts(), 0,
+                  &policy);
+  double completion = -1;
+  app.Start([&](AppId, SimTime t) { completion = t; });
+  scheduler.Run();
+  EXPECT_GT(completion, 0);
+  EXPECT_GT(flow_sim.cancelled_flow_count(), 0u)
+      << "throttled PR must abandon stale prefetches at stage barriers";
+  EXPECT_EQ(flow_sim.active_flow_count(), 0u);
+}
+
+TEST(ApplicationTest, ElasticPrefetchDoesNotDelayCompletion) {
+  // Removing the elastic traffic must not change PR's completion time in
+  // isolation (it is never on the critical path).
+  WorkloadSpec pr = *FindWorkload("PR");
+  WorkloadSpec no_elastic = pr;
+  for (StageSpec& stage : no_elastic.stages) {
+    stage.elastic_bits_per_peer = 0;
+  }
+  const double with = RunAlone(pr, 8, Gbps(56));
+  const double without = RunAlone(no_elastic, 8, Gbps(56));
+  EXPECT_NEAR(with, without, without * 0.02);
+}
+
+TEST(ScaleWorkloadTest, IdentityScalingIsNoOp) {
+  const WorkloadSpec& lr = *FindWorkload("LR");
+  const WorkloadSpec scaled = ScaleWorkload(lr, 1.0, lr.reference_nodes);
+  ASSERT_EQ(scaled.stages.size(), lr.stages.size());
+  for (size_t i = 0; i < scaled.stages.size(); ++i) {
+    EXPECT_NEAR(scaled.stages[i].compute_seconds, lr.stages[i].compute_seconds, 1e-12);
+    EXPECT_NEAR(scaled.stages[i].bits_per_peer, lr.stages[i].bits_per_peer, 1e-3);
+    EXPECT_NEAR(scaled.stages[i].overlap, lr.stages[i].overlap, 1e-12);
+  }
+}
+
+TEST(ScaleWorkloadTest, DatasetScalingGrowsWork) {
+  const WorkloadSpec& lr = *FindWorkload("LR");
+  const WorkloadSpec big = ScaleWorkload(lr, 10.0, lr.reference_nodes);
+  EXPECT_GT(big.TotalComputeSeconds(), lr.TotalComputeSeconds() * 5);
+  EXPECT_GT(big.TotalBitsPerInstance(), lr.TotalBitsPerInstance() * 5);
+}
+
+TEST(ScaleWorkloadTest, MoreNodesShrinkPerInstanceWork) {
+  const WorkloadSpec& lr = *FindWorkload("LR");
+  const WorkloadSpec wide = ScaleWorkload(lr, 1.0, 32);
+  EXPECT_LT(wide.TotalComputeSeconds(), lr.TotalComputeSeconds());
+  EXPECT_LT(wide.TotalBitsPerInstance(), lr.TotalBitsPerInstance());
+}
+
+TEST(ScaleWorkloadTest, OverlapStaysInUnitInterval) {
+  for (const WorkloadSpec& spec : HiBenchCatalog()) {
+    for (double dataset : {0.1, 10.0}) {
+      for (int nodes : {4, 32}) {
+        const WorkloadSpec scaled = ScaleWorkload(spec, dataset, nodes);
+        for (const StageSpec& stage : scaled.stages) {
+          EXPECT_GE(stage.overlap, 0.0);
+          EXPECT_LE(stage.overlap, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkloadCatalogTest, HasAllTenWorkloads) {
+  EXPECT_EQ(HiBenchCatalog().size(), 10u);
+  for (const char* name : {"LR", "RF", "GBT", "SVM", "NI", "NW", "PR", "SQL", "WC", "Sort"}) {
+    EXPECT_NE(FindWorkload(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindWorkload("nope"), nullptr);
+  EXPECT_EQ(Table1Datasets().size(), 10u);
+}
+
+TEST(WorkloadCatalogTest, SyntheticGeneratorIsDeterministicAndDiverse) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto a = GenerateSyntheticWorkloads(20, &rng_a);
+  const auto b = GenerateSyntheticWorkloads(20, &rng_b);
+  ASSERT_EQ(a.size(), 20u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stages.size(), b[i].stages.size());
+    EXPECT_DOUBLE_EQ(a[i].stages[0].compute_seconds, b[i].stages[0].compute_seconds);
+  }
+  // Diversity: comm/compute ratios should span a wide range.
+  double min_ratio = 1e9;
+  double max_ratio = 0;
+  for (const WorkloadSpec& spec : a) {
+    const double ratio = spec.TotalBitsPerInstance() / Gbps(56) / spec.TotalComputeSeconds();
+    min_ratio = std::min(min_ratio, ratio);
+    max_ratio = std::max(max_ratio, ratio);
+  }
+  EXPECT_LT(min_ratio, 0.3);
+  EXPECT_GT(max_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace saba
