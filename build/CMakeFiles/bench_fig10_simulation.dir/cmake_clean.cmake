@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_simulation.dir/bench/bench_fig10_simulation.cc.o"
+  "CMakeFiles/bench_fig10_simulation.dir/bench/bench_fig10_simulation.cc.o.d"
+  "bench/bench_fig10_simulation"
+  "bench/bench_fig10_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_controller.dir/bench/bench_fig11_controller.cc.o"
+  "CMakeFiles/bench_fig11_controller.dir/bench/bench_fig11_controller.cc.o.d"
+  "bench/bench_fig11_controller"
+  "bench/bench_fig11_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_utilization.dir/bench/bench_fig2_utilization.cc.o"
+  "CMakeFiles/bench_fig2_utilization.dir/bench/bench_fig2_utilization.cc.o.d"
+  "bench/bench_fig2_utilization"
+  "bench/bench_fig2_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_model_fit.dir/bench/bench_fig5_model_fit.cc.o"
+  "CMakeFiles/bench_fig5_model_fit.dir/bench/bench_fig5_model_fit.cc.o.d"
+  "bench/bench_fig5_model_fit"
+  "bench/bench_fig5_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_model_accuracy.dir/bench/bench_fig6_model_accuracy.cc.o"
+  "CMakeFiles/bench_fig6_model_accuracy.dir/bench/bench_fig6_model_accuracy.cc.o.d"
+  "bench/bench_fig6_model_accuracy"
+  "bench/bench_fig6_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

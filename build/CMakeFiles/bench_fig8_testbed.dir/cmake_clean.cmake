@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_testbed.dir/bench/bench_fig8_testbed.cc.o"
+  "CMakeFiles/bench_fig8_testbed.dir/bench/bench_fig8_testbed.cc.o.d"
+  "bench/bench_fig8_testbed"
+  "bench/bench_fig8_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

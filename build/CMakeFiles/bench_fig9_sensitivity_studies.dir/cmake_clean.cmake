@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sensitivity_studies.dir/bench/bench_fig9_sensitivity_studies.cc.o"
+  "CMakeFiles/bench_fig9_sensitivity_studies.dir/bench/bench_fig9_sensitivity_studies.cc.o.d"
+  "bench/bench_fig9_sensitivity_studies"
+  "bench/bench_fig9_sensitivity_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sensitivity_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocate_lr_pr.dir/colocate_lr_pr.cpp.o"
+  "CMakeFiles/colocate_lr_pr.dir/colocate_lr_pr.cpp.o.d"
+  "colocate_lr_pr"
+  "colocate_lr_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocate_lr_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for colocate_lr_pr.
+# This may be replaced when dependencies are built.

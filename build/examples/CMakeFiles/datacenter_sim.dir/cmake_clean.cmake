@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_sim.dir/datacenter_sim.cpp.o"
+  "CMakeFiles/datacenter_sim.dir/datacenter_sim.cpp.o.d"
+  "datacenter_sim"
+  "datacenter_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

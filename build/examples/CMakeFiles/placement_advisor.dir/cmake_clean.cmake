@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_advisor.dir/placement_advisor.cpp.o"
+  "CMakeFiles/placement_advisor.dir/placement_advisor.cpp.o.d"
+  "placement_advisor"
+  "placement_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

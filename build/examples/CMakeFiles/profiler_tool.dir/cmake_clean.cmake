@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_tool.dir/profiler_tool.cpp.o"
+  "CMakeFiles/profiler_tool.dir/profiler_tool.cpp.o.d"
+  "profiler_tool"
+  "profiler_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sabasim.dir/sabasim.cpp.o"
+  "CMakeFiles/sabasim.dir/sabasim.cpp.o.d"
+  "sabasim"
+  "sabasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sabasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

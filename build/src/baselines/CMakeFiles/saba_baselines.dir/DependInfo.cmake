@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/homa_policy.cc" "src/baselines/CMakeFiles/saba_baselines.dir/homa_policy.cc.o" "gcc" "src/baselines/CMakeFiles/saba_baselines.dir/homa_policy.cc.o.d"
+  "/root/repo/src/baselines/pfabric_policy.cc" "src/baselines/CMakeFiles/saba_baselines.dir/pfabric_policy.cc.o" "gcc" "src/baselines/CMakeFiles/saba_baselines.dir/pfabric_policy.cc.o.d"
+  "/root/repo/src/baselines/sincronia_policy.cc" "src/baselines/CMakeFiles/saba_baselines.dir/sincronia_policy.cc.o" "gcc" "src/baselines/CMakeFiles/saba_baselines.dir/sincronia_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/saba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/saba_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_baselines.dir/homa_policy.cc.o"
+  "CMakeFiles/saba_baselines.dir/homa_policy.cc.o.d"
+  "CMakeFiles/saba_baselines.dir/pfabric_policy.cc.o"
+  "CMakeFiles/saba_baselines.dir/pfabric_policy.cc.o.d"
+  "CMakeFiles/saba_baselines.dir/sincronia_policy.cc.o"
+  "CMakeFiles/saba_baselines.dir/sincronia_policy.cc.o.d"
+  "libsaba_baselines.a"
+  "libsaba_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/saba_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/distributed_controller.cc" "src/core/CMakeFiles/saba_core.dir/distributed_controller.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/distributed_controller.cc.o.d"
+  "/root/repo/src/core/pl_mapper.cc" "src/core/CMakeFiles/saba_core.dir/pl_mapper.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/pl_mapper.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/saba_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/saba_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/queue_mapper.cc" "src/core/CMakeFiles/saba_core.dir/queue_mapper.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/queue_mapper.cc.o.d"
+  "/root/repo/src/core/saba_client.cc" "src/core/CMakeFiles/saba_core.dir/saba_client.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/saba_client.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/saba_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/weight_solver.cc" "src/core/CMakeFiles/saba_core.dir/weight_solver.cc.o" "gcc" "src/core/CMakeFiles/saba_core.dir/weight_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/saba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/saba_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/saba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/saba_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

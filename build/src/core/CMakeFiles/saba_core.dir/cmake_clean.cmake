@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_core.dir/controller.cc.o"
+  "CMakeFiles/saba_core.dir/controller.cc.o.d"
+  "CMakeFiles/saba_core.dir/distributed_controller.cc.o"
+  "CMakeFiles/saba_core.dir/distributed_controller.cc.o.d"
+  "CMakeFiles/saba_core.dir/pl_mapper.cc.o"
+  "CMakeFiles/saba_core.dir/pl_mapper.cc.o.d"
+  "CMakeFiles/saba_core.dir/planner.cc.o"
+  "CMakeFiles/saba_core.dir/planner.cc.o.d"
+  "CMakeFiles/saba_core.dir/profiler.cc.o"
+  "CMakeFiles/saba_core.dir/profiler.cc.o.d"
+  "CMakeFiles/saba_core.dir/queue_mapper.cc.o"
+  "CMakeFiles/saba_core.dir/queue_mapper.cc.o.d"
+  "CMakeFiles/saba_core.dir/saba_client.cc.o"
+  "CMakeFiles/saba_core.dir/saba_client.cc.o.d"
+  "CMakeFiles/saba_core.dir/sensitivity.cc.o"
+  "CMakeFiles/saba_core.dir/sensitivity.cc.o.d"
+  "CMakeFiles/saba_core.dir/weight_solver.cc.o"
+  "CMakeFiles/saba_core.dir/weight_solver.cc.o.d"
+  "libsaba_core.a"
+  "libsaba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

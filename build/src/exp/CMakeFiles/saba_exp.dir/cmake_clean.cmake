@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_exp.dir/cluster_setup.cc.o"
+  "CMakeFiles/saba_exp.dir/cluster_setup.cc.o.d"
+  "CMakeFiles/saba_exp.dir/corun.cc.o"
+  "CMakeFiles/saba_exp.dir/corun.cc.o.d"
+  "CMakeFiles/saba_exp.dir/report.cc.o"
+  "CMakeFiles/saba_exp.dir/report.cc.o.d"
+  "CMakeFiles/saba_exp.dir/scenario.cc.o"
+  "CMakeFiles/saba_exp.dir/scenario.cc.o.d"
+  "libsaba_exp.a"
+  "libsaba_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

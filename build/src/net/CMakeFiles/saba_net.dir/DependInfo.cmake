@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/allocator.cc" "src/net/CMakeFiles/saba_net.dir/allocator.cc.o" "gcc" "src/net/CMakeFiles/saba_net.dir/allocator.cc.o.d"
+  "/root/repo/src/net/flow_simulator.cc" "src/net/CMakeFiles/saba_net.dir/flow_simulator.cc.o" "gcc" "src/net/CMakeFiles/saba_net.dir/flow_simulator.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/saba_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/saba_net.dir/network.cc.o.d"
+  "/root/repo/src/net/packet_sim.cc" "src/net/CMakeFiles/saba_net.dir/packet_sim.cc.o" "gcc" "src/net/CMakeFiles/saba_net.dir/packet_sim.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/net/CMakeFiles/saba_net.dir/routing.cc.o" "gcc" "src/net/CMakeFiles/saba_net.dir/routing.cc.o.d"
+  "/root/repo/src/net/token_bucket.cc" "src/net/CMakeFiles/saba_net.dir/token_bucket.cc.o" "gcc" "src/net/CMakeFiles/saba_net.dir/token_bucket.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/saba_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/saba_net.dir/topology.cc.o.d"
+  "/root/repo/src/net/wrr_reference.cc" "src/net/CMakeFiles/saba_net.dir/wrr_reference.cc.o" "gcc" "src/net/CMakeFiles/saba_net.dir/wrr_reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/saba_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

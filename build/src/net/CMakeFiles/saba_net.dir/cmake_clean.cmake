@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_net.dir/allocator.cc.o"
+  "CMakeFiles/saba_net.dir/allocator.cc.o.d"
+  "CMakeFiles/saba_net.dir/flow_simulator.cc.o"
+  "CMakeFiles/saba_net.dir/flow_simulator.cc.o.d"
+  "CMakeFiles/saba_net.dir/network.cc.o"
+  "CMakeFiles/saba_net.dir/network.cc.o.d"
+  "CMakeFiles/saba_net.dir/packet_sim.cc.o"
+  "CMakeFiles/saba_net.dir/packet_sim.cc.o.d"
+  "CMakeFiles/saba_net.dir/routing.cc.o"
+  "CMakeFiles/saba_net.dir/routing.cc.o.d"
+  "CMakeFiles/saba_net.dir/token_bucket.cc.o"
+  "CMakeFiles/saba_net.dir/token_bucket.cc.o.d"
+  "CMakeFiles/saba_net.dir/topology.cc.o"
+  "CMakeFiles/saba_net.dir/topology.cc.o.d"
+  "CMakeFiles/saba_net.dir/wrr_reference.cc.o"
+  "CMakeFiles/saba_net.dir/wrr_reference.cc.o.d"
+  "libsaba_net.a"
+  "libsaba_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

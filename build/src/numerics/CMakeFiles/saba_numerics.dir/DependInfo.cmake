@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/hierarchical.cc" "src/numerics/CMakeFiles/saba_numerics.dir/hierarchical.cc.o" "gcc" "src/numerics/CMakeFiles/saba_numerics.dir/hierarchical.cc.o.d"
+  "/root/repo/src/numerics/kmeans.cc" "src/numerics/CMakeFiles/saba_numerics.dir/kmeans.cc.o" "gcc" "src/numerics/CMakeFiles/saba_numerics.dir/kmeans.cc.o.d"
+  "/root/repo/src/numerics/linalg.cc" "src/numerics/CMakeFiles/saba_numerics.dir/linalg.cc.o" "gcc" "src/numerics/CMakeFiles/saba_numerics.dir/linalg.cc.o.d"
+  "/root/repo/src/numerics/polynomial.cc" "src/numerics/CMakeFiles/saba_numerics.dir/polynomial.cc.o" "gcc" "src/numerics/CMakeFiles/saba_numerics.dir/polynomial.cc.o.d"
+  "/root/repo/src/numerics/regression.cc" "src/numerics/CMakeFiles/saba_numerics.dir/regression.cc.o" "gcc" "src/numerics/CMakeFiles/saba_numerics.dir/regression.cc.o.d"
+  "/root/repo/src/numerics/simplex_optimizer.cc" "src/numerics/CMakeFiles/saba_numerics.dir/simplex_optimizer.cc.o" "gcc" "src/numerics/CMakeFiles/saba_numerics.dir/simplex_optimizer.cc.o.d"
+  "/root/repo/src/numerics/stats.cc" "src/numerics/CMakeFiles/saba_numerics.dir/stats.cc.o" "gcc" "src/numerics/CMakeFiles/saba_numerics.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/saba_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_numerics.dir/hierarchical.cc.o"
+  "CMakeFiles/saba_numerics.dir/hierarchical.cc.o.d"
+  "CMakeFiles/saba_numerics.dir/kmeans.cc.o"
+  "CMakeFiles/saba_numerics.dir/kmeans.cc.o.d"
+  "CMakeFiles/saba_numerics.dir/linalg.cc.o"
+  "CMakeFiles/saba_numerics.dir/linalg.cc.o.d"
+  "CMakeFiles/saba_numerics.dir/polynomial.cc.o"
+  "CMakeFiles/saba_numerics.dir/polynomial.cc.o.d"
+  "CMakeFiles/saba_numerics.dir/regression.cc.o"
+  "CMakeFiles/saba_numerics.dir/regression.cc.o.d"
+  "CMakeFiles/saba_numerics.dir/simplex_optimizer.cc.o"
+  "CMakeFiles/saba_numerics.dir/simplex_optimizer.cc.o.d"
+  "CMakeFiles/saba_numerics.dir/stats.cc.o"
+  "CMakeFiles/saba_numerics.dir/stats.cc.o.d"
+  "libsaba_numerics.a"
+  "libsaba_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

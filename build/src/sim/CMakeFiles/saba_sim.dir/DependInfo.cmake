@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_scheduler.cc" "src/sim/CMakeFiles/saba_sim.dir/event_scheduler.cc.o" "gcc" "src/sim/CMakeFiles/saba_sim.dir/event_scheduler.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/sim/CMakeFiles/saba_sim.dir/log.cc.o" "gcc" "src/sim/CMakeFiles/saba_sim.dir/log.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/saba_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/saba_sim.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

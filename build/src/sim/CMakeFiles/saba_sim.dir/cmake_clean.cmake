@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_sim.dir/event_scheduler.cc.o"
+  "CMakeFiles/saba_sim.dir/event_scheduler.cc.o.d"
+  "CMakeFiles/saba_sim.dir/log.cc.o"
+  "CMakeFiles/saba_sim.dir/log.cc.o.d"
+  "CMakeFiles/saba_sim.dir/rng.cc.o"
+  "CMakeFiles/saba_sim.dir/rng.cc.o.d"
+  "libsaba_sim.a"
+  "libsaba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

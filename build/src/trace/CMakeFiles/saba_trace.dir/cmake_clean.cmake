@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_trace.dir/timeseries.cc.o"
+  "CMakeFiles/saba_trace.dir/timeseries.cc.o.d"
+  "libsaba_trace.a"
+  "libsaba_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_workload.dir/app_runtime.cc.o"
+  "CMakeFiles/saba_workload.dir/app_runtime.cc.o.d"
+  "CMakeFiles/saba_workload.dir/workload_catalog.cc.o"
+  "CMakeFiles/saba_workload.dir/workload_catalog.cc.o.d"
+  "CMakeFiles/saba_workload.dir/workload_spec.cc.o"
+  "CMakeFiles/saba_workload.dir/workload_spec.cc.o.d"
+  "libsaba_workload.a"
+  "libsaba_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abort_test.dir/abort_test.cc.o"
+  "CMakeFiles/abort_test.dir/abort_test.cc.o.d"
+  "abort_test"
+  "abort_test.pdb"
+  "abort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/calibration_test.cc" "tests/CMakeFiles/calibration_test.dir/calibration_test.cc.o" "gcc" "tests/CMakeFiles/calibration_test.dir/calibration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/saba_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/saba_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/saba_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/saba_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/saba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/saba_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_test.dir/corun_test.cc.o"
+  "CMakeFiles/corun_test.dir/corun_test.cc.o.d"
+  "corun_test"
+  "corun_test.pdb"
+  "corun_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_scheduler_stress_test.dir/event_scheduler_stress_test.cc.o"
+  "CMakeFiles/event_scheduler_stress_test.dir/event_scheduler_stress_test.cc.o.d"
+  "event_scheduler_stress_test"
+  "event_scheduler_stress_test.pdb"
+  "event_scheduler_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_scheduler_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_scheduler_test.dir/event_scheduler_test.cc.o"
+  "CMakeFiles/event_scheduler_test.dir/event_scheduler_test.cc.o.d"
+  "event_scheduler_test"
+  "event_scheduler_test.pdb"
+  "event_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_simulator_test.dir/flow_simulator_test.cc.o"
+  "CMakeFiles/flow_simulator_test.dir/flow_simulator_test.cc.o.d"
+  "flow_simulator_test"
+  "flow_simulator_test.pdb"
+  "flow_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homa_policy_test.dir/homa_policy_test.cc.o"
+  "CMakeFiles/homa_policy_test.dir/homa_policy_test.cc.o.d"
+  "homa_policy_test"
+  "homa_policy_test.pdb"
+  "homa_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homa_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

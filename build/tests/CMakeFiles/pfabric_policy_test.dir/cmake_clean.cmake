@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfabric_policy_test.dir/pfabric_policy_test.cc.o"
+  "CMakeFiles/pfabric_policy_test.dir/pfabric_policy_test.cc.o.d"
+  "pfabric_policy_test"
+  "pfabric_policy_test.pdb"
+  "pfabric_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfabric_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_mapper_test.dir/queue_mapper_test.cc.o"
+  "CMakeFiles/queue_mapper_test.dir/queue_mapper_test.cc.o.d"
+  "queue_mapper_test"
+  "queue_mapper_test.pdb"
+  "queue_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

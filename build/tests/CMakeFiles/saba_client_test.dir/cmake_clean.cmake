@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saba_client_test.dir/saba_client_test.cc.o"
+  "CMakeFiles/saba_client_test.dir/saba_client_test.cc.o.d"
+  "saba_client_test"
+  "saba_client_test.pdb"
+  "saba_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saba_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_optimizer_test.dir/simplex_optimizer_test.cc.o"
+  "CMakeFiles/simplex_optimizer_test.dir/simplex_optimizer_test.cc.o.d"
+  "simplex_optimizer_test"
+  "simplex_optimizer_test.pdb"
+  "simplex_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sincronia_policy_test.dir/sincronia_policy_test.cc.o"
+  "CMakeFiles/sincronia_policy_test.dir/sincronia_policy_test.cc.o.d"
+  "sincronia_policy_test"
+  "sincronia_policy_test.pdb"
+  "sincronia_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sincronia_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_bucket_test.dir/token_bucket_test.cc.o"
+  "CMakeFiles/token_bucket_test.dir/token_bucket_test.cc.o.d"
+  "token_bucket_test"
+  "token_bucket_test.pdb"
+  "token_bucket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_test.dir/utilization_test.cc.o"
+  "CMakeFiles/utilization_test.dir/utilization_test.cc.o.d"
+  "utilization_test"
+  "utilization_test.pdb"
+  "utilization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

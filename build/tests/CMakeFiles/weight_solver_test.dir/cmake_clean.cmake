@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_solver_test.dir/weight_solver_test.cc.o"
+  "CMakeFiles/weight_solver_test.dir/weight_solver_test.cc.o.d"
+  "weight_solver_test"
+  "weight_solver_test.pdb"
+  "weight_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

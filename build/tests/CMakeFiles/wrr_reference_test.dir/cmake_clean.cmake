@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrr_reference_test.dir/wrr_reference_test.cc.o"
+  "CMakeFiles/wrr_reference_test.dir/wrr_reference_test.cc.o.d"
+  "wrr_reference_test"
+  "wrr_reference_test.pdb"
+  "wrr_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrr_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
