@@ -70,19 +70,27 @@ void FloorAblation(const SensitivityTable& table, uint64_t seed) {
   std::cout << "--- Ablation 2: relative weight floor (skew budget) ---\n";
   const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
   const std::vector<JobSpec> jobs = StandardSetup(seed);
-  CoRunOptions baseline_options;
-  baseline_options.policy = PolicyKind::kBaseline;
-  const CoRunResult baseline = RunCoRun(topo, jobs, baseline_options);
+  const std::vector<double> floors = {0.25, 0.5, 0.75, 0.9, 1.0};
+
+  // Task 0 is the shared baseline, tasks 1.. the floors.
+  const std::vector<CoRunResult> runs =
+      RunSweep<CoRunResult>("ablation floors", floors.size() + 1, [&](size_t t) {
+        CoRunOptions options;
+        if (t == 0) {
+          options.policy = PolicyKind::kBaseline;
+        } else {
+          options.policy = PolicyKind::kSaba;
+          options.table = &table;
+          options.relative_min_weight = floors[t - 1];
+          options.seed = seed;
+        }
+        return RunCoRun(topo, jobs, options);
+      });
 
   TablePrinter out({"Floor", "Avg speedup", "Best job", "Worst job"});
-  for (double floor : {0.25, 0.5, 0.75, 0.9, 1.0}) {
-    CoRunOptions options;
-    options.policy = PolicyKind::kSaba;
-    options.table = &table;
-    options.relative_min_weight = floor;
-    options.seed = seed;
-    const std::vector<double> speedups = Speedups(baseline, RunCoRun(topo, jobs, options));
-    out.AddRow({Fmt(floor), Fmt(GeometricMean(speedups)), Fmt(Max(speedups)),
+  for (size_t f = 0; f < floors.size(); ++f) {
+    const std::vector<double> speedups = Speedups(runs[0], runs[f + 1]);
+    out.AddRow({Fmt(floors[f]), Fmt(GeometricMean(speedups)), Fmt(Max(speedups)),
                 Fmt(Min(speedups))});
   }
   out.Print(std::cout);
@@ -94,18 +102,25 @@ void GammaAblation(const SensitivityTable& table, uint64_t seed) {
   std::cout << "--- Ablation 3: FECN inefficiency strength (gamma) ---\n";
   const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
   const std::vector<JobSpec> jobs = StandardSetup(seed);
+  const std::vector<double> gammas = {0.0, 0.1, 0.25, 0.4};
+  // Tasks are (gamma, policy) pairs: even = baseline, odd = Saba.
+  const std::vector<CoRunResult> runs =
+      RunSweep<CoRunResult>("ablation gammas", gammas.size() * 2, [&](size_t t) {
+        const double gamma = gammas[t / 2];
+        CoRunOptions options;
+        options.fecn_gamma = gamma;
+        if (t % 2 == 0) {
+          options.policy = PolicyKind::kBaseline;
+        } else {
+          options.policy = PolicyKind::kSaba;
+          options.table = &table;
+          options.seed = seed;
+        }
+        return RunCoRun(topo, jobs, options);
+      });
   TablePrinter out({"gamma", "Saba avg speedup over baseline"});
-  for (double gamma : {0.0, 0.1, 0.25, 0.4}) {
-    CoRunOptions baseline_options;
-    baseline_options.policy = PolicyKind::kBaseline;
-    baseline_options.fecn_gamma = gamma;
-    const CoRunResult baseline = RunCoRun(topo, jobs, baseline_options);
-    CoRunOptions options;
-    options.policy = PolicyKind::kSaba;
-    options.table = &table;
-    options.fecn_gamma = gamma;
-    options.seed = seed;
-    out.AddRow({Fmt(gamma), Fmt(GeometricMean(Speedups(baseline, RunCoRun(topo, jobs, options))))});
+  for (size_t g = 0; g < gammas.size(); ++g) {
+    out.AddRow({Fmt(gammas[g]), Fmt(GeometricMean(Speedups(runs[2 * g], runs[2 * g + 1])))});
   }
   out.Print(std::cout);
   std::cout << "(gamma 0 isolates the pure scheduling gain: Saba's win without any protocol-"
@@ -116,23 +131,28 @@ void QuantumAblation(uint64_t seed) {
   std::cout << "--- Ablation 4: completion-event quantization ---\n";
   const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
   const std::vector<JobSpec> jobs = StandardSetup(seed);
-  CoRunOptions exact_options;
-  exact_options.policy = PolicyKind::kBaseline;
-  exact_options.completion_quantum = 0;
-  const CoRunResult exact = RunCoRun(topo, jobs, exact_options);
+
+  // Task 0 is the exact (quantum 0) reference, tasks 1.. the grid sizes.
+  const std::vector<double> quanta = {0.0, 0.1, 0.25, 1.0};
+  const std::vector<CoRunResult> runs =
+      RunSweep<CoRunResult>("ablation quanta", quanta.size() + 1, [&](size_t t) {
+        CoRunOptions options;
+        options.policy = PolicyKind::kBaseline;
+        options.completion_quantum = t == 0 ? 0 : quanta[t - 1];
+        return RunCoRun(topo, jobs, options);
+      });
+  const CoRunResult& exact = runs[0];
 
   TablePrinter out({"Quantum s", "Allocator runs", "Max completion error %"});
-  for (double quantum : {0.0, 0.1, 0.25, 1.0}) {
-    CoRunOptions options = exact_options;
-    options.completion_quantum = quantum;
-    const CoRunResult result = RunCoRun(topo, jobs, options);
+  for (size_t q = 0; q < quanta.size(); ++q) {
+    const CoRunResult& result = runs[q + 1];
     double worst = 0;
     for (size_t j = 0; j < jobs.size(); ++j) {
       worst = std::max(worst, std::fabs(result.completion_seconds[j] -
                                         exact.completion_seconds[j]) /
                                   exact.completion_seconds[j]);
     }
-    out.AddRow({Fmt(quantum), std::to_string(result.allocator_runs), Fmt(worst * 100, 2)});
+    out.AddRow({Fmt(quanta[q]), std::to_string(result.allocator_runs), Fmt(worst * 100, 2)});
   }
   out.Print(std::cout);
 }
@@ -141,19 +161,23 @@ void PolicyComparison(const SensitivityTable& table, uint64_t seed) {
   std::cout << "--- Ablation 5: every policy on the standard 16-job setup ---\n";
   const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
   const std::vector<JobSpec> jobs = StandardSetup(seed);
-  CoRunOptions baseline_options;
-  baseline_options.policy = PolicyKind::kBaseline;
-  const CoRunResult baseline = RunCoRun(topo, jobs, baseline_options);
+  const std::vector<PolicyKind> policies = {
+      PolicyKind::kBaseline,  PolicyKind::kSaba, PolicyKind::kSabaUnlimited,
+      PolicyKind::kIdealMaxMin, PolicyKind::kHoma, PolicyKind::kPFabric,
+      PolicyKind::kSincronia};
+  const std::vector<CoRunResult> runs =
+      RunSweep<CoRunResult>("ablation policies", policies.size(), [&](size_t p) {
+        CoRunOptions options;
+        options.policy = policies[p];
+        if (policies[p] != PolicyKind::kBaseline) {
+          options.table = &table;
+          options.seed = seed;
+        }
+        return RunCoRun(topo, jobs, options);
+      });
   TablePrinter out({"Policy", "Avg speedup over baseline"});
-  for (PolicyKind policy :
-       {PolicyKind::kSaba, PolicyKind::kSabaUnlimited, PolicyKind::kIdealMaxMin,
-        PolicyKind::kHoma, PolicyKind::kPFabric, PolicyKind::kSincronia}) {
-    CoRunOptions options;
-    options.policy = policy;
-    options.table = &table;
-    options.seed = seed;
-    out.AddRow({PolicyName(policy),
-                Fmt(GeometricMean(Speedups(baseline, RunCoRun(topo, jobs, options))))});
+  for (size_t p = 1; p < policies.size(); ++p) {
+    out.AddRow({PolicyName(policies[p]), Fmt(GeometricMean(Speedups(runs[0], runs[p])))});
   }
   out.Print(std::cout);
   std::cout << "(pFabric is a related-work addition beyond the paper's figures)\n";

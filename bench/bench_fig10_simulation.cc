@@ -9,6 +9,7 @@
 
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "bench/sim_cluster.h"
 #include "src/exp/report.h"
@@ -31,21 +32,28 @@ void Run() {
 
   const SimCluster cluster = BuildSimCluster(config);
 
+  // One sweep task per policy; each is a full-fabric co-run.
+  const std::vector<PolicyKind> policies = {PolicyKind::kBaseline, PolicyKind::kSaba,
+                                            PolicyKind::kIdealMaxMin, PolicyKind::kHoma,
+                                            PolicyKind::kSincronia};
+  const std::vector<CoRunResult> runs =
+      RunSweep<CoRunResult>("fig10 policies", policies.size(), [&](size_t p) {
+        CoRunOptions options;
+        options.policy = policies[p];
+        options.table = &cluster.table;
+        options.num_pls = 16;  // The simulated fabric exposes all 16 InfiniBand SLs (§8.1).
+        // The flit simulator's FECN is far better behaved than the ConnectX-3
+        // testbed's: calibrated so ideal max-min's edge over the simulated
+        // baseline lands in the paper's regime (EXPERIMENTS.md).
+        options.fecn_gamma = 0.15;
+        options.seed = seed;
+        return RunCoRun(cluster.topology, cluster.jobs, options);
+      });
   std::map<PolicyKind, CoRunResult> results;
-  for (PolicyKind policy : {PolicyKind::kBaseline, PolicyKind::kSaba, PolicyKind::kIdealMaxMin,
-                            PolicyKind::kHoma, PolicyKind::kSincronia}) {
-    CoRunOptions options;
-    options.policy = policy;
-    options.table = &cluster.table;
-    options.num_pls = 16;  // The simulated fabric exposes all 16 InfiniBand SLs (§8.1).
-    // The flit simulator's FECN is far better behaved than the ConnectX-3
-    // testbed's: calibrated so ideal max-min's edge over the simulated
-    // baseline lands in the paper's regime (EXPERIMENTS.md).
-    options.fecn_gamma = 0.15;
-    options.seed = seed;
-    results[policy] = RunCoRun(cluster.topology, cluster.jobs, options);
-    std::cerr << "[fig10] " << PolicyName(policy) << " done (makespan "
-              << Fmt(results[policy].makespan, 0) << " s)\n";
+  for (size_t p = 0; p < policies.size(); ++p) {
+    results[policies[p]] = runs[p];
+    std::cerr << "[fig10] " << PolicyName(policies[p]) << " done (makespan "
+              << Fmt(runs[p].makespan, 0) << " s)\n";
   }
 
   const CoRunResult& baseline = results[PolicyKind::kBaseline];

@@ -11,6 +11,7 @@
 // half the paper's 97 — this bench runs seven full-fabric simulations).
 
 #include <iostream>
+#include <vector>
 
 #include "bench/sim_cluster.h"
 #include "src/exp/report.h"
@@ -18,12 +19,6 @@
 
 namespace saba {
 namespace {
-
-double AverageSpeedup(const SimCluster& cluster, const CoRunResult& baseline,
-                      const CoRunOptions& options) {
-  const CoRunResult result = RunCoRun(cluster.topology, cluster.jobs, options);
-  return GeometricMean(Speedups(baseline, result));
-}
 
 void Run() {
   const uint64_t seed = EnvSeed();
@@ -42,32 +37,65 @@ void Run() {
   // Simulation-platform congestion calibration; see bench_fig10_simulation.
   constexpr double kSimGamma = 0.15;
 
-  CoRunOptions baseline_options;
-  baseline_options.policy = PolicyKind::kBaseline;
-  baseline_options.fecn_gamma = kSimGamma;
-  const CoRunResult baseline = RunCoRun(cluster.topology, cluster.jobs, baseline_options);
-  std::cerr << "[fig11] baseline done\n";
-
-  // ---- (a) centralized vs distributed ---------------------------------------
+  // All eight full-fabric co-runs (baseline, the two controller variants, the
+  // queue-count sweep) are independent: one sweep task each, named so the
+  // stderr progress stays readable.
+  struct Cell {
+    const char* name;
+    CoRunOptions options;
+  };
+  std::vector<Cell> cells;
   {
+    CoRunOptions baseline_options;
+    baseline_options.policy = PolicyKind::kBaseline;
+    baseline_options.fecn_gamma = kSimGamma;
+    cells.push_back({"baseline", baseline_options});
+
     CoRunOptions central;
     central.policy = PolicyKind::kSaba;
     central.table = &cluster.table;
     central.num_pls = 16;
     central.fecn_gamma = kSimGamma;
     central.seed = seed;
-    const double central_speedup = AverageSpeedup(cluster, baseline, central);
-    std::cerr << "[fig11] centralized done\n";
+    cells.push_back({"centralized", central});
 
     CoRunOptions dist = central;
     dist.policy = PolicyKind::kSabaDistributed;
-    const double dist_speedup = AverageSpeedup(cluster, baseline, dist);
-    std::cerr << "[fig11] distributed done\n";
+    cells.push_back({"distributed", dist});
 
+    for (int queues : {2, 4, 8, 16}) {
+      CoRunOptions options;
+      options.policy = PolicyKind::kSaba;
+      options.table = &cluster.table;
+      options.queues_per_port = queues;
+      options.num_pls = std::min(queues * 2, kNumServiceLevels);
+      options.fecn_gamma = kSimGamma;
+      options.seed = seed;
+      cells.push_back({"queues", options});
+    }
+
+    CoRunOptions unlimited;
+    unlimited.policy = PolicyKind::kSabaUnlimited;
+    unlimited.table = &cluster.table;
+    unlimited.num_pls = kNumServiceLevels;
+    unlimited.fecn_gamma = kSimGamma;
+    unlimited.seed = seed;
+    cells.push_back({"unlimited", unlimited});
+  }
+
+  const std::vector<CoRunResult> runs =
+      RunSweep<CoRunResult>("fig11 cells", cells.size(), [&](size_t c) {
+        return RunCoRun(cluster.topology, cluster.jobs, cells[c].options);
+      });
+  const CoRunResult& baseline = runs[0];
+  auto average_speedup = [&](size_t c) { return GeometricMean(Speedups(baseline, runs[c])); };
+
+  // ---- (a) centralized vs distributed ---------------------------------------
+  {
     std::cout << "--- Fig 11a: average speedup, centralized vs distributed controller ---\n";
     TablePrinter table({"Controller", "Avg speedup", "Paper"});
-    table.AddRow({"Centralized", Fmt(central_speedup), "1.27"});
-    table.AddRow({"Distributed", Fmt(dist_speedup), "1.23"});
+    table.AddRow({"Centralized", Fmt(average_speedup(1)), "1.27"});
+    table.AddRow({"Distributed", Fmt(average_speedup(2)), "1.23"});
     table.Print(std::cout);
     std::cout << '\n';
   }
@@ -78,25 +106,11 @@ void Run() {
     TablePrinter table({"Queues", "Avg speedup", "Paper"});
     const std::map<int, const char*> paper = {{2, "1.12"}, {4, "~1.2"}, {8, "1.27"},
                                               {16, "~1.3"}};
-    for (int queues : {2, 4, 8, 16}) {
-      CoRunOptions options;
-      options.policy = PolicyKind::kSaba;
-      options.table = &cluster.table;
-      options.queues_per_port = queues;
-      options.num_pls = std::min(queues * 2, kNumServiceLevels);
-      options.fecn_gamma = kSimGamma;
-      options.seed = seed;
-      table.AddRow({std::to_string(queues), Fmt(AverageSpeedup(cluster, baseline, options)),
-                    paper.at(queues)});
-      std::cerr << "[fig11] queues=" << queues << " done\n";
+    for (size_t c = 3; c < 7; ++c) {
+      const int queues = cells[c].options.queues_per_port;
+      table.AddRow({std::to_string(queues), Fmt(average_speedup(c)), paper.at(queues)});
     }
-    CoRunOptions unlimited;
-    unlimited.policy = PolicyKind::kSabaUnlimited;
-    unlimited.table = &cluster.table;
-    unlimited.num_pls = kNumServiceLevels;
-    unlimited.fecn_gamma = kSimGamma;
-    unlimited.seed = seed;
-    table.AddRow({"unlimited", Fmt(AverageSpeedup(cluster, baseline, unlimited)), "1.33"});
+    table.AddRow({"unlimited", Fmt(average_speedup(7)), "1.33"});
     table.Print(std::cout);
   }
 }

@@ -23,14 +23,23 @@ void Fig1a() {
   TablePrinter table({"Workload", "Slowdown @75%", "Slowdown @25%", "Paper @25%"});
   const char* paper25[] = {"3.4", "~3.4", "~2.8", "~2.6", "~2.2", "~2.0",
                            "1.4", "~1.2", "~1.5", "1.1"};
+  const auto& catalog = HiBenchCatalog();
+  // One task per workload: three isolated runs (full / 75% / 25% bandwidth).
+  struct Slowdowns {
+    double d75 = 0;
+    double d25 = 0;
+  };
+  const std::vector<Slowdowns> rows =
+      RunSweep<Slowdowns>("fig1a workloads", catalog.size(), [&](size_t w) {
+        const WorkloadSpec& spec = catalog[w];
+        const double base = OfflineProfiler::RunIsolated(spec, 1.0, 8, Gbps(56));
+        return Slowdowns{OfflineProfiler::RunIsolated(spec, 0.75, 8, Gbps(56)) / base,
+                         OfflineProfiler::RunIsolated(spec, 0.25, 8, Gbps(56)) / base};
+      });
   double total = 0;
-  size_t i = 0;
-  for (const WorkloadSpec& spec : HiBenchCatalog()) {
-    const double base = OfflineProfiler::RunIsolated(spec, 1.0, 8, Gbps(56));
-    const double d75 = OfflineProfiler::RunIsolated(spec, 0.75, 8, Gbps(56)) / base;
-    const double d25 = OfflineProfiler::RunIsolated(spec, 0.25, 8, Gbps(56)) / base;
-    total += d25;
-    table.AddRow({spec.name, Fmt(d75), Fmt(d25), paper25[i++]});
+  for (size_t w = 0; w < catalog.size(); ++w) {
+    total += rows[w].d25;
+    table.AddRow({catalog[w].name, Fmt(rows[w].d75), Fmt(rows[w].d25), paper25[w]});
   }
   table.Print(std::cout);
   std::cout << "average slowdown @25%: " << Fmt(total / 10) << "  (paper: 2.1)\n\n";
@@ -46,17 +55,41 @@ void Fig1b(const SensitivityTable& table) {
                                      {*FindWorkload("PR"), hosts, 0.0}};
   const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
 
-  const double lr_alone = OfflineProfiler::RunIsolated(*FindWorkload("LR"), 1.0, 8, Gbps(56));
-  const double pr_alone = OfflineProfiler::RunIsolated(*FindWorkload("PR"), 1.0, 8, Gbps(56));
-
-  CoRunOptions baseline_options;
-  baseline_options.policy = PolicyKind::kBaseline;
-  const CoRunResult maxmin = RunCoRun(topo, jobs, baseline_options);
-
-  CoRunOptions saba_options;
-  saba_options.policy = PolicyKind::kSaba;
-  saba_options.table = &table;
-  const CoRunResult skewed = RunCoRun(topo, jobs, saba_options);
+  // Four independent simulations: the two isolated references and the two
+  // co-runs. Results are keyed by task index.
+  struct Fig1bCell {
+    double isolated = 0;
+    CoRunResult corun;
+  };
+  const std::vector<Fig1bCell> cells = RunSweep<Fig1bCell>("fig1b cells", 4, [&](size_t t) {
+    Fig1bCell cell;
+    switch (t) {
+      case 0:
+        cell.isolated = OfflineProfiler::RunIsolated(*FindWorkload("LR"), 1.0, 8, Gbps(56));
+        break;
+      case 1:
+        cell.isolated = OfflineProfiler::RunIsolated(*FindWorkload("PR"), 1.0, 8, Gbps(56));
+        break;
+      case 2: {
+        CoRunOptions baseline_options;
+        baseline_options.policy = PolicyKind::kBaseline;
+        cell.corun = RunCoRun(topo, jobs, baseline_options);
+        break;
+      }
+      default: {
+        CoRunOptions saba_options;
+        saba_options.policy = PolicyKind::kSaba;
+        saba_options.table = &table;
+        cell.corun = RunCoRun(topo, jobs, saba_options);
+        break;
+      }
+    }
+    return cell;
+  });
+  const double lr_alone = cells[0].isolated;
+  const double pr_alone = cells[1].isolated;
+  const CoRunResult& maxmin = cells[2].corun;
+  const CoRunResult& skewed = cells[3].corun;
 
   TablePrinter out({"Workload", "Max-min slowdown", "Skewed slowdown", "Paper max-min",
                     "Paper skewed"});

@@ -80,19 +80,28 @@ void Run() {
               "LR and PR at 75% and 25% bandwidth, isolation, 8 servers.",
               EnvSeed());
 
+  // The four (workload, bandwidth) timelines are independent simulations.
+  struct Cell {
+    const char* name;
+    double fraction;
+    const char* paper;
+  };
+  const std::vector<Cell> cells = {
+      {"LR", 0.75, "172"}, {"LR", 0.25, "447"}, {"PR", 0.75, "310"}, {"PR", 0.25, "427"}};
+  const std::vector<Timeline> timelines =
+      RunSweep<Timeline>("fig2 timelines", cells.size(), [&](size_t c) {
+        return RunWithSampling(*FindWorkload(cells[c].name), cells[c].fraction);
+      });
+
   TablePrinter completions({"Workload", "BW", "Completion s", "Paper s"});
-  for (const char* name : {"LR", "PR"}) {
-    for (double fraction : {0.75, 0.25}) {
-      const Timeline t = RunWithSampling(*FindWorkload(name), fraction);
-      std::cout << name << " @" << static_cast<int>(fraction * 100)
-                << "% BW  (completion " << Fmt(t.completion, 0) << " s)\n";
-      std::cout << "  CPU " << Sparkline(t.cpu, 72) << '\n';
-      std::cout << "  NET " << Sparkline(t.net, 72) << "\n\n";
-      const bool is_lr = std::string(name) == "LR";
-      completions.AddRow({name, fraction == 0.75 ? "75%" : "25%", Fmt(t.completion, 0),
-                          is_lr ? (fraction == 0.75 ? "172" : "447")
-                                : (fraction == 0.75 ? "310" : "427")});
-    }
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const Timeline& t = timelines[c];
+    std::cout << cells[c].name << " @" << static_cast<int>(cells[c].fraction * 100)
+              << "% BW  (completion " << Fmt(t.completion, 0) << " s)\n";
+    std::cout << "  CPU " << Sparkline(t.cpu, 72) << '\n';
+    std::cout << "  NET " << Sparkline(t.net, 72) << "\n\n";
+    completions.AddRow({cells[c].name, cells[c].fraction == 0.75 ? "75%" : "25%",
+                        Fmt(t.completion, 0), cells[c].paper});
   }
   completions.Print(std::cout);
 }

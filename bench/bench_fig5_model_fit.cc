@@ -17,12 +17,19 @@ void Run() {
               "Profiling samples and fitted sensitivity models (k = 1..3) for SQL and LR.",
               EnvSeed());
 
-  for (const char* name : {"SQL", "LR"}) {
-    // Shared samples across degrees: profile once at k=3 and refit.
-    ProfilerOptions options;
-    options.seed = EnvSeed();
-    OfflineProfiler profiler(options);
-    const ProfileResult profile = profiler.Profile(*FindWorkload(name));
+  // The two workload profiles are independent simulations.
+  const std::vector<const char*> names = {"SQL", "LR"};
+  const std::vector<ProfileResult> profiles =
+      RunSweep<ProfileResult>("fig5 profiles", names.size(), [&](size_t w) {
+        // Shared samples across degrees: profile once at k=3 and refit.
+        ProfilerOptions options;
+        options.seed = EnvSeed();
+        return OfflineProfiler(options).Profile(*FindWorkload(names[w]));
+      });
+
+  for (size_t w = 0; w < names.size(); ++w) {
+    const char* name = names[w];
+    const ProfileResult& profile = profiles[w];
 
     std::cout << "--- " << name << " ---\n";
     TablePrinter table({"BW%", "Sample", "k=1", "k=2", "k=3"});

@@ -23,13 +23,19 @@ namespace {
 void DegreeStudy(uint64_t seed) {
   std::cout << "--- Fig 6a: R^2 vs polynomial degree ---\n";
   TablePrinter table({"Workload", "k=1", "k=2", "k=3"});
-  for (const WorkloadSpec& spec : HiBenchCatalog()) {
-    ProfilerOptions options;
-    options.seed = seed;
-    const ProfileResult profile = OfflineProfiler(options).Profile(spec);
-    std::vector<std::string> row = {spec.name};
+  const auto& catalog = HiBenchCatalog();
+  // One profiling task per workload; the refits are cheap and stay serial.
+  const std::vector<ProfileResult> profiles =
+      RunSweep<ProfileResult>("fig6a profiles", catalog.size(), [&](size_t w) {
+        ProfilerOptions options;
+        options.seed = seed;
+        return OfflineProfiler(options).Profile(catalog[w]);
+      });
+  for (size_t w = 0; w < catalog.size(); ++w) {
+    std::vector<std::string> row = {catalog[w].name};
     for (size_t k = 1; k <= 3; ++k) {
-      row.push_back(Fmt(RSquaredClamped(FitPolynomial(profile.samples, k), profile.samples), 2));
+      row.push_back(
+          Fmt(RSquaredClamped(FitPolynomial(profiles[w].samples, k), profiles[w].samples), 2));
     }
     table.AddRow(row);
   }
@@ -49,31 +55,40 @@ double ScoreAgainstRuntime(const WorkloadSpec& spec, const SensitivityModel& mod
   return RSquaredClamped(model.polynomial(), runtime_curve);
 }
 
-void DatasetStudy(const SensitivityTable& table, uint64_t seed) {
-  std::cout << "--- Fig 6b: R^2 vs runtime dataset size (k=3) ---\n";
-  TablePrinter out({"Workload", "0.1x", "1x", "10x"});
-  for (const WorkloadSpec& spec : HiBenchCatalog()) {
-    const SensitivityModel model = table.ModelOrDefault(spec.name);
-    out.AddRow({spec.name, Fmt(ScoreAgainstRuntime(spec, model, 0.1, 8, seed), 2),
-                Fmt(ScoreAgainstRuntime(spec, model, 1.0, 8, seed), 2),
-                Fmt(ScoreAgainstRuntime(spec, model, 10.0, 8, seed), 2)});
+// Shared grid runner for 6b/6c: one task per (workload, configuration) cell,
+// each re-measuring the slowdown curve of a scaled deployment.
+void GridStudy(const std::string& label, const SensitivityTable& table, uint64_t seed,
+               const std::vector<std::pair<double, int>>& configs,
+               const std::vector<std::string>& headers) {
+  const auto& catalog = HiBenchCatalog();
+  const std::vector<double> scores = RunSweep<double>(
+      label, catalog.size() * configs.size(), [&](size_t t) {
+        const WorkloadSpec& spec = catalog[t / configs.size()];
+        const auto& [scale, nodes] = configs[t % configs.size()];
+        return ScoreAgainstRuntime(spec, table.ModelOrDefault(spec.name), scale, nodes, seed);
+      });
+  TablePrinter out(headers);
+  for (size_t w = 0; w < catalog.size(); ++w) {
+    std::vector<std::string> row = {catalog[w].name};
+    for (size_t c = 0; c < configs.size(); ++c) {
+      row.push_back(Fmt(scores[w * configs.size() + c], 2));
+    }
+    out.AddRow(row);
   }
   out.Print(std::cout);
+}
+
+void DatasetStudy(const SensitivityTable& table, uint64_t seed) {
+  std::cout << "--- Fig 6b: R^2 vs runtime dataset size (k=3) ---\n";
+  GridStudy("fig6b cells", table, seed, {{0.1, 8}, {1.0, 8}, {10.0, 8}},
+            {"Workload", "0.1x", "1x", "10x"});
   std::cout << '\n';
 }
 
 void NodeStudy(const SensitivityTable& table, uint64_t seed) {
   std::cout << "--- Fig 6c: R^2 vs runtime node count (k=3) ---\n";
-  TablePrinter out({"Workload", "0.5x (4)", "1x (8)", "2x (16)", "3x (24)", "4x (32)"});
-  for (const WorkloadSpec& spec : HiBenchCatalog()) {
-    const SensitivityModel model = table.ModelOrDefault(spec.name);
-    std::vector<std::string> row = {spec.name};
-    for (int nodes : {4, 8, 16, 24, 32}) {
-      row.push_back(Fmt(ScoreAgainstRuntime(spec, model, 1.0, nodes, seed), 2));
-    }
-    out.AddRow(row);
-  }
-  out.Print(std::cout);
+  GridStudy("fig6c cells", table, seed, {{1.0, 4}, {1.0, 8}, {1.0, 16}, {1.0, 24}, {1.0, 32}},
+            {"Workload", "0.5x (4)", "1x (8)", "2x (16)", "3x (24)", "4x (32)"});
 }
 
 void Run() {

@@ -11,11 +11,8 @@
 //
 // SABA_SETUPS sets the setup count (default 100; the paper uses 500).
 
-#include <atomic>
 #include <iostream>
 #include <map>
-#include <mutex>
-#include <thread>
 
 #include "bench/bench_util.h"
 #include "src/exp/cluster_setup.h"
@@ -45,7 +42,7 @@ void Run() {
   const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
 
   // Pre-generate the setups from one deterministic stream, then execute them
-  // across a worker pool (setups are independent simulations).
+  // across the sweep pool (setups are independent simulations).
   std::vector<std::vector<JobSpec>> setups;
   {
     Rng rng(seed);
@@ -55,13 +52,8 @@ void Run() {
     }
   }
 
-  std::vector<SetupOutcome> outcomes(setups.size());
-  std::atomic<size_t> next{0};
-  const unsigned num_threads = std::max(2u, std::thread::hardware_concurrency()) - 1;
-  std::vector<std::thread> workers;
-  for (unsigned t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&] {
-      for (size_t s = next.fetch_add(1); s < setups.size(); s = next.fetch_add(1)) {
+  const std::vector<SetupOutcome> outcomes =
+      RunSweep<SetupOutcome>("fig8 setups", setups.size(), [&](size_t s) {
         CoRunOptions baseline_options;
         baseline_options.policy = PolicyKind::kBaseline;
         const CoRunResult baseline = RunCoRun(topo, setups[s], baseline_options);
@@ -72,17 +64,13 @@ void Run() {
         saba_options.seed = seed + s;
         const CoRunResult saba = RunCoRun(topo, setups[s], saba_options);
 
-        SetupOutcome& outcome = outcomes[s];
+        SetupOutcome outcome;
         outcome.speedups = Speedups(baseline, saba);
         for (const JobSpec& job : setups[s]) {
           outcome.workloads.push_back(job.spec.name);
         }
-      }
-    });
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
+        return outcome;
+      });
 
   // ---- Fig 8a: per-workload geometric-mean speedup --------------------------
   std::map<std::string, std::vector<double>> per_workload;

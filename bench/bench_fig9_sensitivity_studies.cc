@@ -85,38 +85,44 @@ void Run() {
               "Saba's speedup over the baseline (homogeneous 10-job co-run).",
               seed);
 
-  const SensitivityTable table_k3 = ProfileCatalog(seed, 3);
+  // Profile the catalog once per polynomial degree (profiling is
+  // deterministic in (seed, degree), so sharing the k=3 table between the
+  // studies changes nothing).
+  const std::vector<SensitivityTable> tables =
+      RunSweep<SensitivityTable>("fig9 profiles", 3, [&](size_t k) {
+        return ProfileCatalog(seed, k + 1);
+      });
+  const SensitivityTable& table_k3 = tables[2];
 
-  // (a) Dataset size.
-  {
-    std::vector<std::vector<double>> columns;
-    for (double scale : {0.1, 1.0, 10.0}) {
-      columns.push_back(SpeedupsFor(table_k3, scale, 8, seed));
-    }
-    PrintStudy("Fig 9a: speedup vs runtime dataset size", {"0.1x", "1x", "10x"}, columns,
-               {"1.33", "1.54", "1.40"});
+  // The 11 study cells — (a) 3 dataset scales, (b) 5 node counts, (c) 3
+  // degrees — are independent co-runs: one sweep task each.
+  struct Cell {
+    const SensitivityTable* table;
+    double dataset_scale;
+    int num_nodes;
+  };
+  std::vector<Cell> cells;
+  for (double scale : {0.1, 1.0, 10.0}) {
+    cells.push_back({&table_k3, scale, 8});
   }
+  for (int nodes : {4, 8, 16, 24, 32}) {
+    cells.push_back({&table_k3, 1.0, nodes});
+  }
+  for (size_t k : {0u, 1u, 2u}) {
+    cells.push_back({&tables[k], 1.0, 8});
+  }
+  const std::vector<std::vector<double>> columns =
+      RunSweep<std::vector<double>>("fig9 cells", cells.size(), [&](size_t c) {
+        return SpeedupsFor(*cells[c].table, cells[c].dataset_scale, cells[c].num_nodes, seed);
+      });
 
-  // (b) Node count.
-  {
-    std::vector<std::vector<double>> columns;
-    for (int nodes : {4, 8, 16, 24, 32}) {
-      columns.push_back(SpeedupsFor(table_k3, 1.0, nodes, seed));
-    }
-    PrintStudy("Fig 9b: speedup vs runtime node count", {"0.5x", "1x", "2x", "3x", "4x"},
-               columns, {"1.42", "1.54", "1.34", "1.26", "1.09"});
-  }
-
-  // (c) Polynomial degree.
-  {
-    std::vector<std::vector<double>> columns;
-    for (size_t k : {1u, 2u, 3u}) {
-      const SensitivityTable table = ProfileCatalog(seed, k);
-      columns.push_back(SpeedupsFor(table, 1.0, 8, seed));
-    }
-    PrintStudy("Fig 9c: speedup vs polynomial degree", {"k=1", "k=2", "k=3"}, columns,
-               {"1.27", "1.42", "~1.5"});
-  }
+  PrintStudy("Fig 9a: speedup vs runtime dataset size", {"0.1x", "1x", "10x"},
+             {columns[0], columns[1], columns[2]}, {"1.33", "1.54", "1.40"});
+  PrintStudy("Fig 9b: speedup vs runtime node count", {"0.5x", "1x", "2x", "3x", "4x"},
+             {columns[3], columns[4], columns[5], columns[6], columns[7]},
+             {"1.42", "1.54", "1.34", "1.26", "1.09"});
+  PrintStudy("Fig 9c: speedup vs polynomial degree", {"k=1", "k=2", "k=3"},
+             {columns[8], columns[9], columns[10]}, {"1.27", "1.42", "~1.5"});
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "src/core/pl_mapper.h"
 #include "src/core/queue_mapper.h"
 #include "src/core/weight_solver.h"
+#include "src/exp/sweep_runner.h"
 #include "src/net/allocator.h"
 #include "src/net/routing.h"
 #include "src/net/units.h"
@@ -155,6 +156,43 @@ void BM_QueueMapperPort(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueueMapperPort)->Arg(2)->Arg(4)->Arg(8);
+
+// --- Sweep engine --------------------------------------------------------------
+
+// Per-task overhead of the deterministic sweep pool: trivial tasks, so the
+// measured cost is claim + seed-split + collection, not work.
+void BM_SweepRunnerOverhead(benchmark::State& state) {
+  SweepRunner runner(static_cast<int>(state.range(0)));
+  constexpr size_t kTasks = 1024;
+  for (auto _ : state) {
+    const std::vector<uint64_t> out = runner.Map<uint64_t>(
+        kTasks, [](size_t i) { return Rng::StreamSeed(42, i); });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_SweepRunnerOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// Scaling on compute-bound tasks shaped like the figure sweeps (independent
+// seeded simulation cells): wall time should drop ~linearly in the argument
+// up to the hardware thread count.
+void BM_SweepRunnerScaling(benchmark::State& state) {
+  SweepRunner runner(static_cast<int>(state.range(0)));
+  constexpr size_t kTasks = 64;
+  for (auto _ : state) {
+    const std::vector<double> out = runner.MapSeeded<double>(
+        kTasks, 42, [](size_t, Rng* rng) {
+          double acc = 0;
+          for (int i = 0; i < 50000; ++i) {
+            acc += rng->Uniform01();
+          }
+          return acc;
+        });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_SweepRunnerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // --- Routing -------------------------------------------------------------------
 

@@ -38,41 +38,54 @@ void SinglePortStudy() {
       {"mixed", {2, 1}, {{0, 1.0}, {0, 1.0}, {1, 1.0}, {1, 0.15}}},
   };
 
-  for (const Case& c : cases) {
-    // Fluid: all flows over one a->b link.
-    Topology topo;
-    const NodeId a = topo.AddNode(NodeKind::kHost);
-    const NodeId b = topo.AddNode(NodeKind::kHost);
-    topo.AddLink(a, b, Gbps(1));
-    Network network(std::move(topo), static_cast<int>(c.queue_weights.size()));
-    network.port(0).queue_weights = c.queue_weights;
+  // Each case is an independent fluid-vs-WRR comparison: one sweep task each,
+  // returning its table rows.
+  using Rows = std::vector<std::vector<std::string>>;
+  const std::vector<Rows> case_rows =
+      RunSweep<Rows>("validation ports", cases.size(), [&](size_t idx) {
+        const Case& c = cases[idx];
+        // Fluid: all flows over one a->b link.
+        Topology topo;
+        const NodeId a = topo.AddNode(NodeKind::kHost);
+        const NodeId b = topo.AddNode(NodeKind::kHost);
+        topo.AddLink(a, b, Gbps(1));
+        Network network(std::move(topo), static_cast<int>(c.queue_weights.size()));
+        network.port(0).queue_weights = c.queue_weights;
 
-    std::vector<std::unique_ptr<ActiveFlow>> storage;
-    std::vector<ActiveFlow*> fluid;
-    std::vector<WrrFlowSpec> packet;
-    for (size_t f = 0; f < c.flows.size(); ++f) {
-      network.port(0).sl_to_queue[f] = c.flows[f].first;
-      auto flow = std::make_unique<ActiveFlow>();
-      flow->id = static_cast<FlowId>(f);
-      flow->app = static_cast<AppId>(f);
-      flow->sl = static_cast<int>(f);
-      flow->intra_weight = c.flows[f].second;
-      flow->remaining_bits = Gigabytes(10);
-      flow->path = &network.router().Route(a, b, 0);
-      storage.push_back(std::move(flow));
-      fluid.push_back(storage.back().get());
-      packet.push_back({c.flows[f].first, c.flows[f].second, -1});
-    }
-    WfqMaxMinAllocator allocator;
-    allocator.Allocate(fluid, network);
-    const WrrResult wrr =
-        SimulateWrrPort({Gbps(1), c.queue_weights}, packet, /*horizon=*/2.0);
+        std::vector<std::unique_ptr<ActiveFlow>> storage;
+        std::vector<ActiveFlow*> fluid;
+        std::vector<WrrFlowSpec> packet;
+        for (size_t f = 0; f < c.flows.size(); ++f) {
+          network.port(0).sl_to_queue[f] = c.flows[f].first;
+          auto flow = std::make_unique<ActiveFlow>();
+          flow->id = static_cast<FlowId>(f);
+          flow->app = static_cast<AppId>(f);
+          flow->sl = static_cast<int>(f);
+          flow->intra_weight = c.flows[f].second;
+          flow->remaining_bits = Gigabytes(10);
+          flow->path = &network.router().Route(a, b, 0);
+          storage.push_back(std::move(flow));
+          fluid.push_back(storage.back().get());
+          packet.push_back({c.flows[f].first, c.flows[f].second, -1});
+        }
+        WfqMaxMinAllocator allocator;
+        allocator.Allocate(fluid, network);
+        const WrrResult wrr =
+            SimulateWrrPort({Gbps(1), c.queue_weights}, packet, /*horizon=*/2.0);
 
-    for (size_t f = 0; f < c.flows.size(); ++f) {
-      const double fluid_share = fluid[f]->rate / Gbps(1);
-      const double wrr_share = wrr.flow_bits[f] / wrr.total_bits;
-      table.AddRow({std::string(f == 0 ? c.name : ""), std::to_string(f), Fmt(fluid_share, 3),
-                    Fmt(wrr_share, 3), Fmt(std::fabs(fluid_share - wrr_share), 3)});
+        Rows rows;
+        for (size_t f = 0; f < c.flows.size(); ++f) {
+          const double fluid_share = fluid[f]->rate / Gbps(1);
+          const double wrr_share = wrr.flow_bits[f] / wrr.total_bits;
+          rows.push_back({std::string(f == 0 ? c.name : ""), std::to_string(f),
+                          Fmt(fluid_share, 3), Fmt(wrr_share, 3),
+                          Fmt(std::fabs(fluid_share - wrr_share), 3)});
+        }
+        return rows;
+      });
+  for (const Rows& rows : case_rows) {
+    for (const std::vector<std::string>& row : rows) {
+      table.AddRow(row);
     }
   }
   table.Print(std::cout);

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Determinism gate: the quick benches must produce byte-identical output for
-# the same seed. Run from the repository root after building.
+# the same seed — both run-to-run and across sweep worker counts (the
+# SweepRunner contract, DESIGN.md "Determinism & threading model"). Run from
+# the repository root after building.
 set -euo pipefail
 
 BUILD=${1:-build}
@@ -21,8 +23,13 @@ status=0
 for b in "${BENCHES[@]}"; do
   "$BUILD/bench/$b" > "$TMP/$b.1" 2>/dev/null
   "$BUILD/bench/$b" > "$TMP/$b.2" 2>/dev/null
+  SABA_JOBS=1 "$BUILD/bench/$b" > "$TMP/$b.j1" 2>/dev/null
+  SABA_JOBS=2 "$BUILD/bench/$b" > "$TMP/$b.j2" 2>/dev/null
   if ! diff -q "$TMP/$b.1" "$TMP/$b.2" > /dev/null; then
-    echo "NON-DETERMINISTIC: $b"
+    echo "NON-DETERMINISTIC: $b (run to run)"
+    status=1
+  elif ! diff -q "$TMP/$b.j1" "$TMP/$b.j2" > /dev/null; then
+    echo "NON-DETERMINISTIC: $b (SABA_JOBS=1 vs 2)"
     status=1
   else
     echo "ok: $b"

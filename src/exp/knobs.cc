@@ -1,0 +1,127 @@
+#include "src/exp/knobs.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace saba {
+namespace {
+
+struct Knob {
+  std::string name;
+  std::string value;
+  bool from_env = false;
+};
+
+std::mutex registry_mutex;
+std::vector<Knob>& Registry() {
+  static std::vector<Knob>* knobs = new std::vector<Knob>();
+  return *knobs;
+}
+
+void RecordKnob(const char* name, const std::string& value, bool from_env) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  for (const Knob& knob : Registry()) {
+    if (knob.name == name) {
+      return;  // First read wins; repeated reads see the same environment.
+    }
+  }
+  Registry().push_back({name, value, from_env});
+}
+
+[[noreturn]] void DieInvalidKnob(const char* name, const char* value) {
+  std::cerr << "fatal: " << name << "='" << value
+            << "' is not an integer; refusing to run a mis-scaled sweep\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseInt64(const std::string& text) {
+  // strtoll silently skips leading whitespace; the documented contract is
+  // "the whole string is the number", so reject it up front.
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front()))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    RecordKnob(name, std::to_string(fallback), /*from_env=*/false);
+    return fallback;
+  }
+  const std::optional<int64_t> parsed = ParseInt64(value);
+  if (!parsed.has_value() || *parsed < std::numeric_limits<int>::min() ||
+      *parsed > std::numeric_limits<int>::max()) {
+    DieInvalidKnob(name, value);
+  }
+  RecordKnob(name, value, /*from_env=*/true);
+  return static_cast<int>(*parsed);
+}
+
+uint64_t EnvSeed(uint64_t fallback) {
+  const char* value = std::getenv("SABA_SEED");
+  if (value == nullptr) {
+    RecordKnob("SABA_SEED", std::to_string(fallback), /*from_env=*/false);
+    return fallback;
+  }
+  // Accept the full uint64 range (seeds are opaque bit patterns, not counts).
+  std::string text(value);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || text[0] == '-' || std::isspace(static_cast<unsigned char>(text[0])) ||
+      errno == ERANGE || end != text.c_str() + text.size()) {
+    DieInvalidKnob("SABA_SEED", value);
+  }
+  RecordKnob("SABA_SEED", value, /*from_env=*/true);
+  return static_cast<uint64_t>(parsed);
+}
+
+int EnvJobs() {
+  const int jobs = EnvInt("SABA_JOBS", 0);
+  if (jobs < 0) {
+    std::cerr << "fatal: SABA_JOBS='" << jobs
+              << "' must be >= 0 (0 means all hardware threads)\n";
+    std::exit(2);
+  }
+  if (jobs > 0) {
+    return jobs;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+std::string KnobSummary() {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  std::string out;
+  for (const Knob& knob : Registry()) {
+    if (knob.name == "SABA_SEED" || knob.name == "SABA_JOBS") {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += knob.name + "=" + knob.value;
+    if (!knob.from_env) {
+      out += " [default]";
+    }
+  }
+  return out;
+}
+
+}  // namespace saba

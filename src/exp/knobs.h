@@ -1,0 +1,40 @@
+// Environment-variable scale knobs for the benchmark binaries.
+//
+// Parsing is strict: a knob that is set but malformed is fatal, instead of
+// std::atoi's silent 0 turning a typo'd variable into an empty sweep. Every
+// knob read is recorded in a registry so each bench banner can print the
+// exact knob set it ran with (SABA_SEED and SABA_JOBS excluded — the seed
+// has its own banner line and the job count must not reach stdout, which is
+// required to be byte-identical across thread counts).
+
+#ifndef SRC_EXP_KNOBS_H_
+#define SRC_EXP_KNOBS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace saba {
+
+// Base-10 integer parse that consumes the whole string (surrounding
+// whitespace rejected). nullopt on empty, trailing junk, or overflow.
+std::optional<int64_t> ParseInt64(const std::string& text);
+
+// Integer knob from the environment with a default. A set-but-unparsable
+// value aborts the process with a message naming the knob.
+int EnvInt(const char* name, int fallback);
+
+// SABA_SEED (same strictness as EnvInt; full uint64 range).
+uint64_t EnvSeed(uint64_t fallback = 42);
+
+// SABA_JOBS: worker-thread count for SweepRunner. Unset or 0 means "all
+// hardware threads". Negative values are rejected.
+int EnvJobs();
+
+// "SABA_SETUPS=100 [default], SABA_FIG10_INSTANCES=8" for every knob read so
+// far, in first-read order; empty if none. SABA_SEED/SABA_JOBS are omitted.
+std::string KnobSummary();
+
+}  // namespace saba
+
+#endif  // SRC_EXP_KNOBS_H_

@@ -1,5 +1,7 @@
 #include "src/exp/report.h"
 
+#include "src/exp/knobs.h"
+
 #include <algorithm>
 #include <cassert>
 #include <iomanip>
@@ -51,7 +53,14 @@ std::string Fmt(double value, int precision) {
 
 void PrintBanner(std::ostream& os, const std::string& experiment, const std::string& description,
                  uint64_t seed) {
-  os << "=== " << experiment << " ===\n" << description << "\n(seed " << seed << ")\n\n";
+  os << "=== " << experiment << " ===\n" << description << "\n(seed " << seed << ")\n";
+  // The scale knobs the binary was invoked with. SABA_JOBS is deliberately
+  // absent: stdout must stay byte-identical across thread counts.
+  const std::string knobs = KnobSummary();
+  if (!knobs.empty()) {
+    os << "(knobs " << knobs << ")\n";
+  }
+  os << '\n';
 }
 
 }  // namespace saba

@@ -1,0 +1,159 @@
+#include "src/exp/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+#include "src/exp/knobs.h"
+#include "src/sim/wallclock.h"
+
+namespace saba {
+
+double SweepStats::TasksPerSecond() const {
+  return wall_seconds > 0 ? static_cast<double>(num_tasks) / wall_seconds : 0.0;
+}
+
+double SweepStats::Speedup() const {
+  return wall_seconds > 0 ? task_seconds / wall_seconds : 1.0;
+}
+
+std::string SweepStats::Summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << num_tasks << " task" << (num_tasks == 1 ? "" : "s") << " in " << wall_seconds << " s on "
+     << jobs << " job" << (jobs == 1 ? "" : "s") << ": " << TasksPerSecond()
+     << " tasks/s, speedup " << Speedup() << "x";
+  return os.str();
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs > 0 ? jobs : EnvJobs()) {}
+
+namespace {
+
+// One contiguous range of task indices with an atomic claim cursor. Workers
+// drain their own block front-to-back and then steal from the block with the
+// most work left; claims are a single fetch_add, so the hot path never locks.
+// The cursor may overshoot `end` when several thieves race on a near-empty
+// block — harmless, remaining work is computed as end - min(next, end).
+struct alignas(64) Block {
+  std::atomic<size_t> next{0};
+  size_t end = 0;
+};
+
+size_t Remaining(const Block& block) {
+  const size_t next = block.next.load(std::memory_order_relaxed);
+  return block.end - std::min(next, block.end);
+}
+
+}  // namespace
+
+void SweepRunner::RunIndexed(size_t num_tasks, const std::function<void(size_t)>& body) {
+  stats_ = SweepStats{};
+  stats_.num_tasks = num_tasks;
+  stats_.jobs = 1;
+  if (num_tasks == 0) {
+    return;
+  }
+  Stopwatch wall;
+
+  const int jobs =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(jobs_), num_tasks));
+  if (jobs <= 1) {
+    // Serial path: identical task order and streams as the parallel path (the
+    // determinism tests byte-compare the two), exceptions propagate directly.
+    double task_seconds = 0;
+    for (size_t i = 0; i < num_tasks; ++i) {
+      Stopwatch task_watch;
+      body(i);
+      task_seconds += task_watch.ElapsedSeconds();
+    }
+    stats_.task_seconds = task_seconds;
+    stats_.wall_seconds = wall.ElapsedSeconds();
+    return;
+  }
+  stats_.jobs = jobs;
+
+  std::vector<Block> blocks(static_cast<size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    blocks[static_cast<size_t>(w)].next.store(
+        num_tasks * static_cast<size_t>(w) / static_cast<size_t>(jobs),
+        std::memory_order_relaxed);
+    blocks[static_cast<size_t>(w)].end =
+        num_tasks * static_cast<size_t>(w + 1) / static_cast<size_t>(jobs);
+  }
+
+  // One slot per task so the first-failing *index* is rethrown
+  // deterministically, not whichever thread lost the race.
+  std::vector<std::exception_ptr> errors(num_tasks);
+  std::atomic<bool> failed{false};
+  std::vector<double> worker_seconds(static_cast<size_t>(jobs), 0.0);
+
+  auto worker = [&](int w) {
+    double& my_seconds = worker_seconds[static_cast<size_t>(w)];
+    auto run_one = [&](size_t index) {
+      if (failed.load(std::memory_order_acquire)) {
+        return;  // Abort the sweep: claim (to terminate) but skip the body.
+      }
+      Stopwatch task_watch;
+      try {
+        body(index);
+      } catch (...) {
+        errors[index] = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+      my_seconds += task_watch.ElapsedSeconds();
+    };
+    for (;;) {
+      Block& own = blocks[static_cast<size_t>(w)];
+      const size_t index = own.next.fetch_add(1, std::memory_order_relaxed);
+      if (index < own.end) {
+        run_one(index);
+        continue;
+      }
+      // Own block drained: steal from the fullest block.
+      Block* victim = nullptr;
+      size_t most = 0;
+      for (Block& other : blocks) {
+        const size_t remaining = Remaining(other);
+        if (remaining > most) {
+          most = remaining;
+          victim = &other;
+        }
+      }
+      if (victim == nullptr) {
+        return;  // Every block is empty.
+      }
+      const size_t stolen = victim->next.fetch_add(1, std::memory_order_relaxed);
+      if (stolen < victim->end) {
+        run_one(stolen);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    threads.emplace_back(worker, w);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  for (double seconds : worker_seconds) {
+    stats_.task_seconds += seconds;
+  }
+  stats_.wall_seconds = wall.ElapsedSeconds();
+
+  if (failed.load(std::memory_order_acquire)) {
+    for (std::exception_ptr& error : errors) {
+      if (error) {
+        std::rethrow_exception(error);
+      }
+    }
+  }
+}
+
+}  // namespace saba

@@ -106,4 +106,18 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xda3e39cb94b95bdbULL); }
 
+uint64_t Rng::StreamSeed(uint64_t root_seed, uint64_t stream_index) {
+  // Hash the root before mixing in the index so that nearby roots do not
+  // produce shifted copies of the same stream family, then hash again so
+  // adjacent indices land far apart.
+  uint64_t x = root_seed;
+  const uint64_t root_hash = SplitMix64(&x);
+  x = root_hash ^ (stream_index + 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(&x);
+}
+
+Rng Rng::ForStream(uint64_t root_seed, uint64_t stream_index) {
+  return Rng(StreamSeed(root_seed, stream_index));
+}
+
 }  // namespace saba

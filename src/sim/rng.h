@@ -72,6 +72,16 @@ class Rng {
   // Successive Fork() calls yield distinct streams.
   Rng Fork();
 
+  // Seed of stream `stream_index` under `root_seed`: both words are pushed
+  // through SplitMix64, so adjacent indices yield uncorrelated seeds. This is
+  // the seed-split contract the parallel sweep engine relies on (see
+  // DESIGN.md "Determinism & threading model"): a task's stream depends only
+  // on (root_seed, task_index), never on thread count or execution order.
+  static uint64_t StreamSeed(uint64_t root_seed, uint64_t stream_index);
+
+  // Rng seeded with StreamSeed(root_seed, stream_index).
+  static Rng ForStream(uint64_t root_seed, uint64_t stream_index);
+
  private:
   uint64_t state_[4];
 };
