@@ -1,17 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical pieces:
-// the WFQ fluid allocator, the Eq-2 weight solver, clustering, and routing.
-// These back the performance claims in DESIGN.md (allocator cost linear-ish
-// in flow count; closed-form solver microseconds per port).
+// the WFQ fluid allocator (steady-state and incremental churn), the Eq-2
+// weight solver, clustering, and routing. These back the performance claims
+// in DESIGN.md (allocator cost linear-ish in flow count; closed-form solver
+// microseconds per port).
+//
+// Besides the console output, the run writes a machine-readable summary to
+// BENCH_micro.json (override the path with SABA_BENCH_JSON) so successive
+// PRs can track the perf trajectory; see EXPERIMENTS.md.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/pl_mapper.h"
 #include "src/core/queue_mapper.h"
 #include "src/core/weight_solver.h"
 #include "src/exp/sweep_runner.h"
+#include "src/net/allocation_engine.h"
 #include "src/net/allocator.h"
 #include "src/net/routing.h"
 #include "src/net/units.h"
@@ -92,6 +101,113 @@ void BM_StrictPriorityAllocator(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_StrictPriorityAllocator)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+// --- Flow churn: incremental engine vs full rebuild --------------------------
+
+// A large stable background with the locality real co-runs have: most flows
+// are rack-local pairs (jobs place communicating workers on adjacent hosts),
+// plus a few cross-ToR flows per pod that couple the pod's uplinks. The
+// resulting link-sharing graph decomposes into many small components, which
+// is exactly the structure the incremental engine exploits. The churn event
+// is a single cross-ToR flow arriving and departing against that background —
+// the dominant event shape at co-run scale.
+struct ChurnFixture {
+  ChurnFixture() : network(BuildSpineLeaf(params), 8) {
+    network.SetCongestionModel(std::make_unique<FecnCongestionModel>(0.30));
+    for (int sl = 0; sl < kNumServiceLevels; ++sl) {
+      network.MapSlToQueueEverywhere(sl, sl % 8);
+    }
+    Rng rng(7);
+    auto add = [&](NodeId src, NodeId dst, AppId app) {
+      auto flow = std::make_unique<ActiveFlow>();
+      flow->id = static_cast<FlowId>(flows.size() + 1);
+      flow->app = app;
+      flow->sl = static_cast<int>(flow->id % 8);
+      flow->remaining_bits = Gigabytes(1);
+      flow->path = &network.router().Route(src, dst, static_cast<uint64_t>(flow->id));
+      raw.push_back(flow.get());
+      flows.push_back(std::move(flow));
+    };
+    for (int t = 0; t < params.num_tor; ++t) {
+      const NodeId base = t * params.hosts_per_tor;
+      for (int i = 0; i < 8; ++i) {
+        add(base + i, base + i + 1, static_cast<AppId>(t % 20));
+      }
+    }
+    const int tors_per_pod = params.num_tor / params.num_pods;
+    for (int p = 0; p < params.num_pods; ++p) {
+      for (int j = 0; j < 6; ++j) {
+        const int t0 = p * tors_per_pod + static_cast<int>(rng.UniformInt(0, tors_per_pod - 1));
+        int t1 = p * tors_per_pod + static_cast<int>(rng.UniformInt(0, tors_per_pod - 1));
+        while (t1 == t0) {
+          t1 = p * tors_per_pod + static_cast<int>(rng.UniformInt(0, tors_per_pod - 1));
+        }
+        const NodeId src =
+            t0 * params.hosts_per_tor + static_cast<NodeId>(rng.UniformInt(0, 7));
+        const NodeId dst =
+            t1 * params.hosts_per_tor + static_cast<NodeId>(rng.UniformInt(0, 7));
+        add(src, dst, static_cast<AppId>(20 + p));
+      }
+    }
+  }
+
+  // The churn flow: cross-ToR inside pod 0, sharing its source host's egress
+  // with a background flow so the dirty component is not a trivial island.
+  ActiveFlow MakeChurnFlow() {
+    ActiveFlow churn;
+    churn.id = 1 << 20;
+    churn.app = 99;
+    churn.sl = 3;
+    churn.remaining_bits = Gigabytes(1);
+    churn.path = &network.router().Route(2, params.hosts_per_tor + 2, 0);
+    return churn;
+  }
+
+  SpineLeafParams params{};
+  Network network;
+  std::vector<std::unique_ptr<ActiveFlow>> flows;
+  std::vector<ActiveFlow*> raw;
+};
+
+void BM_ChurnIncremental(benchmark::State& state) {
+  ChurnFixture fixture;
+  WfqMaxMinAllocator allocator;
+  std::unique_ptr<AllocationEngine> engine = allocator.CreateEngine(&fixture.network);
+  for (ActiveFlow* flow : fixture.raw) {
+    engine->FlowAdded(flow);
+  }
+  engine->Recompute();
+  ActiveFlow churn = fixture.MakeChurnFlow();
+  for (auto _ : state) {
+    engine->FlowAdded(&churn);
+    engine->Recompute();
+    engine->FlowRemoved(&churn);
+    engine->Recompute();
+    benchmark::DoNotOptimize(churn.rate);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // Two events per cycle.
+  const AllocationEngineStats& stats = engine->stats();
+  state.counters["flows_rerated_per_event"] = benchmark::Counter(
+      static_cast<double>(stats.flows_rerated) / static_cast<double>(stats.recomputes));
+}
+BENCHMARK(BM_ChurnIncremental)->Unit(benchmark::kMicrosecond);
+
+// The pre-engine cost model: every event re-solves the whole fabric from
+// scratch (what BandwidthAllocator::Allocate did on each reallocation).
+void BM_ChurnFullRebuild(benchmark::State& state) {
+  ChurnFixture fixture;
+  WfqMaxMinAllocator allocator;
+  ActiveFlow churn = fixture.MakeChurnFlow();
+  std::vector<ActiveFlow*> with_churn = fixture.raw;
+  with_churn.push_back(&churn);
+  for (auto _ : state) {
+    allocator.Allocate(with_churn, fixture.network);   // Arrival.
+    allocator.Allocate(fixture.raw, fixture.network);  // Departure.
+    benchmark::DoNotOptimize(churn.rate);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ChurnFullRebuild)->Unit(benchmark::kMicrosecond);
 
 // --- Eq 2 weight solver vs application count ---------------------------------
 
@@ -219,7 +335,64 @@ void BM_RouterCachedPath(benchmark::State& state) {
 }
 BENCHMARK(BM_RouterCachedPath);
 
+// --- Machine-readable output ---------------------------------------------------
+
+// Console reporter that also records every finished run so main() can dump a
+// compact JSON summary (name, per-iteration time, items/sec) for the perf
+// trajectory across PRs.
+class RecordingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (!run.error_occurred) {
+        recorded_.push_back(run);
+      }
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<Run>& recorded() const { return recorded_; }
+
+ private:
+  std::vector<Run> recorded_;
+};
+
+void WriteJsonSummary(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"schema\": 1,\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const double real_ns =
+        run.iterations > 0 ? run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9
+                           : 0.0;
+    out << "    {\"name\": \"" << run.benchmark_name() << "\", \"iterations\": " << run.iterations
+        << ", \"real_time_ns\": " << real_ns;
+    const auto items = run.counters.find("items_per_second");
+    if (items != run.counters.end()) {
+      out << ", \"items_per_second\": " << items->second.value;
+    }
+    out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 }  // namespace saba
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  saba::RecordingConsoleReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* json_path = std::getenv("SABA_BENCH_JSON");
+  saba::WriteJsonSummary(reporter.recorded(), json_path != nullptr ? json_path : "BENCH_micro.json");
+  benchmark::Shutdown();
+  return 0;
+}

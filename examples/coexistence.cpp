@@ -55,9 +55,13 @@ int main() {
   // When the bulk job goes quiet, work conservation hands the RPC service
   // the whole port despite its small reserved weight.
   scheduler.RunUntil(2.0);
-  flow_sim.CancelFlow(flow_sim.ActiveFlows()[0]->id == rpc
-                          ? flow_sim.ActiveFlows()[1]->id
-                          : flow_sim.ActiveFlows()[0]->id);
+  FlowId bulk = kInvalidFlow;
+  flow_sim.ForEachActiveFlow([&](const ActiveFlow& flow) {
+    if (flow.id != rpc) {
+      bulk = flow.id;
+    }
+  });
+  flow_sim.CancelFlow(bulk);
   scheduler.RunUntil(2.1);
   std::printf("after the bulk job stops (work conservation):\n");
   std::printf("  non-Saba RPCs:  %5.1f Gb/s\n", flow_sim.FlowRate(rpc) / 1e9);

@@ -28,9 +28,9 @@ int HomaScheduler::PriorityFor(double remaining_bits) const {
 }
 
 void HomaScheduler::RefreshPriorities() {
-  for (const ActiveFlow* flow : flow_sim_->ActiveFlows()) {
-    flow_sim_->SetFlowPriority(flow->id, PriorityFor(flow->remaining_bits));
-  }
+  flow_sim_->ForEachActiveFlow([this](const ActiveFlow& flow) {
+    flow_sim_->SetFlowPriority(flow.id, PriorityFor(flow.remaining_bits));
+  });
 }
 
 }  // namespace saba

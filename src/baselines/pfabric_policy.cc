@@ -26,9 +26,9 @@ int PFabricScheduler::PriorityFor(double remaining_bits) const {
 }
 
 void PFabricScheduler::RefreshPriorities() {
-  for (const ActiveFlow* flow : flow_sim_->ActiveFlows()) {
-    flow_sim_->SetFlowPriority(flow->id, PriorityFor(flow->remaining_bits));
-  }
+  flow_sim_->ForEachActiveFlow([this](const ActiveFlow& flow) {
+    flow_sim_->SetFlowPriority(flow.id, PriorityFor(flow.remaining_bits));
+  });
 }
 
 }  // namespace saba

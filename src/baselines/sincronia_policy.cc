@@ -91,16 +91,15 @@ void SincroniaScheduler::RefreshPriorities() {
   // Build one coflow per application from the in-flight flows.
   std::unordered_map<AppId, size_t> index;
   std::vector<CoflowDemand> coflows;
-  const std::vector<const ActiveFlow*> flows = flow_sim_->ActiveFlows();
-  for (const ActiveFlow* flow : flows) {
-    auto [it, inserted] = index.emplace(flow->app, coflows.size());
+  flow_sim_->ForEachActiveFlow([&](const ActiveFlow& flow) {
+    auto [it, inserted] = index.emplace(flow.app, coflows.size());
     if (inserted) {
-      coflows.push_back({flow->app, {}});
+      coflows.push_back({flow.app, {}});
     }
-    for (LinkId link : *flow->path) {
-      coflows[it->second].port_demand[link] += flow->remaining_bits;
+    for (LinkId link : *flow.path) {
+      coflows[it->second].port_demand[link] += flow.remaining_bits;
     }
-  }
+  });
   if (coflows.empty()) {
     return;
   }
@@ -111,9 +110,9 @@ void SincroniaScheduler::RefreshPriorities() {
     priority[order[pos]] =
         std::min(static_cast<int>(pos), config_.num_priorities - 1);
   }
-  for (const ActiveFlow* flow : flows) {
-    flow_sim_->SetFlowPriority(flow->id, priority.at(flow->app));
-  }
+  flow_sim_->ForEachActiveFlow([&](const ActiveFlow& flow) {
+    flow_sim_->SetFlowPriority(flow.id, priority.at(flow.app));
+  });
 }
 
 }  // namespace saba

@@ -179,6 +179,7 @@ CoRunResult RunCoRun(const Topology& topology, const std::vector<JobSpec>& jobs,
     result.controller_stats = controller->stats();
   }
   result.allocator_runs = flow_sim.allocator_runs();
+  result.engine_stats = flow_sim.engine_stats();
   result.makespan = scheduler.Now();
   return result;
 }

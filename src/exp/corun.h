@@ -13,6 +13,7 @@
 
 #include "src/core/controller.h"
 #include "src/core/sensitivity.h"
+#include "src/net/allocation_engine.h"
 #include "src/net/topology.h"
 #include "src/sim/sim_time.h"
 #include "src/workload/workload_spec.h"
@@ -84,6 +85,10 @@ struct CoRunResult {
   // Populated for Saba variants.
   ControllerStats controller_stats;
   uint64_t allocator_runs = 0;
+  // How much re-rating the incremental allocation engine skipped (see
+  // AllocationEngineStats; flows_frozen / (flows_rerated + flows_frozen) is
+  // the saved fraction).
+  AllocationEngineStats engine_stats;
   SimTime makespan = 0;
 };
 

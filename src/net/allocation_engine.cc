@@ -1,0 +1,712 @@
+#include "src/net/allocation_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace saba {
+namespace {
+
+// -----------------------------------------------------------------------------
+// Shared allocation core. The fluid WFQ allocation is a *nested* max-min:
+//   level 1: each egress port's capacity is split across its backlogged
+//            queues in proportion to the configured weights (WFQ);
+//   level 2: inside a queue, backlogged flows share the queue's allocation
+//            max-min fairly, weighted by ActiveFlow::intra_weight.
+//
+// We model every (link, queue) pair that carries flows as a *virtual
+// resource* with its own capacity, run classic weighted progressive filling
+// over those resources (each flow has ONE scalar weight — its intra weight —
+// so the filling is exact weighted max-min over the resources), and then
+// redistribute the capacity that under-demanding queues left unused to the
+// queues that were actually constrained, iterating toward the
+// work-conserving fixed point. A few rounds suffice: each round either finds
+// no slack or strictly grows some binding queue's capacity.
+//
+// Everything below operates on ONE connected component of the link-sharing
+// graph at a time: flows in different components share no link, so their
+// allocations are independent subproblems. Solving per component is what
+// makes the incremental engine's answer bit-identical to a from-scratch run —
+// both paths feed the same component, in the same canonical order (ascending
+// flow id), through the same code.
+// -----------------------------------------------------------------------------
+
+// Working state for one virtual resource (a queue on a link).
+struct ResourceWork {
+  double capacity = 0;   // Goodput available to this queue at this link.
+  double remaining = 0;  // Capacity not yet claimed by frozen flows (per fill).
+  double denom = 0;      // Sum of weights of still-active flows.
+  int active = 0;
+  uint64_t version = 0;
+  bool requeue_mark = false;
+  bool binding = false;  // Some flow froze *at* this resource in the last fill.
+  std::vector<int> flow_indices;
+
+  void ResetForFill() {
+    remaining = capacity;
+    denom = 0;
+    active = 0;
+    version = 0;
+    requeue_mark = false;
+    binding = false;
+    flow_indices.clear();  // Keeps vector capacity across fills.
+  }
+};
+
+struct HeapEntry {
+  double level = 0;  // remaining / denom at push time.
+  int resource = 0;
+  uint64_t version = 0;
+};
+
+struct HeapLater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const { return a.level > b.level; }
+};
+
+// Maps LinkId -> dense slot, reusing storage across calls.
+class LinkSlotMap {
+ public:
+  void Prepare(size_t num_links) {
+    if (slots_.size() < num_links) {
+      slots_.assign(num_links, -1);
+    }
+  }
+
+  int SlotFor(LinkId link, bool* inserted) {
+    int32_t& slot = slots_[static_cast<size_t>(link)];
+    *inserted = slot < 0;
+    if (slot < 0) {
+      slot = next_++;
+      touched_.push_back(link);
+    }
+    return slot;
+  }
+
+  int At(LinkId link) const { return slots_[static_cast<size_t>(link)]; }
+
+  void Reset() {
+    for (LinkId link : touched_) {
+      slots_[static_cast<size_t>(link)] = -1;
+    }
+    touched_.clear();
+    next_ = 0;
+  }
+
+ private:
+  std::vector<int32_t> slots_;
+  std::vector<LinkId> touched_;
+  int32_t next_ = 0;
+};
+
+// Weighted progressive filling over virtual resources. Each flow has a scalar
+// weight (its intra weight) and a list of resource ids (one per path link);
+// all rates grow in proportion to the weights until a resource saturates,
+// whose flows then freeze at their shares — classic, exact weighted max-min.
+void ProgressiveFill(const std::vector<ActiveFlow*>& flows,
+                     const std::vector<std::vector<int>>& resource_of,
+                     std::vector<ResourceWork>* resources, size_t num_resources) {
+  const size_t n = flows.size();
+  for (size_t f = 0; f < n; ++f) {
+    flows[f]->rate = 0;
+    for (int r : resource_of[f]) {
+      ResourceWork& work = (*resources)[static_cast<size_t>(r)];
+      work.denom += flows[f]->intra_weight;
+      work.active += 1;
+      work.flow_indices.push_back(static_cast<int>(f));
+    }
+  }
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap;
+  auto push_resource = [&](int r) {
+    ResourceWork& work = (*resources)[static_cast<size_t>(r)];
+    if (work.active == 0 || work.denom <= 0) {
+      return;
+    }
+    heap.push({std::max(work.remaining, 0.0) / work.denom, r, work.version});
+  };
+  for (size_t r = 0; r < num_resources; ++r) {
+    push_resource(static_cast<int>(r));
+  }
+
+  static thread_local std::vector<bool> frozen;
+  frozen.assign(n, false);
+  size_t frozen_count = 0;
+  while (frozen_count < n && !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    ResourceWork& bottleneck = (*resources)[static_cast<size_t>(top.resource)];
+    if (top.version != bottleneck.version || bottleneck.active == 0) {
+      continue;  // Stale entry; a fresh one was pushed when the state changed.
+    }
+    const double level = top.level;
+    bottleneck.binding = true;
+    // Freeze every still-active flow on the bottleneck at its weighted share,
+    // collecting the changed resources (deduplicated — a busy bottleneck
+    // would otherwise re-queue the same resource hundreds of times).
+    static thread_local std::vector<int> requeue;
+    requeue.clear();
+    for (int fi : bottleneck.flow_indices) {
+      const size_t f = static_cast<size_t>(fi);
+      if (frozen[f]) {
+        continue;
+      }
+      frozen[f] = true;
+      ++frozen_count;
+      const double rate = flows[f]->intra_weight * level;
+      flows[f]->rate = rate;
+      for (int r : resource_of[f]) {
+        ResourceWork& work = (*resources)[static_cast<size_t>(r)];
+        work.remaining -= rate;
+        work.denom -= flows[f]->intra_weight;
+        work.active -= 1;
+        ++work.version;
+        if (!work.requeue_mark) {
+          work.requeue_mark = true;
+          requeue.push_back(r);
+        }
+      }
+    }
+    for (int r : requeue) {
+      (*resources)[static_cast<size_t>(r)].requeue_mark = false;
+      push_resource(r);
+    }
+  }
+  assert(frozen_count == n && "every flow must freeze at some bottleneck");
+  (void)frozen_count;
+}
+
+// Prepared inputs for the nested WFQ fixed point, shared by the SL-mapped
+// and per-application disciplines.
+struct NestedWfqInput {
+  // Per flow: the resource index of each path link, in path order.
+  std::vector<std::vector<int>> resource_of;
+  struct Resource {
+    double weight = 1;      // Configured WFQ weight of the queue behind it.
+    double efficiency = 1;  // Congestion-model efficiency of the queue.
+  };
+  std::vector<Resource> resources;
+  // Per link slot: raw capacity and the resources living on the link.
+  std::vector<double> link_capacity;
+  std::vector<std::vector<int>> link_resources;
+};
+
+// Runs the redistribution rounds; leaves final rates in the flows.
+void SolveNestedWfq(const std::vector<ActiveFlow*>& flows, const NestedWfqInput& input,
+                    std::vector<ResourceWork>* work) {
+  const size_t num_resources = input.resources.size();
+
+  // Initial capacities: WFQ shares among the queues present at each link,
+  // each degraded by its own protocol efficiency.
+  for (size_t ls = 0; ls < input.link_resources.size(); ++ls) {
+    double weight_sum = 0;
+    for (int r : input.link_resources[ls]) {
+      weight_sum += input.resources[static_cast<size_t>(r)].weight;
+    }
+    assert(weight_sum > 0);
+    for (int r : input.link_resources[ls]) {
+      const auto& meta = input.resources[static_cast<size_t>(r)];
+      (*work)[static_cast<size_t>(r)].capacity =
+          input.link_capacity[ls] * (meta.weight / weight_sum) * meta.efficiency;
+    }
+  }
+
+  constexpr int kMaxRounds = 4;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    for (size_t r = 0; r < num_resources; ++r) {
+      (*work)[r].ResetForFill();
+    }
+    ProgressiveFill(flows, input.resource_of, work, num_resources);
+    if (round + 1 == kMaxRounds) {
+      break;  // This fill stands.
+    }
+
+    // Work conservation: re-home each link's unused capacity to the queues
+    // that were actually constrained there ("binding"), in weight proportion.
+    // Slack re-enters scaled by the receiving queue's own efficiency — WRR
+    // can only hand out what the (imperfect) protocol can carry.
+    bool changed = false;
+    for (size_t ls = 0; ls < input.link_resources.size(); ++ls) {
+      double used = 0;
+      double wire_used = 0;
+      double hungry_weight = 0;
+      for (int r : input.link_resources[ls]) {
+        const ResourceWork& res = (*work)[static_cast<size_t>(r)];
+        const auto& meta = input.resources[static_cast<size_t>(r)];
+        const double goodput = res.capacity - std::max(res.remaining, 0.0);
+        used += goodput;
+        wire_used += meta.efficiency > 0 ? goodput / meta.efficiency : goodput;
+        if (res.binding) {
+          hungry_weight += meta.weight;
+        }
+      }
+      const double slack = input.link_capacity[ls] - wire_used;
+      if (slack <= input.link_capacity[ls] * 1e-9 || hungry_weight <= 0) {
+        continue;
+      }
+      for (int r : input.link_resources[ls]) {
+        ResourceWork& res = (*work)[static_cast<size_t>(r)];
+        const auto& meta = input.resources[static_cast<size_t>(r)];
+        const double goodput = res.capacity - std::max(res.remaining, 0.0);
+        if (res.binding) {
+          const double grant = slack * (meta.weight / hungry_weight) * meta.efficiency;
+          if (grant > input.link_capacity[ls] * 1e-9) {
+            changed = true;
+          }
+          res.capacity = goodput + grant;
+        } else {
+          // Keep only what it used; its surplus is being re-homed.
+          res.capacity = goodput;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+}
+
+// Nested WFQ over one component: `queue_key(flow, link)` identifies the
+// flow's queue at a port, `queue_weight(flow, link)` its weight. The flows
+// must be in canonical (ascending id) order — resource numbering, weight
+// accumulation, and freeze order all follow it.
+template <typename QueueKeyFn, typename QueueWeightFn>
+void SolveComponentNested(const std::vector<ActiveFlow*>& flows, const Network& net,
+                          QueueKeyFn queue_key, QueueWeightFn queue_weight) {
+  if (flows.empty()) {
+    return;
+  }
+
+  static thread_local LinkSlotMap link_slot;
+  link_slot.Prepare(net.topology().num_links());
+
+  NestedWfqInput input;
+  input.resource_of.assign(flows.size(), {});
+
+  // Per link slot: (queue key -> resource index), linear-scanned small vecs.
+  static thread_local std::vector<std::vector<std::pair<int, int>>> queue_index;
+  // Per resource: distinct apps (for the congestion model).
+  std::vector<std::vector<AppId>> apps_in_resource;
+
+  for (size_t f = 0; f < flows.size(); ++f) {
+    const ActiveFlow* flow = flows[f];
+    assert(flow->path != nullptr && !flow->path->empty());
+    assert(flow->remaining_bits > 0);
+    assert(flow->intra_weight > 0);
+    input.resource_of[f].reserve(flow->path->size());
+    for (LinkId l : *flow->path) {
+      bool inserted = false;
+      const int ls = link_slot.SlotFor(l, &inserted);
+      if (inserted) {
+        if (queue_index.size() <= static_cast<size_t>(ls)) {
+          queue_index.resize(static_cast<size_t>(ls) + 1);
+        }
+        queue_index[static_cast<size_t>(ls)].clear();
+        input.link_capacity.resize(static_cast<size_t>(ls) + 1);
+        input.link_capacity[static_cast<size_t>(ls)] = net.topology().link(l).capacity_bps;
+        input.link_resources.resize(static_cast<size_t>(ls) + 1);
+      }
+      const int key = queue_key(*flow, l);
+      auto& index = queue_index[static_cast<size_t>(ls)];
+      auto it = std::find_if(index.begin(), index.end(),
+                             [key](const auto& entry) { return entry.first == key; });
+      int resource;
+      if (it == index.end()) {
+        resource = static_cast<int>(input.resources.size());
+        index.emplace_back(key, resource);
+        input.resources.push_back({queue_weight(*flow, l), 1.0});
+        input.link_resources[static_cast<size_t>(ls)].push_back(resource);
+        apps_in_resource.emplace_back();
+      } else {
+        resource = it->second;
+      }
+      auto& apps = apps_in_resource[static_cast<size_t>(resource)];
+      if (std::find(apps.begin(), apps.end(), flow->app) == apps.end()) {
+        apps.push_back(flow->app);
+      }
+      input.resource_of[f].push_back(resource);
+    }
+  }
+
+  for (size_t r = 0; r < input.resources.size(); ++r) {
+    input.resources[r].efficiency =
+        net.congestion().QueueEfficiency(apps_in_resource[r].size());
+  }
+
+  static thread_local std::vector<ResourceWork> work;
+  if (work.size() < input.resources.size()) {
+    work.resize(input.resources.size());
+  }
+  SolveNestedWfq(flows, input, &work);
+  link_slot.Reset();
+}
+
+// Strict priority over one component: classes served best (lowest value)
+// first, each getting a max-min allocation of what higher classes left. All
+// scratch lives in thread_local arenas — this solver runs once per component
+// per event, so per-call heap allocation would dominate at churn rates.
+void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& net) {
+  if (flows.empty()) {
+    return;
+  }
+
+  // Group by priority class; the stable sort preserves the canonical id
+  // order within each class.
+  static thread_local std::vector<ActiveFlow*> by_class;
+  by_class.assign(flows.begin(), flows.end());
+  std::stable_sort(by_class.begin(), by_class.end(), [](const ActiveFlow* a, const ActiveFlow* b) {
+    return a->priority < b->priority;
+  });
+
+  // Remaining capacity persists across classes; lower classes only see what
+  // higher classes left behind.
+  static thread_local LinkSlotMap remaining_slot;
+  remaining_slot.Prepare(net.topology().num_links());
+  static thread_local std::vector<double> remaining;
+  remaining.clear();
+  for (const ActiveFlow* flow : by_class) {
+    assert(flow->path != nullptr && !flow->path->empty());
+    for (LinkId l : *flow->path) {
+      bool inserted = false;
+      (void)remaining_slot.SlotFor(l, &inserted);
+      if (inserted) {
+        remaining.push_back(net.topology().link(l).capacity_bps);
+      }
+    }
+  }
+
+  static thread_local std::vector<ActiveFlow*> cls;
+  static thread_local std::vector<std::vector<int>> resource_of;
+  static thread_local std::vector<ResourceWork> links;
+  static thread_local LinkSlotMap link_slot;
+
+  size_t i = 0;
+  while (i < by_class.size()) {
+    const int prio = by_class[i]->priority;
+    cls.clear();
+    while (i < by_class.size() && by_class[i]->priority == prio) {
+      cls.push_back(by_class[i]);
+      ++i;
+    }
+
+    // Weighted max-min within the class on the remaining capacity: one
+    // resource per link (a priority class behaves like a single queue).
+    link_slot.Prepare(net.topology().num_links());
+    if (resource_of.size() < cls.size()) {
+      resource_of.resize(cls.size());
+    }
+    size_t used_links = 0;
+    for (size_t f = 0; f < cls.size(); ++f) {
+      resource_of[f].clear();
+      resource_of[f].reserve(cls[f]->path->size());
+      for (LinkId l : *cls[f]->path) {
+        bool inserted = false;
+        const int slot = link_slot.SlotFor(l, &inserted);
+        if (inserted) {
+          if (links.size() <= used_links) {
+            links.emplace_back();
+          }
+          links[used_links].capacity =
+              std::max(remaining[static_cast<size_t>(remaining_slot.At(l))], 0.0);
+          links[used_links].ResetForFill();
+          ++used_links;
+        }
+        resource_of[f].push_back(slot);
+      }
+    }
+    ProgressiveFill(cls, resource_of, &links, used_links);
+    link_slot.Reset();
+
+    for (const ActiveFlow* flow : cls) {
+      for (LinkId l : *flow->path) {
+        double& rem = remaining[static_cast<size_t>(remaining_slot.At(l))];
+        rem = std::max(0.0, rem - flow->rate);
+      }
+    }
+  }
+  remaining_slot.Reset();
+}
+
+// Solves one component under the discipline. Flows must be id-sorted.
+void SolveComponent(const std::vector<ActiveFlow*>& flows, const Network& net,
+                    AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights) {
+  switch (discipline) {
+    case AllocationDiscipline::kWfqSlQueues:
+      SolveComponentNested(
+          flows, net,
+          [&net](const ActiveFlow& flow, LinkId l) {
+            const PortConfig& port = net.port(l);
+            const int q = port.sl_to_queue[static_cast<size_t>(flow.sl)];
+            assert(q >= 0 && q < port.num_queues);
+            return q;
+          },
+          [&net](const ActiveFlow& flow, LinkId l) {
+            const PortConfig& port = net.port(l);
+            const int q = port.sl_to_queue[static_cast<size_t>(flow.sl)];
+            const double w = port.queue_weights[static_cast<size_t>(q)];
+            assert(w > 0 && "queue weights must be strictly positive");
+            return w;
+          });
+      break;
+    case AllocationDiscipline::kPerAppQueues:
+      SolveComponentNested(
+          flows, net, [](const ActiveFlow& flow, LinkId) { return static_cast<int>(flow.app); },
+          [&per_app_weights](const ActiveFlow& flow, LinkId l) {
+            const double w = per_app_weights ? per_app_weights(l, flow.app) : 1.0;
+            assert(w > 0);
+            return w;
+          });
+      break;
+    case AllocationDiscipline::kStrictPriority:
+      SolveComponentStrict(flows, net);
+      break;
+  }
+}
+
+// Union-find over links, storage reused across calls like LinkSlotMap.
+class LinkUnionFind {
+ public:
+  void Prepare(size_t num_links) {
+    if (parent_.size() < num_links) {
+      parent_.assign(num_links, kInvalidLink);
+    }
+  }
+
+  LinkId Find(LinkId l) {
+    if (parent_[static_cast<size_t>(l)] == kInvalidLink) {
+      parent_[static_cast<size_t>(l)] = l;
+      touched_.push_back(l);
+    }
+    LinkId root = l;
+    while (parent_[static_cast<size_t>(root)] != root) {
+      root = parent_[static_cast<size_t>(root)];
+    }
+    while (parent_[static_cast<size_t>(l)] != root) {
+      const LinkId next = parent_[static_cast<size_t>(l)];
+      parent_[static_cast<size_t>(l)] = root;
+      l = next;
+    }
+    return root;
+  }
+
+  void Union(LinkId a, LinkId b) {
+    const LinkId ra = Find(a);
+    const LinkId rb = Find(b);
+    if (ra != rb) {
+      parent_[static_cast<size_t>(rb)] = ra;
+    }
+  }
+
+  void Reset() {
+    for (LinkId l : touched_) {
+      parent_[static_cast<size_t>(l)] = kInvalidLink;
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<LinkId> parent_;
+  std::vector<LinkId> touched_;
+};
+
+// Partitions id-sorted flows into link-sharing components and solves each.
+// Components are numbered by first appearance in the sorted scan; flows stay
+// in sorted order within their component. Returns the component count.
+size_t SolvePartitioned(const std::vector<ActiveFlow*>& sorted_flows, const Network& net,
+                        AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights) {
+  if (sorted_flows.empty()) {
+    return 0;
+  }
+
+  static thread_local LinkUnionFind uf;
+  uf.Prepare(net.topology().num_links());
+  for (const ActiveFlow* flow : sorted_flows) {
+    assert(flow->path != nullptr && !flow->path->empty());
+    const LinkId first = flow->path->front();
+    (void)uf.Find(first);  // Registers single-link paths too.
+    for (size_t i = 1; i < flow->path->size(); ++i) {
+      uf.Union(first, (*flow->path)[i]);
+    }
+  }
+
+  static thread_local std::vector<int32_t> group_of_root;  // Per link, -1 = none.
+  if (group_of_root.size() < net.topology().num_links()) {
+    group_of_root.assign(net.topology().num_links(), -1);
+  }
+  static thread_local std::vector<LinkId> group_roots;
+  static thread_local std::vector<std::vector<ActiveFlow*>> groups;
+  size_t num_groups = 0;
+  for (ActiveFlow* flow : sorted_flows) {
+    const LinkId root = uf.Find(flow->path->front());
+    int32_t& g = group_of_root[static_cast<size_t>(root)];
+    if (g < 0) {
+      g = static_cast<int32_t>(num_groups++);
+      group_roots.push_back(root);
+      if (groups.size() < num_groups) {
+        groups.emplace_back();
+      }
+      groups[static_cast<size_t>(g)].clear();
+    }
+    groups[static_cast<size_t>(g)].push_back(flow);
+  }
+
+  for (size_t g = 0; g < num_groups; ++g) {
+    SolveComponent(groups[g], net, discipline, per_app_weights);
+  }
+
+  for (LinkId root : group_roots) {
+    group_of_root[static_cast<size_t>(root)] = -1;
+  }
+  group_roots.clear();
+  uf.Reset();
+  return num_groups;
+}
+
+}  // namespace
+
+void AllocateFromScratch(const std::vector<ActiveFlow*>& flows, const Network& net,
+                         AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights) {
+  if (flows.empty()) {
+    return;
+  }
+  static thread_local std::vector<ActiveFlow*> sorted;
+  sorted.assign(flows.begin(), flows.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
+  SolvePartitioned(sorted, net, discipline, per_app_weights);
+}
+
+AllocationEngine::AllocationEngine(const Network* net, AllocationDiscipline discipline,
+                                   PerAppWeightFn per_app_weights)
+    : net_(net), discipline_(discipline), per_app_weights_(std::move(per_app_weights)) {
+  assert(net != nullptr);
+  const size_t num_links = net->topology().num_links();
+  link_flows_.resize(num_links);
+  link_dirty_.assign(num_links, 0);
+  link_visited_.assign(num_links, 0);
+}
+
+void AllocationEngine::MarkLinkDirty(LinkId link) {
+  assert(link >= 0 && static_cast<size_t>(link) < link_dirty_.size());
+  if (!link_dirty_[static_cast<size_t>(link)]) {
+    link_dirty_[static_cast<size_t>(link)] = 1;
+    dirty_links_.push_back(link);
+  }
+}
+
+void AllocationEngine::FlowAdded(ActiveFlow* flow) {
+  assert(flow != nullptr && flow->path != nullptr && !flow->path->empty());
+  const auto [it, inserted] = flows_.emplace(flow->id, flow);
+  assert(inserted && "flow ids must be unique");
+  (void)it;
+  (void)inserted;
+  for (LinkId l : *flow->path) {
+    link_flows_[static_cast<size_t>(l)].push_back(flow);
+    MarkLinkDirty(l);
+  }
+}
+
+void AllocationEngine::FlowRemoved(ActiveFlow* flow) {
+  assert(flow != nullptr);
+  const size_t erased = flows_.erase(flow->id);
+  assert(erased == 1 && "flow not registered");
+  (void)erased;
+  for (LinkId l : *flow->path) {
+    auto& members = link_flows_[static_cast<size_t>(l)];
+    const auto it = std::find(members.begin(), members.end(), flow);
+    assert(it != members.end());
+    *it = members.back();
+    members.pop_back();
+    MarkLinkDirty(l);
+  }
+}
+
+void AllocationEngine::FlowQueueChanged(ActiveFlow* flow) {
+  assert(flow != nullptr);
+  assert(flows_.count(flow->id) == 1 && "flow not registered");
+  for (LinkId l : *flow->path) {
+    MarkLinkDirty(l);
+  }
+}
+
+void AllocationEngine::PortConfigChanged(LinkId link) {
+  MarkLinkDirty(link);
+}
+
+void AllocationEngine::InvalidateAll() { all_dirty_ = true; }
+
+void AllocationEngine::CollectComponent(LinkId seed, std::vector<ActiveFlow*>* out) {
+  bfs_queue_.clear();
+  link_visited_[static_cast<size_t>(seed)] = 1;
+  visited_scratch_.push_back(seed);
+  bfs_queue_.push_back(seed);
+  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const LinkId l = bfs_queue_[head];
+    for (ActiveFlow* flow : link_flows_[static_cast<size_t>(l)]) {
+      out->push_back(flow);  // Once per incident link; deduplicated below.
+      for (LinkId k : *flow->path) {
+        if (!link_visited_[static_cast<size_t>(k)]) {
+          link_visited_[static_cast<size_t>(k)] = 1;
+          visited_scratch_.push_back(k);
+          bfs_queue_.push_back(k);
+        }
+      }
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
+  out->erase(std::unique(out->begin(), out->end(),
+                         [](const ActiveFlow* a, const ActiveFlow* b) { return a->id == b->id; }),
+             out->end());
+}
+
+void AllocationEngine::Recompute() {
+  if (!all_dirty_ && dirty_links_.empty()) {
+    return;
+  }
+  ++stats_.recomputes;
+  const size_t total = flows_.size();
+  size_t rerated = 0;
+
+  if (all_dirty_) {
+    ++stats_.full_recomputes;
+    all_flows_scratch_.clear();
+    all_flows_scratch_.reserve(flows_.size());
+    for (const auto& [id, flow] : flows_) {
+      all_flows_scratch_.push_back(flow);  // std::map: already id-sorted.
+    }
+    stats_.components_solved +=
+        SolvePartitioned(all_flows_scratch_, *net_, discipline_, per_app_weights_);
+    rerated = all_flows_scratch_.size();
+  } else {
+    for (const LinkId seed : dirty_links_) {
+      if (link_visited_[static_cast<size_t>(seed)]) {
+        continue;  // Already part of an earlier seed's component.
+      }
+      component_flows_.clear();
+      CollectComponent(seed, &component_flows_);
+      if (component_flows_.empty()) {
+        continue;  // A dirty link nobody crosses (e.g. a removed flow's last link).
+      }
+      SolveComponent(component_flows_, *net_, discipline_, per_app_weights_);
+      ++stats_.components_solved;
+      rerated += component_flows_.size();
+    }
+    for (const LinkId l : visited_scratch_) {
+      link_visited_[static_cast<size_t>(l)] = 0;
+    }
+    visited_scratch_.clear();
+  }
+
+  stats_.flows_rerated += rerated;
+  stats_.flows_frozen += total - rerated;
+  for (const LinkId l : dirty_links_) {
+    link_dirty_[static_cast<size_t>(l)] = 0;
+  }
+  dirty_links_.clear();
+  all_dirty_ = false;
+}
+
+}  // namespace saba

@@ -1,0 +1,135 @@
+// Incremental allocation engine: a persistent fabric state driven by deltas.
+//
+// The stateless BandwidthAllocator interface rebuilds the whole
+// flow -> queue -> link resource graph on every call, even though a typical
+// simulator event (one flow starting or completing) perturbs only the links on
+// that flow's path. AllocationEngine keeps the graph alive between events:
+// callers stream deltas (FlowAdded / FlowRemoved / FlowQueueChanged /
+// PortConfigChanged), the engine tracks a dirty-link set, and Recompute()
+// expands the dirty links to the affected connected components of the
+// link-sharing graph and re-runs progressive filling only over those
+// components. Flows outside the dirty components keep their previous rates.
+//
+// Exactness, not approximation: two flows can influence each other's rates
+// only through a chain of shared links, so a connected component of the
+// link <-> flow sharing graph is a self-contained allocation subproblem. Both
+// the engine and the from-scratch path (AllocateFromScratch, which backs the
+// classic BandwidthAllocator::Allocate) decompose the fabric into components
+// and solve each with the same code over the same canonical flow order
+// (ascending flow id). Incremental and from-scratch rates are therefore
+// bit-identical — a property tests/allocation_engine_test.cc enforces under
+// randomized churn. InvalidateAll() remains as the full-recompute fallback
+// (and is what RequestReallocate maps to when the changed ports are unknown).
+//
+// Determinism: the engine introduces no randomness and no dependence on
+// memory layout; the canonical flow order is by flow id, so results are
+// reproducible across runs and SABA_JOBS settings (DESIGN.md §7).
+
+#ifndef SRC_NET_ALLOCATION_ENGINE_H_
+#define SRC_NET_ALLOCATION_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/net/allocator.h"
+#include "src/net/network.h"
+
+namespace saba {
+
+// Counters exposed for benchmarks and the co-run report. flows_rerated vs
+// flow_events shows how much work the dirty-component expansion saved.
+struct AllocationEngineStats {
+  uint64_t recomputes = 0;        // Recompute() calls that had dirty state.
+  uint64_t full_recomputes = 0;   // ... of which took the full fallback path.
+  uint64_t components_solved = 0; // Connected components re-solved.
+  uint64_t flows_rerated = 0;     // Flow rates recomputed, summed over solves.
+  uint64_t flows_frozen = 0;      // Flows whose rates were left untouched.
+};
+
+class AllocationEngine {
+ public:
+  // `net` must outlive the engine; the topology's link count must not change
+  // (port *configurations* may, via PortConfigChanged / InvalidateAll).
+  // `per_app_weights` is used by kPerAppQueues only (null = unit weights).
+  AllocationEngine(const Network* net, AllocationDiscipline discipline,
+                   PerAppWeightFn per_app_weights = nullptr);
+
+  AllocationEngine(const AllocationEngine&) = delete;
+  AllocationEngine& operator=(const AllocationEngine&) = delete;
+
+  // --- Delta feed ----------------------------------------------------------
+  // The flow pointer must stay valid and its path stable until FlowRemoved.
+  // Flow ids must be unique among registered flows.
+  void FlowAdded(ActiveFlow* flow);
+  void FlowRemoved(ActiveFlow* flow);
+  // The flow moved queues in place: its sl, priority, or intra_weight
+  // changed. (A path change requires FlowRemoved + FlowAdded.)
+  void FlowQueueChanged(ActiveFlow* flow);
+  // The PortConfig of `link` changed (queue count, SL map, weights).
+  void PortConfigChanged(LinkId link);
+  // Something unattributable changed (e.g. a fabric-wide reconfiguration):
+  // the next Recompute() re-rates every flow from scratch.
+  void InvalidateAll();
+
+  // Re-rates every flow in a component touched by a dirty link; all other
+  // flows keep their previous rate. With no dirty state this is a no-op.
+  void Recompute();
+
+  // --- Stable flow index ---------------------------------------------------
+  // Visits every registered flow in ascending id order (no copies). Policies
+  // may mutate flow attributes and feed deltas during the visit, but must not
+  // add or remove flows.
+  template <typename Fn>
+  void ForEachFlow(Fn&& fn) const {
+    for (const auto& [id, flow] : flows_) {
+      fn(static_cast<const ActiveFlow&>(*flow));
+    }
+  }
+
+  size_t flow_count() const { return flows_.size(); }
+  const AllocationEngineStats& stats() const { return stats_; }
+
+ private:
+  void MarkLinkDirty(LinkId link);
+  // Appends the component of `seed` (links and id-sorted flows) reachable
+  // through shared links, marking links visited. Returns the flows.
+  void CollectComponent(LinkId seed, std::vector<ActiveFlow*>* out);
+
+  const Network* net_;
+  const AllocationDiscipline discipline_;
+  const PerAppWeightFn per_app_weights_;
+
+  // id -> flow: the stable, canonically ordered flow index.
+  std::map<FlowId, ActiveFlow*> flows_;
+  // Per link: flows whose path crosses it (unordered; canonical order always
+  // comes from flow ids).
+  std::vector<std::vector<ActiveFlow*>> link_flows_;
+
+  std::vector<LinkId> dirty_links_;
+  std::vector<uint8_t> link_dirty_;
+  bool all_dirty_ = false;
+
+  // Recompute() scratch, persistent to avoid reallocation.
+  std::vector<uint8_t> link_visited_;
+  std::vector<LinkId> visited_scratch_;
+  std::vector<LinkId> bfs_queue_;
+  std::vector<ActiveFlow*> component_flows_;
+  std::vector<ActiveFlow*> all_flows_scratch_;
+
+  AllocationEngineStats stats_;
+};
+
+// From-scratch allocation under `discipline`: sorts the flows into canonical
+// order, partitions them into link-sharing components, and solves each with
+// the same component solver the engine uses. This is the oracle the
+// incremental path is tested against, and the implementation behind the
+// stateless BandwidthAllocator::Allocate entry points. Flow ids must be
+// unique. Writes ActiveFlow::rate for every flow.
+void AllocateFromScratch(const std::vector<ActiveFlow*>& flows, const Network& net,
+                         AllocationDiscipline discipline,
+                         const PerAppWeightFn& per_app_weights = nullptr);
+
+}  // namespace saba
+
+#endif  // SRC_NET_ALLOCATION_ENGINE_H_

@@ -1,441 +1,38 @@
 #include "src/net/allocator.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <limits>
-#include <queue>
+#include <memory>
+
+#include "src/net/allocation_engine.h"
 
 namespace saba {
-namespace {
 
-// -----------------------------------------------------------------------------
-// The fluid WFQ allocation is a *nested* max-min:
-//   level 1: each egress port's capacity is split across its backlogged
-//            queues in proportion to the configured weights (WFQ);
-//   level 2: inside a queue, backlogged flows share the queue's allocation
-//            max-min fairly, weighted by ActiveFlow::intra_weight.
-//
-// We model every (link, queue) pair that carries flows as a *virtual
-// resource* with its own capacity, run classic weighted progressive filling
-// over those resources (each flow has ONE scalar weight — its intra weight —
-// so the filling is exact weighted max-min over the resources), and then
-// redistribute the capacity that under-demanding queues left unused to the
-// queues that were actually constrained, iterating toward the
-// work-conserving fixed point. A few rounds suffice: each round either finds
-// no slack or strictly grows some binding queue's capacity.
-// -----------------------------------------------------------------------------
-
-// Working state for one virtual resource (a queue on a link).
-struct ResourceWork {
-  double capacity = 0;   // Goodput available to this queue at this link.
-  double remaining = 0;  // Capacity not yet claimed by frozen flows (per fill).
-  double denom = 0;      // Sum of weights of still-active flows.
-  int active = 0;
-  uint64_t version = 0;
-  bool requeue_mark = false;
-  bool binding = false;  // Some flow froze *at* this resource in the last fill.
-  std::vector<int> flow_indices;
-
-  void ResetForFill() {
-    remaining = capacity;
-    denom = 0;
-    active = 0;
-    version = 0;
-    requeue_mark = false;
-    binding = false;
-    flow_indices.clear();  // Keeps vector capacity across fills.
-  }
-};
-
-struct HeapEntry {
-  double level = 0;  // remaining / denom at push time.
-  int resource = 0;
-  uint64_t version = 0;
-};
-
-struct HeapLater {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const { return a.level > b.level; }
-};
-
-// Maps LinkId -> dense slot, reusing storage across calls.
-class LinkSlotMap {
- public:
-  void Prepare(size_t num_links) {
-    if (slots_.size() < num_links) {
-      slots_.assign(num_links, -1);
-    }
-  }
-
-  int SlotFor(LinkId link, bool* inserted) {
-    int32_t& slot = slots_[static_cast<size_t>(link)];
-    *inserted = slot < 0;
-    if (slot < 0) {
-      slot = next_++;
-      touched_.push_back(link);
-    }
-    return slot;
-  }
-
-  int At(LinkId link) const { return slots_[static_cast<size_t>(link)]; }
-
-  void Reset() {
-    for (LinkId link : touched_) {
-      slots_[static_cast<size_t>(link)] = -1;
-    }
-    touched_.clear();
-    next_ = 0;
-  }
-
- private:
-  std::vector<int32_t> slots_;
-  std::vector<LinkId> touched_;
-  int32_t next_ = 0;
-};
-
-// Weighted progressive filling over virtual resources. Each flow has a scalar
-// weight (its intra weight) and a list of resource ids (one per path link);
-// all rates grow in proportion to the weights until a resource saturates,
-// whose flows then freeze at their shares — classic, exact weighted max-min.
-void ProgressiveFill(const std::vector<ActiveFlow*>& flows,
-                     const std::vector<std::vector<int>>& resource_of,
-                     std::vector<ResourceWork>* resources, size_t num_resources) {
-  const size_t n = flows.size();
-  for (size_t f = 0; f < n; ++f) {
-    flows[f]->rate = 0;
-    for (int r : resource_of[f]) {
-      ResourceWork& work = (*resources)[static_cast<size_t>(r)];
-      work.denom += flows[f]->intra_weight;
-      work.active += 1;
-      work.flow_indices.push_back(static_cast<int>(f));
-    }
-  }
-
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap;
-  auto push_resource = [&](int r) {
-    ResourceWork& work = (*resources)[static_cast<size_t>(r)];
-    if (work.active == 0 || work.denom <= 0) {
-      return;
-    }
-    heap.push({std::max(work.remaining, 0.0) / work.denom, r, work.version});
-  };
-  for (size_t r = 0; r < num_resources; ++r) {
-    push_resource(static_cast<int>(r));
-  }
-
-  static thread_local std::vector<bool> frozen;
-  frozen.assign(n, false);
-  size_t frozen_count = 0;
-  while (frozen_count < n && !heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    ResourceWork& bottleneck = (*resources)[static_cast<size_t>(top.resource)];
-    if (top.version != bottleneck.version || bottleneck.active == 0) {
-      continue;  // Stale entry; a fresh one was pushed when the state changed.
-    }
-    const double level = top.level;
-    bottleneck.binding = true;
-    // Freeze every still-active flow on the bottleneck at its weighted share,
-    // collecting the changed resources (deduplicated — a busy bottleneck
-    // would otherwise re-queue the same resource hundreds of times).
-    static thread_local std::vector<int> requeue;
-    requeue.clear();
-    for (int fi : bottleneck.flow_indices) {
-      const size_t f = static_cast<size_t>(fi);
-      if (frozen[f]) {
-        continue;
-      }
-      frozen[f] = true;
-      ++frozen_count;
-      const double rate = flows[f]->intra_weight * level;
-      flows[f]->rate = rate;
-      for (int r : resource_of[f]) {
-        ResourceWork& work = (*resources)[static_cast<size_t>(r)];
-        work.remaining -= rate;
-        work.denom -= flows[f]->intra_weight;
-        work.active -= 1;
-        ++work.version;
-        if (!work.requeue_mark) {
-          work.requeue_mark = true;
-          requeue.push_back(r);
-        }
-      }
-    }
-    for (int r : requeue) {
-      (*resources)[static_cast<size_t>(r)].requeue_mark = false;
-      push_resource(r);
-    }
-  }
-  assert(frozen_count == n && "every flow must freeze at some bottleneck");
-  (void)frozen_count;
-}
-
-// Prepared inputs for the nested WFQ fixed point, shared by the SL-mapped
-// and per-application allocators.
-struct NestedWfqInput {
-  // Per flow: the resource index of each path link, in path order.
-  std::vector<std::vector<int>> resource_of;
-  struct Resource {
-    double weight = 1;      // Configured WFQ weight of the queue behind it.
-    double efficiency = 1;  // Congestion-model efficiency of the queue.
-  };
-  std::vector<Resource> resources;
-  // Per link slot: raw capacity and the resources living on the link.
-  std::vector<double> link_capacity;
-  std::vector<std::vector<int>> link_resources;
-};
-
-// Runs the redistribution rounds; leaves final rates in the flows.
-void SolveNestedWfq(const std::vector<ActiveFlow*>& flows, const NestedWfqInput& input,
-                    std::vector<ResourceWork>* work) {
-  const size_t num_resources = input.resources.size();
-
-  // Initial capacities: WFQ shares among the queues present at each link,
-  // each degraded by its own protocol efficiency.
-  for (size_t ls = 0; ls < input.link_resources.size(); ++ls) {
-    double weight_sum = 0;
-    for (int r : input.link_resources[ls]) {
-      weight_sum += input.resources[static_cast<size_t>(r)].weight;
-    }
-    assert(weight_sum > 0);
-    for (int r : input.link_resources[ls]) {
-      const auto& meta = input.resources[static_cast<size_t>(r)];
-      (*work)[static_cast<size_t>(r)].capacity =
-          input.link_capacity[ls] * (meta.weight / weight_sum) * meta.efficiency;
-    }
-  }
-
-  constexpr int kMaxRounds = 4;
-  for (int round = 0; round < kMaxRounds; ++round) {
-    for (size_t r = 0; r < num_resources; ++r) {
-      (*work)[r].ResetForFill();
-    }
-    ProgressiveFill(flows, input.resource_of, work, num_resources);
-    if (round + 1 == kMaxRounds) {
-      break;  // This fill stands.
-    }
-
-    // Work conservation: re-home each link's unused capacity to the queues
-    // that were actually constrained there ("binding"), in weight proportion.
-    // Slack re-enters scaled by the receiving queue's own efficiency — WRR
-    // can only hand out what the (imperfect) protocol can carry.
-    bool changed = false;
-    for (size_t ls = 0; ls < input.link_resources.size(); ++ls) {
-      double used = 0;
-      double wire_used = 0;
-      double hungry_weight = 0;
-      for (int r : input.link_resources[ls]) {
-        const ResourceWork& res = (*work)[static_cast<size_t>(r)];
-        const auto& meta = input.resources[static_cast<size_t>(r)];
-        const double goodput = res.capacity - std::max(res.remaining, 0.0);
-        used += goodput;
-        wire_used += meta.efficiency > 0 ? goodput / meta.efficiency : goodput;
-        if (res.binding) {
-          hungry_weight += meta.weight;
-        }
-      }
-      const double slack = input.link_capacity[ls] - wire_used;
-      if (slack <= input.link_capacity[ls] * 1e-9 || hungry_weight <= 0) {
-        continue;
-      }
-      for (int r : input.link_resources[ls]) {
-        ResourceWork& res = (*work)[static_cast<size_t>(r)];
-        const auto& meta = input.resources[static_cast<size_t>(r)];
-        const double goodput = res.capacity - std::max(res.remaining, 0.0);
-        if (res.binding) {
-          const double grant = slack * (meta.weight / hungry_weight) * meta.efficiency;
-          if (grant > input.link_capacity[ls] * 1e-9) {
-            changed = true;
-          }
-          res.capacity = goodput + grant;
-        } else {
-          // Keep only what it used; its surplus is being re-homed.
-          res.capacity = goodput;
-        }
-      }
-    }
-    if (!changed) {
-      break;
-    }
-  }
-}
-
-// Shared construction of the nested input: `queue_key(flow, link)` identifies
-// the flow's queue at a port, `queue_weight(flow, link)` its weight.
-template <typename QueueKeyFn, typename QueueWeightFn>
-void AllocateNested(const std::vector<ActiveFlow*>& flows, const Network& net,
-                    QueueKeyFn queue_key, QueueWeightFn queue_weight) {
-  if (flows.empty()) {
-    return;
-  }
-
-  static thread_local LinkSlotMap link_slot;
-  link_slot.Prepare(net.topology().num_links());
-
-  NestedWfqInput input;
-  input.resource_of.assign(flows.size(), {});
-
-  // Per link slot: (queue key -> resource index), linear-scanned small vecs.
-  static thread_local std::vector<std::vector<std::pair<int, int>>> queue_index;
-  // Per resource: distinct apps (for the congestion model).
-  std::vector<std::vector<AppId>> apps_in_resource;
-
-  for (size_t f = 0; f < flows.size(); ++f) {
-    const ActiveFlow* flow = flows[f];
-    assert(flow->path != nullptr && !flow->path->empty());
-    assert(flow->remaining_bits > 0);
-    assert(flow->intra_weight > 0);
-    input.resource_of[f].reserve(flow->path->size());
-    for (LinkId l : *flow->path) {
-      bool inserted = false;
-      const int ls = link_slot.SlotFor(l, &inserted);
-      if (inserted) {
-        if (queue_index.size() <= static_cast<size_t>(ls)) {
-          queue_index.resize(static_cast<size_t>(ls) + 1);
-        }
-        queue_index[static_cast<size_t>(ls)].clear();
-        input.link_capacity.resize(static_cast<size_t>(ls) + 1);
-        input.link_capacity[static_cast<size_t>(ls)] = net.topology().link(l).capacity_bps;
-        input.link_resources.resize(static_cast<size_t>(ls) + 1);
-      }
-      const int key = queue_key(*flow, l);
-      auto& index = queue_index[static_cast<size_t>(ls)];
-      auto it = std::find_if(index.begin(), index.end(),
-                             [key](const auto& entry) { return entry.first == key; });
-      int resource;
-      if (it == index.end()) {
-        resource = static_cast<int>(input.resources.size());
-        index.emplace_back(key, resource);
-        input.resources.push_back({queue_weight(*flow, l), 1.0});
-        input.link_resources[static_cast<size_t>(ls)].push_back(resource);
-        apps_in_resource.emplace_back();
-      } else {
-        resource = it->second;
-      }
-      auto& apps = apps_in_resource[static_cast<size_t>(resource)];
-      if (std::find(apps.begin(), apps.end(), flow->app) == apps.end()) {
-        apps.push_back(flow->app);
-      }
-      input.resource_of[f].push_back(resource);
-    }
-  }
-
-  for (size_t r = 0; r < input.resources.size(); ++r) {
-    input.resources[r].efficiency =
-        net.congestion().QueueEfficiency(apps_in_resource[r].size());
-  }
-
-  static thread_local std::vector<ResourceWork> work;
-  if (work.size() < input.resources.size()) {
-    work.resize(input.resources.size());
-  }
-  SolveNestedWfq(flows, input, &work);
-  link_slot.Reset();
-}
-
-}  // namespace
+// The allocators are thin strategies over the shared component solver in
+// allocation_engine.cc: Allocate() is a from-scratch run, CreateEngine()
+// yields the incremental path. Keeping both behind one implementation is what
+// guarantees their rates are bit-identical (see allocation_engine.h).
 
 void WfqMaxMinAllocator::Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) {
-  AllocateNested(
-      flows, net,
-      [&net](const ActiveFlow& flow, LinkId l) {
-        const PortConfig& port = net.port(l);
-        const int q = port.sl_to_queue[static_cast<size_t>(flow.sl)];
-        assert(q >= 0 && q < port.num_queues);
-        return q;
-      },
-      [&net](const ActiveFlow& flow, LinkId l) {
-        const PortConfig& port = net.port(l);
-        const int q = port.sl_to_queue[static_cast<size_t>(flow.sl)];
-        const double w = port.queue_weights[static_cast<size_t>(q)];
-        assert(w > 0 && "queue weights must be strictly positive");
-        return w;
-      });
+  AllocateFromScratch(flows, net, AllocationDiscipline::kWfqSlQueues);
+}
+
+std::unique_ptr<AllocationEngine> WfqMaxMinAllocator::CreateEngine(const Network* net) const {
+  return std::make_unique<AllocationEngine>(net, AllocationDiscipline::kWfqSlQueues);
+}
+
+void StrictPriorityAllocator::Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) {
+  AllocateFromScratch(flows, net, AllocationDiscipline::kStrictPriority);
+}
+
+std::unique_ptr<AllocationEngine> StrictPriorityAllocator::CreateEngine(const Network* net) const {
+  return std::make_unique<AllocationEngine>(net, AllocationDiscipline::kStrictPriority);
 }
 
 void PerAppWfqAllocator::Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) {
-  AllocateNested(
-      flows, net, [](const ActiveFlow& flow, LinkId) { return static_cast<int>(flow.app); },
-      [this](const ActiveFlow& flow, LinkId l) {
-        const double w = weights_ ? weights_(l, flow.app) : 1.0;
-        assert(w > 0);
-        return w;
-      });
+  AllocateFromScratch(flows, net, AllocationDiscipline::kPerAppQueues, weights_);
 }
 
-void StrictPriorityAllocator::Allocate(const std::vector<ActiveFlow*>& flows,
-                                       const Network& net) {
-  if (flows.empty()) {
-    return;
-  }
-
-  // Group by priority class, served best class (lowest value) first.
-  std::vector<int> order(flows.size());
-  for (size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<int>(i);
-  }
-  std::stable_sort(order.begin(), order.end(), [&flows](int a, int b) {
-    return flows[static_cast<size_t>(a)]->priority < flows[static_cast<size_t>(b)]->priority;
-  });
-
-  // Remaining capacity persists across classes; lower classes only see what
-  // higher classes left behind.
-  static thread_local LinkSlotMap remaining_slot;
-  remaining_slot.Prepare(net.topology().num_links());
-  std::vector<double> remaining;
-  for (const ActiveFlow* flow : flows) {
-    assert(flow->path != nullptr && !flow->path->empty());
-    for (LinkId l : *flow->path) {
-      bool inserted = false;
-      const int slot = remaining_slot.SlotFor(l, &inserted);
-      if (inserted) {
-        remaining.push_back(net.topology().link(l).capacity_bps);
-      }
-      (void)slot;
-    }
-  }
-
-  size_t i = 0;
-  while (i < order.size()) {
-    const int prio = flows[static_cast<size_t>(order[i])]->priority;
-    std::vector<ActiveFlow*> cls;
-    while (i < order.size() && flows[static_cast<size_t>(order[i])]->priority == prio) {
-      cls.push_back(flows[static_cast<size_t>(order[i])]);
-      ++i;
-    }
-
-    // Weighted max-min within the class on the remaining capacity: one
-    // resource per link (a priority class behaves like a single queue).
-    static thread_local LinkSlotMap link_slot;
-    link_slot.Prepare(net.topology().num_links());
-    std::vector<ResourceWork> links;
-    std::vector<std::vector<int>> resource_of(cls.size());
-    for (size_t f = 0; f < cls.size(); ++f) {
-      resource_of[f].reserve(cls[f]->path->size());
-      for (LinkId l : *cls[f]->path) {
-        bool inserted = false;
-        const int slot = link_slot.SlotFor(l, &inserted);
-        if (inserted) {
-          ResourceWork work;
-          work.capacity =
-              std::max(remaining[static_cast<size_t>(remaining_slot.At(l))], 0.0);
-          work.ResetForFill();
-          links.push_back(std::move(work));
-        }
-        resource_of[f].push_back(slot);
-      }
-    }
-    ProgressiveFill(cls, resource_of, &links, links.size());
-    link_slot.Reset();
-
-    for (const ActiveFlow* flow : cls) {
-      for (LinkId l : *flow->path) {
-        double& rem = remaining[static_cast<size_t>(remaining_slot.At(l))];
-        rem = std::max(0.0, rem - flow->rate);
-      }
-    }
-  }
-  remaining_slot.Reset();
+std::unique_ptr<AllocationEngine> PerAppWfqAllocator::CreateEngine(const Network* net) const {
+  return std::make_unique<AllocationEngine>(net, AllocationDiscipline::kPerAppQueues, weights_);
 }
 
 }  // namespace saba

@@ -22,12 +22,20 @@
 // Capacity efficiency: each queue's share is scaled by the Network's
 // CongestionModel according to how many distinct applications share the
 // queue at that link (see network.h for the rationale).
+//
+// Each allocator is a *strategy* over a shared allocation core
+// (src/net/allocation_engine.{h,cc}): the stateless Allocate() entry point
+// recomputes everything from scratch, while CreateEngine() yields a stateful
+// AllocationEngine that keeps the resource graph alive between events and
+// re-solves only the components touched by deltas. Both paths run the same
+// component solver, so their rates are bit-identical.
 
 #ifndef SRC_NET_ALLOCATOR_H_
 #define SRC_NET_ALLOCATOR_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -62,23 +70,41 @@ struct ActiveFlow {
   double rate = 0;
 };
 
+// Queue discipline a BandwidthAllocator (or AllocationEngine) solves under.
+enum class AllocationDiscipline {
+  kWfqSlQueues,     // Port SL->queue map + configured WFQ weights.
+  kPerAppQueues,    // One virtual queue per application at every port.
+  kStrictPriority,  // Priority classes served in order (class 0 first).
+};
+
+// Weight of application `app` at port `link` for kPerAppQueues; must be > 0.
+using PerAppWeightFn = std::function<double(LinkId, AppId)>;
+
+class AllocationEngine;
+
 class BandwidthAllocator {
  public:
   virtual ~BandwidthAllocator() = default;
 
   // Computes rates for all flows; writes ActiveFlow::rate. All flows must
-  // have non-empty paths and remaining_bits > 0.
+  // have non-empty paths, remaining_bits > 0, and unique ids.
   virtual void Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) = 0;
+
+  // A stateful engine solving the same discipline incrementally. `net` must
+  // outlive the engine (see allocation_engine.h).
+  virtual std::unique_ptr<AllocationEngine> CreateEngine(const Network* net) const = 0;
 };
 
 class WfqMaxMinAllocator : public BandwidthAllocator {
  public:
   void Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) override;
+  std::unique_ptr<AllocationEngine> CreateEngine(const Network* net) const override;
 };
 
 class StrictPriorityAllocator : public BandwidthAllocator {
  public:
   void Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) override;
+  std::unique_ptr<AllocationEngine> CreateEngine(const Network* net) const override;
 };
 
 // WFQ where every application gets its own (virtual) queue at every port,
@@ -90,13 +116,13 @@ class StrictPriorityAllocator : public BandwidthAllocator {
 // (queues are app-pure by construction).
 class PerAppWfqAllocator : public BandwidthAllocator {
  public:
-  // Returns the weight of `app` at the port `link`; must be > 0.
-  using WeightFn = std::function<double(LinkId, AppId)>;
+  using WeightFn = PerAppWeightFn;
 
   // Null `weights` means unit weight for every application (ideal max-min).
   explicit PerAppWfqAllocator(WeightFn weights = nullptr) : weights_(std::move(weights)) {}
 
   void Allocate(const std::vector<ActiveFlow*>& flows, const Network& net) override;
+  std::unique_ptr<AllocationEngine> CreateEngine(const Network* net) const override;
 
  private:
   WeightFn weights_;

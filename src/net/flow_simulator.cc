@@ -23,6 +23,7 @@ FlowSimulator::FlowSimulator(EventScheduler* scheduler, Network* network,
                              BandwidthAllocator* allocator)
     : scheduler_(scheduler), network_(network), allocator_(allocator) {
   assert(scheduler != nullptr && network != nullptr && allocator != nullptr);
+  engine_ = allocator_->CreateEngine(network_);
 }
 
 FlowId FlowSimulator::StartFlow(AppId app, NodeId src, NodeId dst, double bits, int sl,
@@ -47,7 +48,9 @@ FlowId FlowSimulator::StartFlow(AppId app, NodeId src, NodeId dst, double bits, 
   assert(!record->flow.path->empty());
   record->on_complete = std::move(on_complete);
   record->last_update = scheduler_->Now();
+  engine_->FlowAdded(&record->flow);
   flows_.emplace(id, std::move(record));
+  host_egress_stale_ = true;
   MarkDirty();
   return id;
 }
@@ -57,8 +60,10 @@ void FlowSimulator::CancelFlow(FlowId id) {
   if (it == flows_.end()) {
     return;
   }
+  engine_->FlowRemoved(&it->second->flow);
   flows_.erase(it);
   ++cancelled_;
+  host_egress_stale_ = true;
   MarkDirty();
 }
 
@@ -69,6 +74,7 @@ void FlowSimulator::SetFlowPriority(FlowId id, int priority) {
   }
   if (it->second->flow.priority != priority) {
     it->second->flow.priority = priority;
+    engine_->FlowQueueChanged(&it->second->flow);
     MarkDirty();
   }
 }
@@ -79,6 +85,7 @@ void FlowSimulator::SetAppServiceLevel(AppId app, int sl) {
   for (auto& [id, record] : flows_) {
     if (record->flow.app == app && record->flow.sl != sl) {
       record->flow.sl = sl;
+      engine_->FlowQueueChanged(&record->flow);
       changed = true;
     }
   }
@@ -87,7 +94,12 @@ void FlowSimulator::SetAppServiceLevel(AppId app, int sl) {
   }
 }
 
-void FlowSimulator::RequestReallocate() { MarkDirty(); }
+void FlowSimulator::RequestReallocate() {
+  // The caller reconfigured an unknown set of ports; every queue capacity is
+  // suspect, so the next solve takes the full-recompute path.
+  engine_->InvalidateAll();
+  MarkDirty();
+}
 
 double FlowSimulator::FlowRate(FlowId id) const {
   auto it = flows_.find(id);
@@ -105,23 +117,18 @@ double FlowSimulator::FlowRemainingBits(FlowId id) const {
 }
 
 double FlowSimulator::HostEgressRate(NodeId host) const {
-  double total = 0;
-  for (const auto& [id, record] : flows_) {
-    if (!record->flow.path->empty() &&
-        network_->topology().link(record->flow.path->front()).src == host) {
-      total += record->flow.rate;
+  assert(host >= 0 && static_cast<size_t>(host) < network_->topology().num_nodes());
+  if (host_egress_stale_) {
+    host_egress_.assign(network_->topology().num_nodes(), 0.0);
+    for (const auto& [id, record] : flows_) {
+      if (!record->flow.path->empty()) {
+        const NodeId src = network_->topology().link(record->flow.path->front()).src;
+        host_egress_[static_cast<size_t>(src)] += record->flow.rate;
+      }
     }
+    host_egress_stale_ = false;
   }
-  return total;
-}
-
-std::vector<const ActiveFlow*> FlowSimulator::ActiveFlows() const {
-  std::vector<const ActiveFlow*> out;
-  out.reserve(flows_.size());
-  for (const auto& [id, record] : flows_) {
-    out.push_back(&record->flow);
-  }
-  return out;
+  return host_egress_[static_cast<size_t>(host)];
 }
 
 void FlowSimulator::SyncFlow(FlowRecord* record) {
@@ -161,12 +168,8 @@ void FlowSimulator::Reallocate() {
     pre_allocate_hook_();
   }
 
-  std::vector<ActiveFlow*> active;
-  active.reserve(flows_.size());
-  for (auto& [id, record] : flows_) {
-    active.push_back(&record->flow);
-  }
-  allocator_->Allocate(active, *network_);
+  engine_->Recompute();
+  host_egress_stale_ = true;
 
   // Re-plan the single next-completion event at the earliest finish time.
   const SimTime now = scheduler_->Now();
@@ -200,6 +203,7 @@ void FlowSimulator::OnCompletionTick() {
   for (auto it = flows_.begin(); it != flows_.end();) {
     SyncFlow(it->second.get());
     if (it->second->flow.remaining_bits <= DustFor(it->second->flow.rate)) {
+      engine_->FlowRemoved(&it->second->flow);
       finished.push_back(std::move(it->second));
       it = flows_.erase(it);
     } else {
@@ -207,6 +211,7 @@ void FlowSimulator::OnCompletionTick() {
     }
   }
   completed_ += finished.size();
+  host_egress_stale_ = true;
   MarkDirty();  // Remaining flows need fresh rates and a new tick.
   for (const auto& record : finished) {
     if (record->on_complete) {

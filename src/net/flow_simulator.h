@@ -6,6 +6,12 @@
 // Between events, each flow drains at its allocated rate. Re-allocations are
 // coalesced: any number of changes at the same simulated instant trigger a
 // single allocator run.
+//
+// Allocation is incremental: the simulator streams flow/port deltas into a
+// persistent AllocationEngine (created via allocator->CreateEngine) and each
+// coalesced reallocation re-solves only the link-sharing components those
+// deltas touched (see allocation_engine.h; DESIGN.md "Incremental allocation
+// engine"). The engine's rates are bit-identical to a from-scratch run.
 
 #ifndef SRC_NET_FLOW_SIMULATOR_H_
 #define SRC_NET_FLOW_SIMULATOR_H_
@@ -14,8 +20,10 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/net/allocation_engine.h"
 #include "src/net/allocator.h"
 #include "src/net/network.h"
 #include "src/sim/event_scheduler.h"
@@ -52,7 +60,8 @@ class FlowSimulator {
   void SetAppServiceLevel(AppId app, int sl);
 
   // Notifies the simulator that port configurations changed; rates are
-  // recomputed at the current instant.
+  // recomputed at the current instant. The changed ports are unattributed, so
+  // this invalidates the whole fabric (full recompute on the engine).
   void RequestReallocate();
 
   // Installed hook runs immediately before each allocator invocation — the
@@ -78,6 +87,7 @@ class FlowSimulator {
   double FlowRemainingBits(FlowId id) const;
 
   // Sum of rates of active flows whose source is `host` (egress throughput).
+  // O(1): served from per-host sums rebuilt lazily after rate changes.
   double HostEgressRate(NodeId host) const;
 
   size_t active_flow_count() const { return flows_.size(); }
@@ -85,8 +95,17 @@ class FlowSimulator {
   uint64_t cancelled_flow_count() const { return cancelled_; }
   uint64_t allocator_runs() const { return allocator_runs_; }
 
-  // Access to every active flow (e.g. for policy modules).
-  std::vector<const ActiveFlow*> ActiveFlows() const;
+  // Incremental-allocation counters (how much work the dirty-component
+  // expansion saved); see AllocationEngineStats.
+  const AllocationEngineStats& engine_stats() const { return engine_->stats(); }
+
+  // Visits every active flow in ascending id order without copying. Policies
+  // may change flow attributes via SetFlowPriority / SetAppServiceLevel
+  // during the visit, but must not start or cancel flows.
+  template <typename Fn>
+  void ForEachActiveFlow(Fn&& fn) const {
+    engine_->ForEachFlow(std::forward<Fn>(fn));
+  }
 
   EventScheduler* scheduler() { return scheduler_; }
   Network* network() { return network_; }
@@ -101,7 +120,7 @@ class FlowSimulator {
   // Applies elapsed drain to `record` up to Now().
   void SyncFlow(FlowRecord* record);
 
-  // Recomputes all rates and re-plans the next-completion event.
+  // Recomputes dirty rates and re-plans the next-completion event.
   void Reallocate();
 
   // Schedules a coalesced reallocation at the current instant.
@@ -116,10 +135,12 @@ class FlowSimulator {
   EventScheduler* scheduler_;
   Network* network_;
   BandwidthAllocator* allocator_;
+  std::unique_ptr<AllocationEngine> engine_;
   std::function<void()> pre_allocate_hook_;
 
   // unique_ptr keeps FlowRecord addresses stable across rehashing, since
-  // ActiveFlow::path points into the record itself.
+  // ActiveFlow::path points into the record itself (and the engine holds the
+  // ActiveFlow pointer between deltas).
   std::unordered_map<FlowId, std::unique_ptr<FlowRecord>> flows_;
   FlowId next_flow_id_ = 1;
   EventHandle next_completion_event_;
@@ -130,6 +151,11 @@ class FlowSimulator {
   uint64_t completed_ = 0;
   uint64_t cancelled_ = 0;
   uint64_t allocator_runs_ = 0;
+
+  // Per-host egress sums, rebuilt on demand after any rate or flow-set
+  // change. mutable: rebuilding in the const query is invisible to callers.
+  mutable std::vector<double> host_egress_;
+  mutable bool host_egress_stale_ = true;
 };
 
 }  // namespace saba

@@ -1,0 +1,234 @@
+#include "src/net/allocation_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/allocator.h"
+#include "src/net/network.h"
+#include "src/net/topology.h"
+#include "src/net/units.h"
+#include "src/sim/rng.h"
+
+namespace saba {
+namespace {
+
+double PerAppWeight(LinkId, AppId app) { return 1.0 + static_cast<double>(app % 3); }
+
+// Randomized churn: interleave flow starts, cancels, queue moves (SL /
+// priority / intra-weight), per-port reconfigurations, and full
+// invalidations, and after EVERY event check that the engine's incremental
+// rates are bit-identical to a from-scratch solve of the same flow set.
+struct ChurnCase {
+  const char* name;
+  AllocationDiscipline discipline;
+  bool fecn;  // FECN congestion model (vs ideal).
+  uint64_t seed;
+};
+
+class EngineChurnTest : public ::testing::TestWithParam<ChurnCase> {};
+
+TEST_P(EngineChurnTest, IncrementalMatchesFromScratchBitExact) {
+  const ChurnCase& c = GetParam();
+  Network network(BuildSpineLeaf({.num_spine = 2,
+                                  .num_leaf = 4,
+                                  .num_tor = 4,
+                                  .hosts_per_tor = 3,
+                                  .num_pods = 2,
+                                  .host_link_bps = Gbps(10),
+                                  .tor_leaf_bps = Gbps(10),
+                                  .leaf_spine_bps = Gbps(10)}),
+                  /*default_queues=*/4);
+  for (int sl = 0; sl < kNumServiceLevels; ++sl) {
+    network.MapSlToQueueEverywhere(sl, sl % 4);
+  }
+  if (c.fecn) {
+    network.SetCongestionModel(std::make_unique<FecnCongestionModel>(0.30));
+  }
+  const PerAppWeightFn weights =
+      c.discipline == AllocationDiscipline::kPerAppQueues ? PerAppWeight : PerAppWeightFn();
+
+  AllocationEngine engine(&network, c.discipline, weights);
+  const std::vector<NodeId> hosts = network.topology().Hosts();
+  const size_t num_links = network.topology().num_links();
+
+  Rng rng(c.seed);
+  std::map<FlowId, std::unique_ptr<ActiveFlow>> live;
+  std::vector<FlowId> live_ids;  // Indexable for uniform picks; order free.
+  FlowId next_id = 1;
+
+  // Oracle scratch: value copies so the from-scratch run cannot perturb the
+  // engine-owned flows.
+  std::vector<ActiveFlow> oracle;
+  std::vector<ActiveFlow*> oracle_ptrs;
+
+  constexpr int kEvents = 5000;
+  for (int e = 0; e < kEvents; ++e) {
+    // Start-heavy until the pool is populated, then balanced churn.
+    const double start_w = live.size() < 100 ? 0.45 : 0.25;
+    const double cancel_w = live.size() < 100 ? 0.20 : 0.40;
+    const size_t op = live.empty()
+                          ? 0
+                          : rng.WeightedIndex({start_w, cancel_w, 0.20, 0.10, 0.05});
+    switch (op) {
+      case 0: {  // Start a flow.
+        const NodeId src = rng.Choice(hosts);
+        NodeId dst = rng.Choice(hosts);
+        while (dst == src) {
+          dst = rng.Choice(hosts);
+        }
+        auto flow = std::make_unique<ActiveFlow>();
+        flow->id = next_id++;
+        flow->app = static_cast<AppId>(rng.UniformInt(0, 9));
+        flow->sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
+        flow->priority = static_cast<int>(rng.UniformInt(0, 7));
+        flow->intra_weight = rng.Bernoulli(0.2) ? 0.0625 : 1.0;
+        flow->remaining_bits = rng.Uniform(1e6, 1e9);
+        flow->path = &network.router().Route(src, dst, rng.Next());
+        engine.FlowAdded(flow.get());
+        live_ids.push_back(flow->id);
+        live.emplace(flow->id, std::move(flow));
+        break;
+      }
+      case 1: {  // Cancel a flow.
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(live_ids.size()) - 1));
+        const FlowId id = live_ids[pick];
+        live_ids[pick] = live_ids.back();
+        live_ids.pop_back();
+        engine.FlowRemoved(live.at(id).get());
+        live.erase(id);
+        break;
+      }
+      case 2: {  // Move a flow between queues / classes.
+        ActiveFlow* flow = live.at(rng.Choice(live_ids)).get();
+        switch (rng.UniformInt(0, 2)) {
+          case 0:
+            flow->sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
+            break;
+          case 1:
+            flow->priority = static_cast<int>(rng.UniformInt(0, 7));
+            break;
+          default:
+            flow->intra_weight = flow->intra_weight == 1.0 ? 0.0625 : 1.0;
+            break;
+        }
+        engine.FlowQueueChanged(flow);
+        break;
+      }
+      case 3: {  // Reconfigure one port.
+        const LinkId link = static_cast<LinkId>(rng.UniformInt(
+            0, static_cast<int64_t>(num_links) - 1));
+        PortConfig& port = network.port(link);
+        if (rng.Bernoulli(0.5)) {
+          const int sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
+          port.sl_to_queue[static_cast<size_t>(sl)] =
+              static_cast<int>(rng.UniformInt(0, port.num_queues - 1));
+        } else {
+          const size_t q = static_cast<size_t>(rng.UniformInt(0, port.num_queues - 1));
+          port.queue_weights[q] = rng.Uniform(0.1, 2.0);
+        }
+        engine.PortConfigChanged(link);
+        break;
+      }
+      default:
+        engine.InvalidateAll();
+        break;
+    }
+
+    engine.Recompute();
+
+    oracle.clear();
+    oracle_ptrs.clear();
+    oracle.reserve(live.size());
+    for (const auto& [id, flow] : live) {
+      oracle.push_back(*flow);
+    }
+    for (ActiveFlow& flow : oracle) {
+      oracle_ptrs.push_back(&flow);
+    }
+    AllocateFromScratch(oracle_ptrs, network, c.discipline, weights);
+    for (const ActiveFlow& expect : oracle) {
+      const double got = live.at(expect.id)->rate;
+      ASSERT_EQ(expect.rate, got)
+          << "event " << e << " flow " << expect.id << " diverged from oracle";
+    }
+  }
+  EXPECT_GT(engine.stats().recomputes, 0u);
+  EXPECT_GT(engine.stats().flows_frozen, 0u)
+      << "churn never skipped work; incremental path not exercised";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDisciplines, EngineChurnTest,
+    ::testing::Values(
+        ChurnCase{"wfq_fecn", AllocationDiscipline::kWfqSlQueues, true, 11},
+        ChurnCase{"wfq_ideal", AllocationDiscipline::kWfqSlQueues, false, 12},
+        ChurnCase{"perapp_fecn", AllocationDiscipline::kPerAppQueues, true, 13},
+        ChurnCase{"perapp_ideal", AllocationDiscipline::kPerAppQueues, false, 14},
+        ChurnCase{"strict_fecn", AllocationDiscipline::kStrictPriority, true, 15},
+        ChurnCase{"strict_ideal", AllocationDiscipline::kStrictPriority, false, 16}),
+    [](const ::testing::TestParamInfo<ChurnCase>& info) { return std::string(info.param.name); });
+
+// Deterministic skip accounting on a star: host pairs (0,1) and (2,3) share
+// no link, so events on one pair must never re-rate the other.
+TEST(AllocationEngineStatsTest, UntouchedComponentsAreFrozen) {
+  Network network(BuildSingleSwitchStar(6, Gbps(10)), /*default_queues=*/2);
+  AllocationEngine engine(&network, AllocationDiscipline::kWfqSlQueues);
+
+  auto make_flow = [&](FlowId id, NodeId src, NodeId dst) {
+    auto flow = std::make_unique<ActiveFlow>();
+    flow->id = id;
+    flow->app = static_cast<AppId>(id);
+    flow->remaining_bits = Gbps(10);
+    flow->path = &network.router().Route(src, dst, 0);
+    return flow;
+  };
+
+  auto a = make_flow(1, 0, 1);
+  auto b = make_flow(2, 2, 3);
+  engine.FlowAdded(a.get());
+  engine.FlowAdded(b.get());
+  engine.Recompute();
+  EXPECT_EQ(engine.stats().recomputes, 1u);
+  EXPECT_EQ(engine.stats().components_solved, 2u);
+  EXPECT_EQ(engine.stats().flows_rerated, 2u);
+  EXPECT_EQ(engine.stats().flows_frozen, 0u);
+  EXPECT_GT(a->rate, 0.0);
+  EXPECT_GT(b->rate, 0.0);
+
+  // A third flow on the (0,1) pair dirties only that component: b freezes.
+  auto c = make_flow(3, 0, 1);
+  engine.FlowAdded(c.get());
+  const double b_rate = b->rate;
+  engine.Recompute();
+  EXPECT_EQ(engine.stats().components_solved, 3u);
+  EXPECT_EQ(engine.stats().flows_rerated, 4u);
+  EXPECT_EQ(engine.stats().flows_frozen, 1u);
+  EXPECT_EQ(b->rate, b_rate);
+  EXPECT_EQ(engine.stats().full_recomputes, 0u);
+
+  // Removing b leaves its links dirty but empty: nothing re-rates.
+  engine.FlowRemoved(b.get());
+  engine.Recompute();
+  EXPECT_EQ(engine.stats().components_solved, 3u);
+  EXPECT_EQ(engine.stats().flows_rerated, 4u);
+  EXPECT_EQ(engine.stats().flows_frozen, 3u);
+
+  // InvalidateAll falls back to a full solve of everything.
+  engine.InvalidateAll();
+  engine.Recompute();
+  EXPECT_EQ(engine.stats().full_recomputes, 1u);
+  EXPECT_EQ(engine.stats().flows_rerated, 6u);
+
+  // Clean engine: Recompute is a no-op.
+  const uint64_t before = engine.stats().recomputes;
+  engine.Recompute();
+  EXPECT_EQ(engine.stats().recomputes, before);
+}
+
+}  // namespace
+}  // namespace saba

@@ -138,9 +138,9 @@ TEST_F(ControllerTest, ReclusteringRetagsLiveFlows) {
   // A second registration re-clusters; flow SLs must track the new PLs.
   controller.AppRegister(2, "flat");
   Settle();
-  for (const ActiveFlow* flow : flow_sim_.ActiveFlows()) {
-    EXPECT_EQ(flow->sl, controller.CurrentServiceLevel(flow->app));
-  }
+  flow_sim_.ForEachActiveFlow([&](const ActiveFlow& flow) {
+    EXPECT_EQ(flow.sl, controller.CurrentServiceLevel(flow.app));
+  });
 }
 
 TEST_F(ControllerTest, RecomputeAllPortsTimedReturnsWallTime) {

@@ -119,9 +119,7 @@ TEST_F(FlowSimulatorTest, SetAppServiceLevelRetagsFlows) {
   flow_sim_.StartFlow(7, 0, 1, Gbps(10), 0, 0, nullptr);
   scheduler_.ScheduleAt(0.1, [&] { flow_sim_.SetAppServiceLevel(7, 2); });
   scheduler_.RunUntil(0.2);
-  for (const ActiveFlow* flow : flow_sim_.ActiveFlows()) {
-    EXPECT_EQ(flow->sl, 2);
-  }
+  flow_sim_.ForEachActiveFlow([](const ActiveFlow& flow) { EXPECT_EQ(flow.sl, 2); });
   scheduler_.Run();
 }
 

@@ -81,21 +81,21 @@ TEST_F(HomaTest, PrioritiesRefreshAsFlowsDrain) {
   const FlowId id = flow_sim_.StartFlow(0, 0, 1, Kilobytes(12), 0, 0, nullptr);
   scheduler_.RunUntil(1e-7);
   int initial = -1;
-  for (const ActiveFlow* flow : flow_sim_.ActiveFlows()) {
-    if (flow->id == id) {
-      initial = flow->priority;
+  flow_sim_.ForEachActiveFlow([&](const ActiveFlow& flow) {
+    if (flow.id == id) {
+      initial = flow.priority;
     }
-  }
+  });
   EXPECT_EQ(initial, 7);
   // Drain most of it, then force a refresh via a new flow elsewhere.
   scheduler_.RunUntil(Kilobytes(11) / Gbps(10));
   flow_sim_.StartFlow(1, 2, 3, Kilobytes(1), 0, 0, nullptr);
   scheduler_.RunUntil(scheduler_.Now() + 1e-7);
-  for (const ActiveFlow* flow : flow_sim_.ActiveFlows()) {
-    if (flow->id == id) {
-      EXPECT_LT(flow->priority, 7);
+  flow_sim_.ForEachActiveFlow([&](const ActiveFlow& flow) {
+    if (flow.id == id) {
+      EXPECT_LT(flow.priority, 7);
     }
-  }
+  });
   scheduler_.Run();
 }
 
