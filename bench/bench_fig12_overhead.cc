@@ -14,12 +14,18 @@
 // the reproduced quantity.
 //
 // SABA_SCENARIOS sets scenarios per degree (default 24; the paper uses
-// 10,000 per degree).
+// 10,000 per degree). SABA_SOLVE_CACHE=0 disables the controller's
+// signature-keyed solve cache (DESIGN.md §7.2) for A/B runs; the "state
+// digest" lines printed per degree fingerprint the programmed switch state
+// and must be byte-identical between cache-on and cache-off runs (the cache
+// is an exactness-preserving memo) — scripts/check_repro.sh enforces this.
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "src/core/controller.h"
+#include "src/core/solve_cache.h"
 #include "src/exp/report.h"
 #include "src/net/units.h"
 #include "src/numerics/stats.h"
@@ -36,6 +42,29 @@ class BenchController : public CentralizedController {
   using CentralizedController::CentralizedController;
   using CentralizedController::InstallPlModels;
   using CentralizedController::RegisterAppStatic;
+
+  // FNV fingerprint of everything the controller programmed: per-port SL
+  // tables, queue weights, and solved per-app weights, in ascending link
+  // order. Pure function of the scenario (not of cache mode or job count).
+  uint64_t StateDigest(const Network& network) const {
+    uint64_t h = kFnvOffsetBasis;
+    const size_t num_links = network.topology().num_links();
+    for (LinkId link = 0; link < static_cast<LinkId>(num_links); ++link) {
+      const PortConfig& port = network.port(link);
+      h = HashBytes(h, port.sl_to_queue.data(), port.sl_to_queue.size() * sizeof(int));
+      h = HashBytes(h, port.queue_weights.data(), port.queue_weights.size() * sizeof(double));
+      auto it = port_weights_.find(link);
+      if (it == port_weights_.end()) {
+        continue;
+      }
+      for (const auto& [app, weight] : it->second) {
+        // Field by field: pair<AppId, double> has padding bytes.
+        h = HashBytes(h, &app, sizeof(app));
+        h = HashBytes(h, &weight, sizeof(weight));
+      }
+    }
+    return h;
+  }
 };
 
 // Random convex decreasing polynomial of degree k in (1-b): slope, curvature
@@ -48,7 +77,13 @@ SensitivityModel RandomModel(size_t degree, Rng* rng) {
   return SensitivityModel{Polynomial({1 + s + q + c, -(s + 2 * q + 3 * c), q + 3 * c, -c})};
 }
 
-double RunScenario(const Topology& topo, int num_apps, size_t degree, uint64_t scenario_seed) {
+struct ScenarioResult {
+  double seconds = 0;
+  uint64_t digest = 0;
+};
+
+ScenarioResult RunScenario(const Topology& topo, int num_apps, size_t degree,
+                           uint64_t scenario_seed, bool solve_cache) {
   Rng scenario_rng(scenario_seed);
   Rng* rng = &scenario_rng;
   EventScheduler scheduler;
@@ -57,16 +92,22 @@ double RunScenario(const Topology& topo, int num_apps, size_t degree, uint64_t s
   // A flow simulator defers port flushes; the scheduler is never run, so all
   // cost lands in the timed recompute below.
   FlowSimulator flow_sim(&scheduler, &network, &allocator);
-  SensitivityTable table;  // Unused: apps register with explicit models.
+  SensitivityTable table;  // Filled below with each app's drawn model.
   ControllerOptions options;
   options.num_pls = 8;
+  options.solve_cache = solve_cache;
   options.seed = rng->Next();
   BenchController controller(&network, &flow_sim, &table, options);
 
-  // Offline PL geometry over the scenario's models.
+  // Offline PL geometry over the scenario's models. Each app's model also
+  // goes into the sensitivity table under its registration name: Eq 2 must
+  // solve the scenario's degree-k polynomials, not a default model per app.
   std::vector<SensitivityModel> models;
   for (int a = 0; a < num_apps; ++a) {
     models.push_back(RandomModel(degree, rng));
+    SensitivityEntry entry;
+    entry.model = models.back();
+    table.Put("app" + std::to_string(a), entry);
   }
   Rng cluster_rng(rng->Next());
   const PlMapping mapping = MapAppsToPls(models, options.num_pls, &cluster_rng);
@@ -91,12 +132,16 @@ double RunScenario(const Topology& topo, int num_apps, size_t degree, uint64_t s
     }
   }
   // The Fig 12 quantity: recompute Eq 2 + queue mapping for every active port.
-  return controller.RecomputeAllPortsTimed();
+  ScenarioResult result;
+  result.seconds = controller.RecomputeAllPortsTimed();
+  result.digest = controller.StateDigest(network);
+  return result;
 }
 
 void Run() {
   const uint64_t seed = EnvSeed();
   const int scenarios = EnvInt("SABA_SCENARIOS", 24);
+  const bool solve_cache = EnvInt("SABA_SOLVE_CACHE", 1) != 0;
   PrintBanner(std::cout, "Figure 12",
               "Centralized-controller calculation time over random scenarios (|A| in "
               "[1, 1000], 32 instances each, spine-leaf fabric); " +
@@ -132,9 +177,9 @@ void Run() {
       grid.push_back({degree, num_apps, rng.Next()});
     }
   }
-  const std::vector<double> times =
-      RunSweep<double>("fig12 scenarios", grid.size(), [&](size_t g) {
-        return RunScenario(topo, grid[g].num_apps, grid[g].degree, grid[g].seed);
+  const std::vector<ScenarioResult> results =
+      RunSweep<ScenarioResult>("fig12 scenarios", grid.size(), [&](size_t g) {
+        return RunScenario(topo, grid[g].num_apps, grid[g].degree, grid[g].seed, solve_cache);
       });
 
   TablePrinter table({"|A| bucket", "k", "p50 s", "p90 s", "p99/max s", "scenarios"});
@@ -143,7 +188,7 @@ void Run() {
     std::vector<double> large_bucket;
     for (size_t g = 0; g < grid.size(); ++g) {
       if (grid[g].degree == degree) {
-        (grid[g].num_apps <= 250 ? small_bucket : large_bucket).push_back(times[g]);
+        (grid[g].num_apps <= 250 ? small_bucket : large_bucket).push_back(results[g].seconds);
       }
     }
     for (auto* bucket : {&small_bucket, &large_bucket}) {
@@ -159,6 +204,21 @@ void Run() {
   table.Print(std::cout);
   std::cout << "(paper 99th: |A|<=250: 0.09/0.16/0.31 s; |A|<=1000: 0.43/0.72/1.13 s for "
                "k=1/2/3)\n";
+  // Deterministic fingerprints of the programmed switch state, one per
+  // degree (scenario digests combined in grid order). Invariant across
+  // SABA_JOBS and SABA_SOLVE_CACHE — only the timing table above may move.
+  for (size_t degree : {1u, 2u, 3u}) {
+    uint64_t combined = kFnvOffsetBasis;
+    for (size_t g = 0; g < grid.size(); ++g) {
+      if (grid[g].degree == degree) {
+        combined = HashBytes(combined, &results[g].digest, sizeof(results[g].digest));
+      }
+    }
+    char line[64];
+    std::snprintf(line, sizeof(line), "state digest k=%zu: %016llx", degree,
+                  static_cast<unsigned long long>(combined));
+    std::cout << line << '\n';
+  }
 }
 
 }  // namespace

@@ -13,9 +13,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/core/controller.h"
 #include "src/core/pl_mapper.h"
 #include "src/core/queue_mapper.h"
 #include "src/core/weight_solver.h"
@@ -226,7 +228,11 @@ void BM_WeightSolverConvex(benchmark::State& state) {
 BENCHMARK(BM_WeightSolverConvex)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
 void BM_WeightSolverProjectedGradient(benchmark::State& state) {
-  // Degree-4 models force the generic path.
+  // Degree-4 models leave the closed-form cubic path. These draws happen to
+  // stay convex, so the solver lands in the generic convex bisection
+  // (MinimizeConvexSeparable), not the projected gradient — the name is kept
+  // for continuity of the perf trajectory; BM_WeightSolverNonConvex below
+  // actually exercises the projected-gradient restarts.
   Rng rng(17);
   std::vector<SensitivityModel> models;
   for (int64_t i = 0; i < state.range(0); ++i) {
@@ -243,6 +249,23 @@ void BM_WeightSolverProjectedGradient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WeightSolverProjectedGradient)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_WeightSolverNonConvex(benchmark::State& state) {
+  // One non-convex quartic in the mix (negative curvature near w = 1) forces
+  // the projected-gradient path with its random restarts.
+  Rng rng(17);
+  std::vector<SensitivityModel> models;
+  models.push_back(SensitivityModel{Polynomial({2.0, -1.2, 0.3, -0.25, 0.05})});
+  for (int64_t i = 1; i < state.range(0); ++i) {
+    models.push_back(RandomConvexModel(&rng));
+  }
+  WeightSolver solver;
+  Rng solve_rng(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(models, &solve_rng).objective);
+  }
+}
+BENCHMARK(BM_WeightSolverNonConvex)->Arg(2)->Arg(8)->Arg(32);
 
 // --- Clustering ---------------------------------------------------------------
 
@@ -272,6 +295,90 @@ void BM_QueueMapperPort(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueueMapperPort)->Arg(2)->Arg(4)->Arg(8);
+
+// --- Controller flush (signature-keyed solve cache, DESIGN.md §7.2) ----------
+
+class FlushBenchController : public CentralizedController {
+ public:
+  using CentralizedController::CentralizedController;
+  using CentralizedController::InstallPlModels;
+  using CentralizedController::RegisterAppStatic;
+};
+
+// A fig12-style scenario on a small spine-leaf fabric: 48 apps with distinct
+// convex models, 32 instances each, fanout-4 ring connections. The scheduler
+// never runs, so all controller work lands in the timed recompute.
+struct ControllerFlushFixture {
+  explicit ControllerFlushFixture(bool solve_cache)
+      : network(BuildSpineLeaf({.num_spine = 2,
+                                .num_leaf = 4,
+                                .num_tor = 4,
+                                .hosts_per_tor = 3,
+                                .num_pods = 2,
+                                .host_link_bps = Gbps(10),
+                                .tor_leaf_bps = Gbps(10),
+                                .leaf_spine_bps = Gbps(10)}),
+                /*default_queues=*/8),
+        flow_sim(&scheduler, &network, &allocator) {
+    Rng rng(7);
+    constexpr int kApps = 48;
+    std::vector<SensitivityModel> models;
+    for (int a = 0; a < kApps; ++a) {
+      models.push_back(RandomConvexModel(&rng));
+      SensitivityEntry entry;
+      entry.model = models.back();
+      table.Put("app" + std::to_string(a), entry);
+    }
+    ControllerOptions options;
+    options.solve_cache = solve_cache;
+    controller.emplace(&network, &flow_sim, &table, options);
+    Rng cluster_rng(11);
+    const PlMapping mapping = MapAppsToPls(models, options.num_pls, &cluster_rng);
+    controller->InstallPlModels(mapping.pl_models);
+    const std::vector<NodeId> hosts = network.topology().Hosts();
+    for (int a = 0; a < kApps; ++a) {
+      controller->RegisterAppStatic(a, "app" + std::to_string(a), mapping.app_to_pl[a]);
+      std::vector<NodeId> placement;
+      for (int i = 0; i < 32; ++i) {
+        placement.push_back(rng.Choice(hosts));
+      }
+      for (int i = 0; i < 32; ++i) {
+        for (int k = 1; k <= 4; ++k) {
+          const NodeId src = placement[static_cast<size_t>(i)];
+          const NodeId dst = placement[static_cast<size_t>((i + k) % 32)];
+          if (src != dst) {
+            controller->ConnCreate(a, src, dst, static_cast<uint64_t>(a * 1000 + i * 8 + k));
+          }
+        }
+      }
+    }
+  }
+
+  EventScheduler scheduler;
+  Network network;
+  WfqMaxMinAllocator allocator;
+  FlowSimulator flow_sim;
+  SensitivityTable table;
+  std::optional<FlushBenchController> controller;
+};
+
+void ControllerFlushBench(benchmark::State& state, bool solve_cache) {
+  ControllerFlushFixture fixture(solve_cache);
+  const uint64_t before = fixture.controller->stats().port_reconfigurations;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.controller->RecomputeAllPortsTimed());
+  }
+  // Items = port reconfigurations, so items/s compares cache-on vs cache-off
+  // flush throughput directly.
+  state.SetItemsProcessed(
+      static_cast<int64_t>(fixture.controller->stats().port_reconfigurations - before));
+}
+
+void BM_ControllerFlushCold(benchmark::State& state) { ControllerFlushBench(state, false); }
+BENCHMARK(BM_ControllerFlushCold)->Unit(benchmark::kMicrosecond);
+
+void BM_ControllerFlushCached(benchmark::State& state) { ControllerFlushBench(state, true); }
+BENCHMARK(BM_ControllerFlushCached)->Unit(benchmark::kMicrosecond);
 
 // --- Sweep engine --------------------------------------------------------------
 

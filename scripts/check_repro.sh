@@ -20,6 +20,24 @@ BENCHES=(
 )
 
 status=0
+
+# Fig 12 prints wall-clock timings (inherently run-to-run noisy), but its
+# "state digest" lines fingerprint the programmed switch state and must be
+# invariant across worker counts AND across the solve cache (DESIGN.md §7.2:
+# the signature-keyed cache is an exactness-preserving memo, so cache-on and
+# cache-off runs program bit-identical state).
+SABA_SCENARIOS=4 SABA_JOBS=2 "$BUILD/bench/bench_fig12_overhead" \
+  > "$TMP/fig12.cached" 2>/dev/null
+SABA_SCENARIOS=4 SABA_JOBS=1 SABA_SOLVE_CACHE=0 "$BUILD/bench/bench_fig12_overhead" \
+  > "$TMP/fig12.uncached" 2>/dev/null
+if ! diff <(grep '^state digest' "$TMP/fig12.cached") \
+          <(grep '^state digest' "$TMP/fig12.uncached") > /dev/null; then
+  echo "NON-DETERMINISTIC: bench_fig12_overhead (solve cache changes switch state)"
+  status=1
+else
+  echo "ok: bench_fig12_overhead (state digests, cache on/off x jobs 2/1)"
+fi
+
 for b in "${BENCHES[@]}"; do
   "$BUILD/bench/$b" > "$TMP/$b.1" 2>/dev/null
   "$BUILD/bench/$b" > "$TMP/$b.2" 2>/dev/null

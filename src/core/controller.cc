@@ -18,7 +18,8 @@ CentralizedController::CentralizedController(Network* network, FlowSimulator* fl
       solver_({.capacity = options.c_saba,
                .min_weight = options.min_weight,
                .relative_min_weight = options.relative_min_weight}),
-      rng_(options.seed) {
+      rng_(options.seed),
+      solve_cache_(options.solve_cache) {
   assert(network_ != nullptr);
   assert(table_ != nullptr);
   assert(options_.num_pls >= 1 && options_.num_pls <= kNumServiceLevels);
@@ -109,7 +110,7 @@ void CentralizedController::RegisterAppStatic(AppId app, const std::string& work
 }
 
 void CentralizedController::InstallPlModels(const std::vector<SensitivityModel>& pl_models) {
-  queue_mapper_.emplace(pl_models);
+  queue_mapper_.emplace(pl_models, options_.solve_cache);
 }
 
 void CentralizedController::ReclusterPls() {
@@ -132,7 +133,11 @@ void CentralizedController::ReclusterPls() {
       flow_sim_->SetAppServiceLevel(ids[i], mapping.app_to_pl[i]);
     }
   }
-  queue_mapper_.emplace(mapping.pl_models);
+  // Rebuilding the mapper is the queue-map memo's epoch invalidation: the PL
+  // geometry its keys refer to is gone. The Eq-2 solve cache survives — its
+  // entries are keyed by the full solver input (the model multiset), which
+  // re-clustering does not change.
+  queue_mapper_.emplace(mapping.pl_models, options_.solve_cache);
 
   // PL geometry changed; every active port needs a fresh mapping.
   std::vector<LinkId> dirty;
@@ -163,7 +168,13 @@ void CentralizedController::FlushDirtyPorts() {
     return;
   }
   Stopwatch watch;
-  for (LinkId link : dirty_ports_) {
+  // Ascending link order: deterministic across platforms (unordered_set
+  // iteration order is implementation-defined) and cache-friendly. Results
+  // do not depend on it — solves are keyed by signature, not history.
+  static thread_local std::vector<LinkId> order;
+  order.assign(dirty_ports_.begin(), dirty_ports_.end());
+  std::sort(order.begin(), order.end());
+  for (LinkId link : order) {
     ReallocatePort(link);
   }
   dirty_ports_.clear();
@@ -183,27 +194,78 @@ void CentralizedController::ReallocatePort(LinkId link) {
   assert(queue_mapper_.has_value());
   ++stats_.port_reconfigurations;
 
-  // Solve Eq 2 over the applications at this port.
-  std::vector<AppId> ids;
-  std::vector<SensitivityModel> models;
-  ids.reserve(port_it->second.size());
+  // Hot path: one call per dirty port per flush, and a ReclusterPls marks
+  // every active port dirty. All per-call containers are thread_local
+  // scratch arenas in the style of allocation_engine.cc.
+  static thread_local std::vector<AppId> ids;
+  static thread_local std::vector<const SensitivityModel*> models;
+  static thread_local std::vector<int> app_pls;
+  static thread_local PortSignature sig;
+  static thread_local std::vector<SensitivityModel> canonical_models;
+  static thread_local std::vector<double> uncached_weights;
+  static thread_local std::vector<int> present_pls;
+  static thread_local std::vector<double> queue_weights;
+
+  ids.clear();
+  models.clear();
+  app_pls.clear();
   for (const auto& [app, count] : port_it->second) {
+    const AppState& state = apps_.at(app);
     ids.push_back(app);
-    models.push_back(apps_.at(app).model);
+    models.push_back(&state.model);
+    app_pls.push_back(state.pl);
   }
-  const WeightSolverResult solved = solver_.Solve(models, &rng_);
+  const size_t n = ids.size();
 
-  std::map<AppId, double>& weights = port_weights_[link];
-  weights.clear();
-  for (size_t i = 0; i < ids.size(); ++i) {
-    weights[ids[i]] = solved.weights[i];
+  // Solve Eq 2 over the applications at this port — in canonical (signature)
+  // order, with the solver's Rng stream derived from the signature rather
+  // than from controller history. That makes the result a pure function of
+  // the app mix, so the solve cache can replay it bit-identically for every
+  // other port carrying the same mix (DESIGN.md §7.2).
+  BuildPortSignature(models, &sig);
+  const std::vector<double>* canonical_weights;
+  if (const Eq2SolveCache::Entry* entry = solve_cache_.Find(sig); entry != nullptr) {
+    ++stats_.eq2_cache_hits;
+    canonical_weights = &entry->weights;
+  } else {
+    ++stats_.eq2_cache_misses;
+    canonical_models.clear();
+    canonical_models.reserve(n);
+    for (uint32_t idx : sig.order) {
+      canonical_models.push_back(*models[idx]);
+    }
+    Rng solve_rng = Rng::ForStream(options_.seed, sig.hash);
+    WeightSolverResult solved = solver_.Solve(canonical_models, &solve_rng);
+    if (solve_cache_.enabled()) {
+      canonical_weights =
+          &solve_cache_.Insert(sig, std::move(solved.weights), solved.objective)->weights;
+    } else {  // Cache disabled: same float program, minus the memo.
+      uncached_weights = std::move(solved.weights);
+      canonical_weights = &uncached_weights;
+    }
   }
 
-  // Group the PLs present at this port into the port's queues.
-  std::vector<int> present_pls;
-  for (AppId app : ids) {
-    const int pl = apps_.at(app).pl;
-    if (std::find(present_pls.begin(), present_pls.end(), pl) == present_pls.end()) {
+  // Un-permute the canonical weights back to port (ascending AppId) order.
+  assert(sig.order.size() == n);
+  assert(canonical_weights->size() == n);
+  std::vector<std::pair<AppId, double>>& weights = port_weights_[link];
+  weights.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t i = sig.order[k];
+    weights[i] = {ids[i], (*canonical_weights)[k]};
+  }
+
+  // The PLs present at this port, ascending (the canonical form the
+  // queue-map memo keys on). Fixed-size seen-mask: the old std::find dedupe
+  // was quadratic in the app count.
+  bool seen[kNumServiceLevels] = {};
+  for (int pl : app_pls) {
+    assert(pl >= 0 && pl < kNumServiceLevels);
+    seen[pl] = true;
+  }
+  present_pls.clear();
+  for (int pl = 0; pl < kNumServiceLevels; ++pl) {
+    if (seen[pl]) {
       present_pls.push_back(pl);
     }
   }
@@ -212,30 +274,29 @@ void CentralizedController::ReallocatePort(LinkId link) {
   // are never remapped; Saba distributes its PLs over the rest.
   const int saba_queues = port.num_queues - options_.reserved_queues;
   assert(saba_queues >= 1 && "reservation leaves no queues for Saba traffic");
-  const QueueMapper::PortMapping mapping = queue_mapper_->MapPort(present_pls, saba_queues);
+  const QueueMapper::PortMapping& mapping = queue_mapper_->MapPortMemo(present_pls, saba_queues);
 
   // Program the SL->queue table (SL == PL for Saba traffic; SLs outside the
   // Saba PL range route to the first reserved queue when one exists) and the
   // queue weights: each Saba queue's weight is the sum of the Eq-2 shares of
   // the applications mapped into it (§5.3.2).
   const int non_saba_queue = options_.reserved_queues > 0 ? saba_queues : 0;
-  std::vector<double> queue_weights(static_cast<size_t>(port.num_queues), 1e-6);
+  queue_weights.assign(static_cast<size_t>(port.num_queues), 1e-6);
   for (int sl = 0; sl < kNumServiceLevels; ++sl) {
     const int queue = static_cast<size_t>(sl) < mapping.pl_to_queue.size()
                           ? mapping.pl_to_queue[static_cast<size_t>(sl)]
                           : -1;
     port.sl_to_queue[static_cast<size_t>(sl)] = queue >= 0 ? queue : non_saba_queue;
   }
-  for (size_t i = 0; i < ids.size(); ++i) {
-    const int pl = apps_.at(ids[i]).pl;
-    const int queue = mapping.pl_to_queue[static_cast<size_t>(pl)];
+  for (size_t i = 0; i < n; ++i) {
+    const int queue = mapping.pl_to_queue[static_cast<size_t>(app_pls[i])];
     assert(queue >= 0 && queue < saba_queues);
-    queue_weights[static_cast<size_t>(queue)] += solved.weights[i];
+    queue_weights[static_cast<size_t>(queue)] += weights[i].second;
   }
   for (int q = saba_queues; q < port.num_queues; ++q) {
     queue_weights[static_cast<size_t>(q)] = options_.reserved_queue_weight;
   }
-  port.queue_weights = std::move(queue_weights);
+  port.queue_weights = queue_weights;  // Copy-assign: reuses the port's buffer.
 }
 
 double CentralizedController::RecomputeAllPortsTimed() {
@@ -244,6 +305,7 @@ double CentralizedController::RecomputeAllPortsTimed() {
   for (const auto& [link, counts] : port_apps_) {
     links.push_back(link);
   }
+  std::sort(links.begin(), links.end());  // Deterministic recompute order.
   Stopwatch watch;
   for (LinkId link : links) {
     ReallocatePort(link);
@@ -262,8 +324,11 @@ double CentralizedController::AppWeightAtPort(LinkId link, AppId app) const {
   if (it == port_weights_.end()) {
     return 0;
   }
-  auto app_it = it->second.find(app);
-  return app_it == it->second.end() ? 0 : app_it->second;
+  const std::vector<std::pair<AppId, double>>& weights = it->second;
+  auto app_it = std::lower_bound(
+      weights.begin(), weights.end(), app,
+      [](const std::pair<AppId, double>& entry, AppId a) { return entry.first < a; });
+  return app_it != weights.end() && app_it->first == app ? app_it->second : 0;
 }
 
 }  // namespace saba

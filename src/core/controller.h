@@ -19,6 +19,7 @@
 #include "src/core/pl_mapper.h"
 #include "src/core/queue_mapper.h"
 #include "src/core/sensitivity.h"
+#include "src/core/solve_cache.h"
 #include "src/core/weight_solver.h"
 #include "src/net/flow_simulator.h"
 #include "src/net/network.h"
@@ -68,6 +69,11 @@ struct ControllerOptions {
   // switch configuration taking effect (RPC + switch programming time).
   // 0 applies reconfigurations within the same simulated instant.
   double control_plane_latency_seconds = 0;
+  // Signature-keyed memoization of Eq-2 solves and PL-to-queue mappings
+  // (DESIGN.md §7.2). Off is for A/B testing only — results are bit-identical
+  // either way (the solve is a pure function of the port's app-mix
+  // signature); the cache just skips re-deriving them.
+  bool solve_cache = true;
   uint64_t seed = 7;
 };
 
@@ -78,6 +84,10 @@ struct ControllerStats {
   uint64_t conn_destroys = 0;
   uint64_t port_reconfigurations = 0;
   uint64_t pl_reclusterings = 0;
+  // Eq-2 solve cache traffic: hits are reconfigured ports whose app-mix
+  // signature was already solved; misses are distinct solves actually run.
+  uint64_t eq2_cache_hits = 0;
+  uint64_t eq2_cache_misses = 0;
   // Wall-clock cost of weight calculations (Eq 2 solves), for Fig 12.
   double total_calc_wall_seconds = 0;
   double last_calc_wall_seconds = 0;
@@ -148,9 +158,15 @@ class CentralizedController : public ControllerInterface {
   std::map<AppId, AppState> apps_;
   // Per port: connection count per application.
   std::unordered_map<LinkId, std::map<AppId, int>> port_apps_;
-  // Per port: last solved per-application weights.
-  std::unordered_map<LinkId, std::map<AppId, double>> port_weights_;
+  // Per port: last solved per-application weights, sorted by AppId (a flat
+  // vector rather than a map — rebuilt wholesale on every reallocation, so
+  // node-based storage would be pure overhead on the hot path).
+  std::unordered_map<LinkId, std::vector<std::pair<AppId, double>>> port_weights_;
   std::optional<QueueMapper> queue_mapper_;
+  // Memoized Eq-2 solves keyed by app-mix signature (DESIGN.md §7.2).
+  // Persists across re-clusterings: entries are keyed by the full solver
+  // input, so they can never go stale.
+  Eq2SolveCache solve_cache_;
   std::unordered_set<LinkId> dirty_ports_;
   bool flush_scheduled_ = false;
 };

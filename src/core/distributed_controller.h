@@ -12,6 +12,13 @@
 // identical per port) and models the sharding explicitly for accounting:
 // every connection setup is routed to the shard owning its first switch,
 // which forwards along the path, one hop per shard boundary crossed.
+//
+// The signature-keyed Eq-2 solve cache and the queue-map memo (DESIGN.md
+// §7.2) are inherited per shard from CentralizedController. Because a solve
+// is a pure function of the port's app-mix signature — canonical model
+// order, Rng seeded from the signature — shards dedupe independently yet
+// still program bit-identical state for identical mixes; no cross-shard
+// cache coherence is needed.
 
 #ifndef SRC_CORE_DISTRIBUTED_CONTROLLER_H_
 #define SRC_CORE_DISTRIBUTED_CONTROLLER_H_

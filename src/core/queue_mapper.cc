@@ -5,7 +5,7 @@
 
 namespace saba {
 
-QueueMapper::QueueMapper(const std::vector<SensitivityModel>& pl_models)
+QueueMapper::QueueMapper(const std::vector<SensitivityModel>& pl_models, bool memoize)
     : hierarchy_([&pl_models] {
         assert(!pl_models.empty());
         size_t dim = 0;
@@ -18,7 +18,10 @@ QueueMapper::QueueMapper(const std::vector<SensitivityModel>& pl_models)
           points.push_back(model.CoefficientVector(dim));
         }
         return HierarchicalClustering::Build(points);
-      }()) {}
+      }()),
+      memoize_(memoize) {
+  assert(hierarchy_.num_leaves() <= 32 && "PL bitmask key assumes <= 32 PLs");
+}
 
 QueueMapper::PortMapping QueueMapper::MapPort(const std::vector<int>& present_pls,
                                               int max_queues) const {
@@ -46,6 +49,28 @@ QueueMapper::PortMapping QueueMapper::MapPort(const std::vector<int>& present_pl
     mapping.queue_models.emplace_back(Polynomial(grouping.centroids[queue]));
   }
   return mapping;
+}
+
+const QueueMapper::PortMapping& QueueMapper::MapPortMemo(const std::vector<int>& present_pls,
+                                                         int max_queues) const {
+  assert(std::is_sorted(present_pls.begin(), present_pls.end()) &&
+         "memoized mapping requires the canonical (ascending) PL order");
+  if (!memoize_) {
+    passthrough_ = MapPort(present_pls, max_queues);
+    return passthrough_;
+  }
+  uint64_t key = static_cast<uint64_t>(max_queues) << 32;
+  for (int pl : present_pls) {
+    key |= 1ull << pl;
+  }
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+  ++memo_misses_;
+  // References into the map stay valid across rehashes (node-based).
+  return memo_.emplace(key, MapPort(present_pls, max_queues)).first->second;
 }
 
 }  // namespace saba

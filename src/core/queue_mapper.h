@@ -11,6 +11,8 @@
 #ifndef SRC_CORE_QUEUE_MAPPER_H_
 #define SRC_CORE_QUEUE_MAPPER_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/sensitivity.h"
@@ -21,7 +23,9 @@ namespace saba {
 class QueueMapper {
  public:
   // Builds the hierarchy over the PL centroid models (from the PL mapper).
-  explicit QueueMapper(const std::vector<SensitivityModel>& pl_models);
+  // `memoize` enables the MapPortMemo cache (disabled by the controller's
+  // solve_cache=false mode so cache-on/off equivalence can be tested).
+  explicit QueueMapper(const std::vector<SensitivityModel>& pl_models, bool memoize = true);
 
   struct PortMapping {
     // pl_to_queue[p]: queue index for PL p, or -1 if PL p is not present at
@@ -39,10 +43,29 @@ class QueueMapper {
   // `present_pls` must be non-empty, duplicate-free, and within range.
   PortMapping MapPort(const std::vector<int>& present_pls, int max_queues) const;
 
+  // Memoized MapPort for the controller's port-recompute hot path.
+  // `present_pls` must additionally be sorted ascending (the controller's
+  // canonical form), so the (PL bitmask, queue budget) pair fully keys the
+  // result. The cache lives with the mapper — re-clustering rebuilds the
+  // mapper, which is the epoch invalidation (DESIGN.md §7.2). The returned
+  // reference stays valid until the mapper is destroyed (or, with
+  // memoization off, until the next MapPortMemo call).
+  const PortMapping& MapPortMemo(const std::vector<int>& present_pls, int max_queues) const;
+
   size_t num_pls() const { return hierarchy_.num_leaves(); }
+
+  uint64_t memo_hits() const { return memo_hits_; }
+  uint64_t memo_misses() const { return memo_misses_; }
 
  private:
   HierarchicalClustering hierarchy_;
+  bool memoize_;
+  // (PL bitmask | max_queues << 32) -> mapping. PL ids fit 32 bits with room
+  // to spare (kNumServiceLevels == 16 is the fabric-wide ceiling).
+  mutable std::unordered_map<uint64_t, PortMapping> memo_;
+  mutable PortMapping passthrough_;  // MapPortMemo result slot when memoize_ is off.
+  mutable uint64_t memo_hits_ = 0;
+  mutable uint64_t memo_misses_ = 0;
 };
 
 }  // namespace saba

@@ -72,9 +72,13 @@ std::vector<double> SolveConvexCubicDual(const std::vector<Polynomial>& derivs, 
     for (const Polynomial& d : derivs) {
       total += InverseDerivative(d, lambda, lo, hi);
     }
+    // Fixed-point early exit (bit-exact): once the midpoint equals an
+    // endpoint, the remaining iterations cannot move the bracket.
     if (total < capacity) {
+      if (lambda_lo == lambda) break;
       lambda_lo = lambda;
     } else {
+      if (lambda_hi == lambda) break;
       lambda_hi = lambda;
     }
   }
