@@ -21,6 +21,7 @@
 #include "src/core/pl_mapper.h"
 #include "src/core/queue_mapper.h"
 #include "src/core/weight_solver.h"
+#include "src/exp/knobs.h"
 #include "src/exp/sweep_runner.h"
 #include "src/net/allocation_engine.h"
 #include "src/net/allocator.h"
@@ -498,8 +499,8 @@ int main(int argc, char** argv) {
   }
   saba::RecordingConsoleReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  const char* json_path = std::getenv("SABA_BENCH_JSON");
-  saba::WriteJsonSummary(reporter.recorded(), json_path != nullptr ? json_path : "BENCH_micro.json");
+  saba::WriteJsonSummary(reporter.recorded(),
+                         saba::EnvString("SABA_BENCH_JSON", "BENCH_micro.json"));
   benchmark::Shutdown();
   return 0;
 }

@@ -9,6 +9,13 @@ BUILD=${1:-build}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
+# Static gate first: a tree that violates the determinism conventions
+# (DESIGN.md §8 — stray randomness, wall-clock reads, raw getenv, unaudited
+# unordered iteration) can pass the diffs below by luck on one machine and
+# still diverge on another, so don't bother diffing until it lints clean.
+cmake --build "$BUILD" --target saba_lint_check
+echo "ok: saba_lint_check"
+
 # The fast, fully deterministic benches (heavy ones are covered by the seed
 # printing in their banners).
 BENCHES=(

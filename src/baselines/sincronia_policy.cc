@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <unordered_map>
 
 namespace saba {
 
@@ -11,8 +13,9 @@ std::vector<AppId> ComputeBssiOrder(const std::vector<CoflowDemand>& coflows) {
   std::vector<AppId> order(n, kInvalidApp);
 
   // Remaining (scaled) demand per coflow per port; BSSI scales the demand of
-  // unplaced coflows down as later positions are filled.
-  std::vector<std::unordered_map<LinkId, double>> demand;
+  // unplaced coflows down as later positions are filled. Ordered like
+  // CoflowDemand::port_demand so every scan below is canonical.
+  std::vector<std::map<LinkId, double>> demand;
   demand.reserve(n);
   for (const CoflowDemand& c : coflows) {
     demand.push_back(c.port_demand);
@@ -20,7 +23,9 @@ std::vector<AppId> ComputeBssiOrder(const std::vector<CoflowDemand>& coflows) {
 
   for (size_t slot = n; slot > 0; --slot) {
     // 1. Bottleneck port: largest total demand over unplaced coflows.
-    std::unordered_map<LinkId, double> port_total;
+    // Ordered: the max scan below visits ports ascending, so the (total,
+    // port) tie-break is canonical by construction.
+    std::map<LinkId, double> port_total;
     for (size_t c = 0; c < n; ++c) {
       if (placed[c]) {
         continue;
@@ -89,6 +94,7 @@ SincroniaScheduler::SincroniaScheduler(FlowSimulator* flow_sim, SincroniaConfig 
 
 void SincroniaScheduler::RefreshPriorities() {
   // Build one coflow per application from the in-flight flows.
+  // saba-lint: unordered-iter-ok(lookup-only: emplace/find by app, never iterated)
   std::unordered_map<AppId, size_t> index;
   std::vector<CoflowDemand> coflows;
   flow_sim_->ForEachActiveFlow([&](const ActiveFlow& flow) {
@@ -105,6 +111,7 @@ void SincroniaScheduler::RefreshPriorities() {
   }
 
   const std::vector<AppId> order = ComputeBssiOrder(coflows);
+  // saba-lint: unordered-iter-ok(lookup-only: filled from `order`, read by .at)
   std::unordered_map<AppId, int> priority;
   for (size_t pos = 0; pos < order.size(); ++pos) {
     priority[order[pos]] =

@@ -15,7 +15,7 @@
 #ifndef SRC_BASELINES_SINCRONIA_POLICY_H_
 #define SRC_BASELINES_SINCRONIA_POLICY_H_
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/net/flow_simulator.h"
@@ -31,7 +31,9 @@ struct SincroniaConfig {
 struct CoflowDemand {
   AppId app = kInvalidApp;
   // Port (link) -> total remaining bits the coflow must push through it.
-  std::unordered_map<LinkId, double> port_demand;
+  // Ordered map: BSSI iterates these demands, and ascending-port iteration
+  // keeps the bottleneck scan canonical across platforms.
+  std::map<LinkId, double> port_demand;
 };
 
 // Computes the BSSI order: result[0] is scheduled first (highest priority).

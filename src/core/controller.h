@@ -156,17 +156,24 @@ class CentralizedController : public ControllerInterface {
   ControllerStats stats_;
 
   std::map<AppId, AppState> apps_;
-  // Per port: connection count per application.
+  // Per port: connection count per application. Iterated only to harvest
+  // keys, which are always sorted (directly or via dirty_ports_) before any
+  // order-sensitive use; solves are keyed by signature, not visit order.
+  // saba-lint: unordered-iter-ok(keys sorted before every order-sensitive use)
   std::unordered_map<LinkId, std::map<AppId, int>> port_apps_;
   // Per port: last solved per-application weights, sorted by AppId (a flat
   // vector rather than a map — rebuilt wholesale on every reallocation, so
   // node-based storage would be pure overhead on the hot path).
+  // saba-lint: unordered-iter-ok(lookup-only: find/erase/rebuild, never iterated)
   std::unordered_map<LinkId, std::vector<std::pair<AppId, double>>> port_weights_;
   std::optional<QueueMapper> queue_mapper_;
   // Memoized Eq-2 solves keyed by app-mix signature (DESIGN.md §7.2).
   // Persists across re-clusterings: entries are keyed by the full solver
   // input, so they can never go stale.
   Eq2SolveCache solve_cache_;
+  // FlushDirtyPorts copies into a vector and sorts ascending before
+  // reallocating (see the comment there), so set order never leaks out.
+  // saba-lint: unordered-iter-ok(flush sorts the links before reallocating)
   std::unordered_set<LinkId> dirty_ports_;
   bool flush_scheduled_ = false;
 };

@@ -28,6 +28,8 @@ CoRunPrediction CoRunPlanner::Predict(const std::vector<std::string>& workloads,
   const double equal_share =
       solver_.options().capacity / static_cast<double>(workloads.size());
   double log_ratio_sum = 0;
+  prediction.saba_slowdowns.reserve(models.size());
+  prediction.equal_slowdowns.reserve(models.size());
   for (size_t i = 0; i < models.size(); ++i) {
     const double saba = models[i].SlowdownAt(solved.weights[i]);
     const double equal = models[i].SlowdownAt(equal_share);

@@ -62,6 +62,7 @@ class QueueMapper {
   bool memoize_;
   // (PL bitmask | max_queues << 32) -> mapping. PL ids fit 32 bits with room
   // to spare (kNumServiceLevels == 16 is the fabric-wide ceiling).
+  // saba-lint: unordered-iter-ok(lookup-only memo, never iterated)
   mutable std::unordered_map<uint64_t, PortMapping> memo_;
   mutable PortMapping passthrough_;  // MapPortMemo result slot when memoize_ is off.
   mutable uint64_t memo_hits_ = 0;

@@ -8,7 +8,6 @@
 #define SRC_CORE_SABA_CLIENT_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/controller.h"

@@ -112,6 +112,9 @@ class Eq2SolveCache {
   bool enabled_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Lookup-only memo (find/insert/clear); results depend on the signature
+  // key alone, never on bucket order — the §7.2 exactness argument.
+  // saba-lint: unordered-iter-ok(lookup-only memo, never iterated)
   std::unordered_map<Key, Entry, KeyHash, KeyEq> map_;
 };
 

@@ -106,6 +106,16 @@ int EnvJobs() {
   return hardware > 0 ? static_cast<int>(hardware) : 1;
 }
 
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    RecordKnob(name, fallback, /*from_env=*/false);
+    return fallback;
+  }
+  RecordKnob(name, value, /*from_env=*/true);
+  return value;
+}
+
 std::string KnobSummary() {
   std::lock_guard<std::mutex> lock(registry_mutex);
   std::string out;

@@ -31,6 +31,11 @@ uint64_t EnvSeed(uint64_t fallback = 42);
 // hardware threads". Negative values are rejected.
 int EnvJobs();
 
+// String knob from the environment with a default (e.g. an output path).
+// Registered in the knob summary like the integer knobs; an empty value is
+// taken literally, not as "unset".
+std::string EnvString(const char* name, const std::string& fallback);
+
 // "SABA_SETUPS=100 [default], SABA_FIG10_INSTANCES=8" for every knob read so
 // far, in first-read order; empty if none. SABA_SEED/SABA_JOBS are omitted.
 std::string KnobSummary();

@@ -18,8 +18,8 @@
 
 #include <cassert>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -138,10 +138,14 @@ class FlowSimulator {
   std::unique_ptr<AllocationEngine> engine_;
   std::function<void()> pre_allocate_hook_;
 
-  // unique_ptr keeps FlowRecord addresses stable across rehashing, since
+  // Ordered by flow id: completion extraction, host-egress accumulation and
+  // the service-level sweep all iterate this map, so ascending-id iteration
+  // keeps callback order and float-sum order canonical across platforms
+  // (the same argument as the engine's canonical flow index, DESIGN.md
+  // §7.1). unique_ptr keeps FlowRecord addresses stable, since
   // ActiveFlow::path points into the record itself (and the engine holds the
   // ActiveFlow pointer between deltas).
-  std::unordered_map<FlowId, std::unique_ptr<FlowRecord>> flows_;
+  std::map<FlowId, std::unique_ptr<FlowRecord>> flows_;
   FlowId next_flow_id_ = 1;
   EventHandle next_completion_event_;
   SimTime next_completion_time_ = kNeverTime;

@@ -42,7 +42,11 @@ class Router {
   const Topology* topo_;
   // Reverse adjacency: in_links_[n] lists links whose dst is n.
   std::vector<std::vector<LinkId>> in_links_;
+  // Both caches are lookup-only (find/emplace by key, plus size()); nothing
+  // ever iterates them, so their order can't reach routing decisions.
+  // saba-lint: unordered-iter-ok(lookup-only cache, never iterated)
   std::unordered_map<NodeId, std::vector<int32_t>> dist_cache_;
+  // saba-lint: unordered-iter-ok(lookup-only cache, never iterated)
   std::unordered_map<uint64_t, std::vector<LinkId>> path_cache_;
 };
 

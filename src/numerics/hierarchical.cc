@@ -90,6 +90,7 @@ HierarchicalClustering::Grouping HierarchicalClustering::GroupSubset(
   for (size_t level = 0; level < levels_.size(); ++level) {
     // Collect the distinct clusters the present leaves map to at this level.
     std::vector<size_t> cluster_ids;
+    cluster_ids.reserve(leaves.size());
     for (size_t leaf : leaves) {
       const size_t c = ClusterOf(level, leaf);
       if (std::find(cluster_ids.begin(), cluster_ids.end(), c) == cluster_ids.end()) {

@@ -22,6 +22,9 @@ class CacheProbeController : public CentralizedController {
  public:
   using CentralizedController::CentralizedController;
 
+  // Mirrors the controller's member type; only compared with operator==,
+  // which is iteration-order-insensitive for unordered containers.
+  // saba-lint: unordered-iter-ok(order-insensitive operator== comparison only)
   const std::unordered_map<LinkId, std::vector<std::pair<AppId, double>>>& port_weights() const {
     return port_weights_;
   }

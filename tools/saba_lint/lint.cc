@@ -1,0 +1,689 @@
+#include "tools/saba_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace saba {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scanner: split a translation unit into per-line code text (comments and
+// string/char-literal contents blanked with spaces, so columns and line
+// numbers survive) and per-line comment text (for annotations/suppressions).
+// ---------------------------------------------------------------------------
+
+struct ScannedFile {
+  std::vector<std::string> raw;       // raw[i] = line i+1 verbatim (for R6)
+  std::vector<std::string> code;      // code[i] = line i+1, literals blanked
+  std::vector<std::string> comments;  // comments[i] = comment text on line i+1
+};
+
+std::vector<std::string> SplitLines(std::string_view content) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= content.size()) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(content.substr(start));
+      break;
+    }
+    lines.emplace_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// True if `c` can end an expression — used to tell a char literal from a
+// C++14 digit separator (1'000'000) or a user-defined-literal quote.
+bool EndsExpression(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ')' || c == ']';
+}
+
+ScannedFile Scan(std::string_view content) {
+  ScannedFile out;
+  out.raw = SplitLines(content);
+  out.code.emplace_back();
+  out.comments.emplace_back();
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // For kRawString: )delim" that ends it.
+  char last_code_char = '\0';  // Last significant code char (for ' disambiguation).
+
+  size_t i = 0;
+  const size_t n = content.size();
+  auto code_put = [&](char c) { out.code.back().push_back(c); };
+  auto comment_put = [&](char c) { out.comments.back().push_back(c); };
+  auto newline = [&] {
+    out.code.emplace_back();
+    out.comments.emplace_back();
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_put(' ');
+          code_put(' ');
+          i += 2;
+        } else if (c == '"') {
+          // R"..."( opens a raw string; scan back over an optional prefix.
+          bool raw = false;
+          const std::string& line = out.code.back();
+          if (!line.empty() && line.back() == 'R') {
+            const size_t len = line.size();
+            // Reject identifiers ending in R (e.g. FooR"..." is not raw
+            // unless R starts the identifier or follows a prefix u8/u/U/L).
+            if (len == 1 || !(std::isalnum(static_cast<unsigned char>(line[len - 2])) ||
+                              line[len - 2] == '_')) {
+              raw = true;
+            }
+          }
+          if (raw) {
+            std::string delim;
+            size_t j = i + 1;
+            while (j < n && content[j] != '(' && content[j] != '\n' && delim.size() <= 16) {
+              delim.push_back(content[j]);
+              ++j;
+            }
+            if (j < n && content[j] == '(') {
+              raw_terminator = ")" + delim + "\"";
+              state = State::kRawString;
+              code_put('"');
+              i = j + 1;
+              break;
+            }
+          }
+          state = State::kString;
+          code_put('"');
+          ++i;
+        } else if (c == '\'' && !EndsExpression(last_code_char)) {
+          state = State::kChar;
+          code_put('\'');
+          ++i;
+        } else if (c == '\n') {
+          newline();
+          ++i;
+        } else {
+          code_put(c);
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            last_code_char = c;
+          }
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          newline();
+        } else {
+          comment_put(c);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          i += 2;
+        } else if (c == '\n') {
+          newline();
+          ++i;
+        } else {
+          comment_put(c);
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          code_put(' ');
+          code_put(' ');
+          i += 2;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_put('"');
+          last_code_char = '"';
+          ++i;
+        } else if (c == '\n') {  // Unterminated; recover at the newline.
+          state = State::kCode;
+          newline();
+          ++i;
+        } else {
+          code_put(' ');
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          code_put(' ');
+          code_put(' ');
+          i += 2;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_put('\'');
+          last_code_char = '\'';
+          ++i;
+        } else if (c == '\n') {
+          state = State::kCode;
+          newline();
+          ++i;
+        } else {
+          code_put(' ');
+          ++i;
+        }
+        break;
+      case State::kRawString:
+        if (c == '\n') {
+          newline();
+          ++i;
+        } else if (content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          state = State::kCode;
+          code_put('"');
+          last_code_char = '"';
+          i += raw_terminator.size();
+        } else {
+          code_put(' ');
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token stream over the blanked code (identifiers + the punctuation the
+// rules care about), skipping preprocessor lines (handled separately).
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;  // 1-based.
+  bool is_ident = false;
+};
+
+bool IsPreprocessorLine(const std::string& code_line) {
+  for (char c : code_line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    }
+    return c == '#';
+  }
+  return false;
+}
+
+std::vector<Token> Tokenize(const ScannedFile& scanned) {
+  std::vector<Token> tokens;
+  bool continuation = false;  // Previous line ended in backslash (pp-continuation).
+  for (size_t li = 0; li < scanned.code.size(); ++li) {
+    const std::string& line = scanned.code[li];
+    const bool pp = continuation || IsPreprocessorLine(line);
+    continuation = pp && !line.empty() && line.back() == '\\';
+    if (pp) {
+      continue;
+    }
+    const int line_no = static_cast<int>(li) + 1;
+    size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i + 1;
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) || line[j] == '_')) {
+          ++j;
+        }
+        tokens.push_back({line.substr(i, j - i), line_no, true});
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i + 1;  // Numbers (incl. 1'000 separators and suffixes).
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) || line[j] == '\'' ||
+                line[j] == '.')) {
+          ++j;
+        }
+        tokens.push_back({line.substr(i, j - i), line_no, false});
+        i = j;
+      } else if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        tokens.push_back({"::", line_no, false});
+        i += 2;
+      } else if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        tokens.push_back({"->", line_no, false});
+        i += 2;
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        tokens.push_back({std::string(1, c), line_no, false});
+        ++i;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping and suppression.
+// ---------------------------------------------------------------------------
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+struct FileScope {
+  bool rng_impl = false;        // src/sim/rng.{h,cc}: R1 exempt.
+  bool wallclock_impl = false;  // src/sim/wallclock.h: R2 exempt.
+  bool knobs_impl = false;      // src/exp/knobs.{h,cc}: R5 exempt.
+  bool bench = false;           // bench/: R3 applies.
+  bool header = false;          // *.h: guard check applies.
+};
+
+FileScope ScopeFor(const std::string& rel_path) {
+  FileScope scope;
+  scope.rng_impl = rel_path == "src/sim/rng.h" || rel_path == "src/sim/rng.cc";
+  scope.wallclock_impl = rel_path == "src/sim/wallclock.h";
+  scope.knobs_impl = rel_path == "src/exp/knobs.h" || rel_path == "src/exp/knobs.cc";
+  scope.bench = StartsWith(rel_path, "bench/");
+  scope.header = rel_path.size() >= 2 && rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
+  return scope;
+}
+
+// "// saba-lint: allow(R2): reason" on the finding's line or the line above.
+bool IsSuppressed(const ScannedFile& scanned, int line, const std::string& rule) {
+  const std::string needle = "saba-lint: allow(" + rule + ")";
+  for (int l = line - 1; l >= std::max(0, line - 2); --l) {
+    if (static_cast<size_t>(l) < scanned.comments.size() &&
+        scanned.comments[static_cast<size_t>(l)].find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// R4's dedicated annotation doubles as its suppression: the reason inside the
+// parentheses is the audit record. Same line or the line above.
+bool HasUnorderedAnnotation(const ScannedFile& scanned, int line) {
+  const std::string_view needle = "saba-lint: unordered-iter-ok(";
+  for (int l = line - 1; l >= std::max(0, line - 2); --l) {
+    const std::string& comment = scanned.comments[static_cast<size_t>(l)];
+    const size_t pos = comment.find(needle);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    // Require a non-empty reason: "unordered-iter-ok()" is not an audit.
+    const size_t open = pos + needle.size();
+    return open < comment.size() && comment[open] != ')';
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& R1BannedIdentifiers() {
+  static const std::set<std::string> kBanned = {
+      "rand",        "srand",         "rand_r",           "drand48",
+      "lrand48",     "mrand48",       "erand48",          "nrand48",
+      "jrand48",     "random",        "srandom",          "mt19937",
+      "mt19937_64",  "random_device", "default_random_engine",
+      "minstd_rand", "minstd_rand0",  "ranlux24",         "ranlux48",
+      "ranlux24_base", "ranlux48_base", "knuth_b",
+      "mersenne_twister_engine", "linear_congruential_engine",
+      "subtract_with_carry_engine"};
+  return kBanned;
+}
+
+const std::set<std::string>& R2BannedIdentifiers() {
+  // `time`/`clock` are handled separately (call-form only) to avoid flagging
+  // ordinary variables and members named `time`.
+  static const std::set<std::string> kBanned = {
+      "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
+      "clock_gettime", "timespec_get", "localtime",  "localtime_r",
+      "gmtime",        "gmtime_r",     "mktime",     "ctime",
+      "asctime",       "strftime",     "ftime"};
+  return kBanned;
+}
+
+const std::set<std::string>& R4UnorderedContainers() {
+  static const std::set<std::string> kContainers = {"unordered_map", "unordered_set",
+                                                    "unordered_multimap", "unordered_multiset"};
+  return kContainers;
+}
+
+const std::set<std::string>& R5BannedIdentifiers() {
+  static const std::set<std::string> kBanned = {"getenv", "secure_getenv", "setenv", "putenv",
+                                                "unsetenv"};
+  return kBanned;
+}
+
+// Identifiers that mark a statement as thread-count- or wall-clock-dependent
+// for R3. String literals are blanked by the scanner, so a stderr note that
+// merely *mentions* SABA_JOBS in its text does not trip this.
+const std::set<std::string>& R3TimingIdentifiers() {
+  static const std::set<std::string> kTiming = {"ElapsedSeconds", "Stopwatch", "EnvJobs",
+                                                "hardware_concurrency"};
+  return kTiming;
+}
+
+struct RuleContext {
+  const std::string* rel_path;
+  const std::string* display_path;
+  const ScannedFile* scanned;
+  const std::vector<Token>* tokens;
+  FileScope scope;
+  std::vector<Finding>* findings;
+};
+
+void Report(const RuleContext& ctx, int line, const char* rule, std::string message) {
+  if (IsSuppressed(*ctx.scanned, line, rule)) {
+    return;
+  }
+  ctx.findings->push_back({*ctx.display_path, line, rule, std::move(message)});
+}
+
+void CheckIdentifierRules(const RuleContext& ctx) {
+  const std::vector<Token>& tokens = *ctx.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (!tok.is_ident) {
+      continue;
+    }
+    const Token* prev = i > 0 ? &tokens[i - 1] : nullptr;
+    const Token* next = i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
+    const bool member_access = prev != nullptr && (prev->text == "." || prev->text == "->");
+    const bool call_form = next != nullptr && next->text == "(";
+
+    if (!ctx.scope.rng_impl && !member_access && R1BannedIdentifiers().count(tok.text) != 0) {
+      Report(ctx, tok.line, "R1",
+             "raw randomness source '" + tok.text +
+                 "'; all randomness flows through saba::Rng with an explicit seed "
+                 "(src/sim/rng.h) so results are reproducible from the printed seed");
+    }
+    if (!ctx.scope.wallclock_impl && !member_access) {
+      if (R2BannedIdentifiers().count(tok.text) != 0) {
+        Report(ctx, tok.line, "R2",
+               "wall-clock read '" + tok.text +
+                   "'; real-time measurement goes through saba::Stopwatch "
+                   "(src/sim/wallclock.h), simulated time through SimTime");
+      } else if ((tok.text == "time" || tok.text == "clock") && call_form &&
+                 !(prev != nullptr && prev->is_ident)) {
+        // Only the free-function call forms: `std::time(`, `= time(` —
+        // members like scheduler->time() and declarations like
+        // `double time()` (previous token an identifier) stay legal.
+        Report(ctx, tok.line, "R2",
+               "wall-clock read '" + tok.text +
+                   "()'; real-time measurement goes through saba::Stopwatch "
+                   "(src/sim/wallclock.h), simulated time through SimTime");
+      }
+    }
+    if (R4UnorderedContainers().count(tok.text) != 0 &&
+        !HasUnorderedAnnotation(*ctx.scanned, tok.line)) {
+      // One finding per line: a single annotation covers e.g. a nested
+      // unordered_map<K, unordered_set<V>> declaration.
+      if (ctx.findings->empty() || ctx.findings->back().rule != "R4" ||
+          ctx.findings->back().line != tok.line ||
+          ctx.findings->back().file != *ctx.display_path) {
+        Report(ctx, tok.line, "R4",
+               "'" + tok.text +
+                   "' has implementation-defined iteration order; audit every "
+                   "iteration/accumulation over it and annotate the use with "
+                   "// saba-lint: unordered-iter-ok(<reason>), or switch to an "
+                   "ordered container (DESIGN.md §7.1 canonical-order contract)");
+      }
+    }
+    if (!ctx.scope.knobs_impl && !member_access && R5BannedIdentifiers().count(tok.text) != 0) {
+      Report(ctx, tok.line, "R5",
+             "raw environment access '" + tok.text +
+                 "'; knobs are read through src/exp/knobs.h (strict parsing, "
+                 "registry-backed banners) so a typo'd variable aborts instead of "
+                 "silently defaulting");
+    }
+  }
+}
+
+// R3: in bench/ code, a statement that writes to stdout must not also touch a
+// timing/thread-count source; `printf`/`puts` (stdout writers that bypass the
+// report helpers) are flagged outright.
+void CheckBenchStdoutRule(const RuleContext& ctx) {
+  if (!ctx.scope.bench) {
+    return;
+  }
+  const std::vector<Token>& tokens = *ctx.tokens;
+  size_t stmt_begin = 0;
+  for (size_t i = 0; i <= tokens.size(); ++i) {
+    const bool boundary = i == tokens.size() || tokens[i].text == ";" || tokens[i].text == "{" ||
+                          tokens[i].text == "}";
+    if (!boundary) {
+      continue;
+    }
+    bool writes_stdout = false;
+    bool touches_timing = false;
+    int stdout_line = 0;
+    for (size_t j = stmt_begin; j < i; ++j) {
+      const Token& tok = tokens[j];
+      if (!tok.is_ident) {
+        continue;
+      }
+      if (tok.text == "cout" || tok.text == "printf" || tok.text == "puts") {
+        writes_stdout = true;
+        stdout_line = tok.line;
+        if (tok.text != "cout") {
+          Report(ctx, tok.line, "R3",
+                 "'" + tok.text +
+                     "' writes to stdout outside the report helpers; bench stdout is "
+                     "the diffable report (src/exp/report.h) — diagnostics go to "
+                     "stderr via std::cerr/fprintf(stderr, ...)");
+        }
+      } else if (R3TimingIdentifiers().count(tok.text) != 0) {
+        touches_timing = true;
+      }
+    }
+    if (writes_stdout && touches_timing) {
+      Report(ctx, stdout_line, "R3",
+             "stdout statement mixes in a timing/thread-count source; bench stdout "
+             "must be byte-identical across runs and SABA_JOBS (DESIGN.md §7) — "
+             "print wall-clock or job-count diagnostics to stderr");
+    }
+    stmt_begin = i + 1;
+  }
+}
+
+// R6: quote-includes must be repo-rooted, and headers carry the canonical
+// guard derived from their repo-relative path (src/sim/rng.h →
+// SRC_SIM_RNG_H_).
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string guard;
+  guard.reserve(rel_path.size() + 1);
+  for (char c : rel_path) {
+    guard.push_back(std::isalnum(static_cast<unsigned char>(c))
+                        ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                        : '_');
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+void CheckIncludeAndGuardRule(const RuleContext& ctx) {
+  // Operates on raw lines: include paths are string literals, which the
+  // scanner blanks out of the code view.
+  const std::vector<std::string>& code = ctx.scanned->raw;
+  const char* kRoots[] = {"src/", "bench/", "tests/", "examples/", "tools/"};
+
+  std::string first_ifndef;
+  std::string first_define;
+  int guard_line = 0;
+
+  for (size_t li = 0; li < code.size(); ++li) {
+    const std::string line = Trimmed(code[li]);
+    const int line_no = static_cast<int>(li) + 1;
+    if (line.empty() || line[0] != '#') {
+      continue;
+    }
+    const std::string directive = Trimmed(line.substr(1));
+    if (StartsWith(directive, "include")) {
+      const std::string rest = Trimmed(directive.substr(7));
+      if (rest.size() >= 2 && rest.front() == '"') {
+        const size_t close = rest.find('"', 1);
+        const std::string path = close == std::string::npos ? "" : rest.substr(1, close - 1);
+        const bool rooted = std::any_of(std::begin(kRoots), std::end(kRoots),
+                                        [&](const char* root) { return StartsWith(path, root); });
+        if (!rooted) {
+          Report(ctx, line_no, "R6",
+                 "quote-include \"" + path +
+                     "\" is not repo-rooted; include project headers by their "
+                     "repository path (e.g. \"src/net/topology.h\")");
+        }
+      }
+    } else if (StartsWith(directive, "pragma") &&
+               StartsWith(Trimmed(directive.substr(6)), "once") && ctx.scope.header) {
+      Report(ctx, line_no, "R6",
+             "#pragma once; this repository uses canonical include guards "
+             "(" + ExpectedGuard(*ctx.rel_path) + ")");
+    } else if (first_ifndef.empty() && StartsWith(directive, "ifndef")) {
+      std::istringstream iss(Trimmed(directive.substr(6)));
+      iss >> first_ifndef;  // First token only: a trailing comment is legal.
+      guard_line = line_no;
+    } else if (!first_ifndef.empty() && first_define.empty() && StartsWith(directive, "define")) {
+      std::istringstream iss(Trimmed(directive.substr(6)));
+      iss >> first_define;
+    }
+  }
+
+  if (ctx.scope.header) {
+    const std::string expected = ExpectedGuard(*ctx.rel_path);
+    if (first_ifndef.empty()) {
+      Report(ctx, 1, "R6", "header has no include guard; expected " + expected);
+    } else if (first_ifndef != expected || first_define != expected) {
+      Report(ctx, guard_line, "R6",
+             "include guard '" + first_ifndef + "'" +
+                 (first_define != first_ifndef ? " / '#define " + first_define + "'" : "") +
+                 " does not match the canonical path-derived guard " + expected);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> RuleTable() {
+  return {
+      {"R1", "randomness only through saba::Rng (src/sim/rng.h) with explicit seeds"},
+      {"R2", "wall-clock reads only via saba::Stopwatch (src/sim/wallclock.h)"},
+      {"R3", "bench stdout is the diffable report: no timings or job counts on stdout"},
+      {"R4", "unordered-container uses carry // saba-lint: unordered-iter-ok(<reason>)"},
+      {"R5", "environment access only through src/exp/knobs.h"},
+      {"R6", "repo-rooted quote-includes and canonical path-derived header guards"},
+  };
+}
+
+std::vector<Finding> LintFile(const std::string& rel_path, const std::string& display_path,
+                              std::string_view content) {
+  const ScannedFile scanned = Scan(content);
+  const std::vector<Token> tokens = Tokenize(scanned);
+  std::vector<Finding> findings;
+  RuleContext ctx{&rel_path, &display_path, &scanned, &tokens, ScopeFor(rel_path), &findings};
+  CheckIdentifierRules(ctx);
+  CheckBenchStdoutRule(ctx);
+  CheckIncludeAndGuardRule(ctx);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
+  });
+  return findings;
+}
+
+std::vector<Finding> LintFile(const std::string& rel_path, std::string_view content) {
+  return LintFile(rel_path, rel_path, content);
+}
+
+std::string RelativizePath(const std::string& path) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  const char* kRoots[] = {"src/", "bench/", "tests/", "examples/", "tools/"};
+  size_t best = std::string::npos;
+  for (const char* root : kRoots) {
+    const std::string marker = std::string("/") + root;
+    const size_t pos = normalized.rfind(marker);
+    if (pos != std::string::npos && (best == std::string::npos || pos > best)) {
+      best = pos;
+    }
+    if (StartsWith(normalized, root)) {
+      return normalized;  // Already repo-relative.
+    }
+  }
+  return best == std::string::npos ? normalized : normalized.substr(best + 1);
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths, std::ostream& out) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::vector<Finding> all;
+  auto want = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || ext == ".cpp";
+  };
+  for (const std::string& path : paths) {
+    fs::path p(path);
+    if (fs::is_directory(p)) {
+      for (fs::recursive_directory_iterator it(p), end; it != end; ++it) {
+        if (it->is_directory()) {
+          const std::string name = it->path().filename().string();
+          // Fixture snippets violate rules on purpose; hidden and build
+          // directories are not part of the tree contract.
+          if (name == "testdata" || name == "build" || (!name.empty() && name[0] == '.')) {
+            it.disable_recursion_pending();
+          }
+          continue;
+        }
+        if (it->is_regular_file() && want(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p.generic_string());
+    } else {
+      out << path << ":0: [R0] path does not exist\n";
+      all.push_back({path, 0, "R0", "path does not exist"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel = RelativizePath(file);
+    std::vector<Finding> findings = LintFile(rel, rel, buffer.str());
+    for (const Finding& f : findings) {
+      out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    }
+    all.insert(all.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+  return all;
+}
+
+}  // namespace lint
+}  // namespace saba

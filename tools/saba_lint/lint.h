@@ -1,0 +1,70 @@
+// saba-lint: the repository's determinism & invariant static-analysis pass.
+//
+// A token-aware (comment/string/preprocessor-stripping) checker — deliberately
+// not a libclang front-end, so it builds everywhere the simulator builds and
+// runs in milliseconds over the whole tree. It enforces the invariants that
+// DESIGN.md §7 ("Determinism & threading model") and §8 ("Static analysis")
+// codify; runtime tests catch violations only on exercised paths, this pass
+// catches the whole class at diff time.
+//
+// Rules (each finding prints as "file:line: [R#] message"):
+//   R1  randomness only through saba::Rng        (no std::rand / mt19937 / …)
+//   R2  wall-clock reads only via src/sim/wallclock.h
+//   R3  bench stdout discipline: no timings / job counts on stdout
+//   R4  unordered-container uses must carry an iteration-order audit
+//       annotation: // saba-lint: unordered-iter-ok(<reason>)
+//   R5  environment access only through src/exp/knobs.h
+//   R6  src/-rooted quote-includes and canonical header guards
+//
+// Suppression: a finding on line N is suppressed by a comment on line N or
+// N-1 of the form  // saba-lint: allow(R2): <reason>.  R4 uses its dedicated
+// annotation (unordered-iter-ok) instead, so every suppression doubles as an
+// audit record.
+
+#ifndef TOOLS_SABA_LINT_LINT_H_
+#define TOOLS_SABA_LINT_LINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saba {
+namespace lint {
+
+struct Finding {
+  std::string file;     // Path as reported to the user.
+  int line = 0;         // 1-based.
+  std::string rule;     // "R1".."R6".
+  std::string message;  // Human-readable explanation.
+};
+
+// One rule id + summary per entry, for --list-rules and the docs self-test.
+std::vector<std::pair<std::string, std::string>> RuleTable();
+
+// Lints one translation unit. `rel_path` is the repository-relative path
+// ("src/sim/rng.cc") — rule scoping (per-directory applicability and the
+// rng/wallclock/knobs exemptions) keys off it; `display_path` is what
+// findings report (often the path the user passed). `content` is the file
+// body.
+std::vector<Finding> LintFile(const std::string& rel_path, const std::string& display_path,
+                              std::string_view content);
+
+// Convenience: rel_path doubles as display path.
+std::vector<Finding> LintFile(const std::string& rel_path, std::string_view content);
+
+// Expands files/directories (recursively; *.cc, *.h, *.cpp; skips testdata/
+// and hidden directories), lints each file, writes findings to `out` and
+// returns them. Paths may be absolute or repo-relative; scoping uses the
+// top-level-directory suffix (src/, bench/, tests/, examples/, tools/).
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths, std::ostream& out);
+
+// Maps an on-disk path to the repository-relative path used for scoping:
+// the suffix starting at the last top-level marker (src/, bench/, tests/,
+// examples/, tools/). Returns the input unchanged if no marker is found.
+std::string RelativizePath(const std::string& path);
+
+}  // namespace lint
+}  // namespace saba
+
+#endif  // TOOLS_SABA_LINT_LINT_H_

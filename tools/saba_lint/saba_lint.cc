@@ -1,0 +1,48 @@
+// saba-lint command-line driver.
+//
+//   saba_lint [--list-rules] <file-or-directory>...
+//
+// Exits 0 when the tree is clean, 1 on any unsuppressed finding, 2 on usage
+// errors. Findings go to stdout in "file:line: [R#] message" form (one per
+// line, machine-parseable); the summary goes to stderr so tooling can pipe
+// the findings alone.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/saba_lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& [id, summary] : saba::lint::RuleTable()) {
+        std::cout << id << "  " << summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: saba_lint [--list-rules] <file-or-directory>...\n";
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "saba_lint: unknown flag '" << arg << "'\n";
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: saba_lint [--list-rules] <file-or-directory>...\n";
+    return 2;
+  }
+
+  const std::vector<saba::lint::Finding> findings = saba::lint::LintPaths(paths, std::cout);
+  if (findings.empty()) {
+    std::cerr << "saba-lint: clean\n";
+    return 0;
+  }
+  std::cerr << "saba-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}

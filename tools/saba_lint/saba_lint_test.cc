@@ -1,0 +1,148 @@
+// Fixture-driven tests for the saba-lint rule engine, plus the live-tree
+// self-check: the repository itself must lint clean (the same gate the
+// `saba_lint_check` build target and CI enforce).
+
+#include "tools/saba_lint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace saba {
+namespace lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(SABA_LINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> LintFixture(const std::string& fixture, const std::string& rel_path) {
+  return LintFile(rel_path, ReadFixture(fixture));
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(std::count_if(findings.begin(), findings.end(),
+                                        [&](const Finding& f) { return f.rule == rule; }));
+}
+
+bool HasFindingAt(const std::vector<Finding>& findings, const std::string& rule, int line) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+TEST(SabaLintTest, R1FiresOnceAndIsSuppressible) {
+  const auto findings = LintFixture("r1_randomness.cc", "src/fixture/r1.cc");
+  EXPECT_EQ(CountRule(findings, "R1"), 1) << "exactly the unsuppressed mt19937 use";
+  EXPECT_TRUE(HasFindingAt(findings, "R1", 5));
+  EXPECT_EQ(findings.size(), 1u) << "no other rule fires on the fixture";
+}
+
+TEST(SabaLintTest, R1ExemptInsideRngImplementation) {
+  const std::string content = ReadFixture("r1_randomness.cc");
+  EXPECT_TRUE(LintFile("src/sim/rng.cc", content).empty());
+  EXPECT_EQ(CountRule(LintFile("src/sim/rng.h", content), "R1"), 0)
+      << "R1 exemption covers both rng files (the .h path additionally "
+         "triggers the guard check on this guard-less fixture, which is fine)";
+}
+
+TEST(SabaLintTest, R2FiresOnClockReadsAndCallForms) {
+  const auto findings = LintFixture("r2_wallclock.cc", "src/fixture/r2.cc");
+  EXPECT_EQ(CountRule(findings, "R2"), 2);
+  EXPECT_TRUE(HasFindingAt(findings, "R2", 6)) << "steady_clock::now()";
+  EXPECT_TRUE(HasFindingAt(findings, "R2", 11)) << "std::time(nullptr)";
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(SabaLintTest, R2ExemptInsideWallclockHeader) {
+  // wallclock.h itself may read steady_clock; the guard must then match its
+  // real path, so lint a synthetic body.
+  const std::string body =
+      "#ifndef SRC_SIM_WALLCLOCK_H_\n#define SRC_SIM_WALLCLOCK_H_\n"
+      "#include <chrono>\n"
+      "inline auto Now() { return std::chrono::steady_clock::now(); }\n"
+      "#endif  // SRC_SIM_WALLCLOCK_H_\n";
+  EXPECT_TRUE(LintFile("src/sim/wallclock.h", body).empty());
+  EXPECT_EQ(CountRule(LintFile("src/sim/other.h", body), "R2"), 1)
+      << "same body elsewhere fires (guard mismatch also fires, R2 count is what matters)";
+}
+
+TEST(SabaLintTest, R3FiresOnTimingToStdoutInBenchOnly) {
+  const auto findings = LintFixture("r3_bench_stdout.cc", "bench/fixture_r3.cc");
+  EXPECT_EQ(CountRule(findings, "R3"), 2);
+  EXPECT_TRUE(HasFindingAt(findings, "R3", 9)) << "cout << ElapsedSeconds";
+  EXPECT_TRUE(HasFindingAt(findings, "R3", 13)) << "printf bypasses report helpers";
+  EXPECT_EQ(findings.size(), 2u);
+
+  // The same file outside bench/ is not subject to the stdout discipline.
+  EXPECT_EQ(CountRule(LintFixture("r3_bench_stdout.cc", "src/fixture/r3.cc"), "R3"), 0);
+}
+
+TEST(SabaLintTest, R4RequiresAnnotationWithReason) {
+  const auto findings = LintFixture("r4_unordered.cc", "src/fixture/r4.cc");
+  EXPECT_EQ(CountRule(findings, "R4"), 2);
+  EXPECT_TRUE(HasFindingAt(findings, "R4", 8)) << "unannotated unordered_map";
+  EXPECT_TRUE(HasFindingAt(findings, "R4", 22)) << "empty reason is not an audit";
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(SabaLintTest, R5FiresOutsideKnobsAndIsSuppressible) {
+  const auto findings = LintFixture("r5_getenv.cc", "src/fixture/r5.cc");
+  EXPECT_EQ(CountRule(findings, "R5"), 1);
+  EXPECT_TRUE(HasFindingAt(findings, "R5", 5));
+  EXPECT_EQ(findings.size(), 1u);
+
+  EXPECT_TRUE(LintFile("src/exp/knobs.cc", ReadFixture("r5_getenv.cc")).empty())
+      << "knobs.cc is the one home for getenv";
+}
+
+TEST(SabaLintTest, R6ChecksGuardsAndRootedIncludes) {
+  const auto findings = LintFixture("r6_includes.h", "src/fixture/r6.h");
+  EXPECT_EQ(CountRule(findings, "R6"), 2);
+  EXPECT_TRUE(HasFindingAt(findings, "R6", 3)) << "guard != SRC_FIXTURE_R6_H_";
+  EXPECT_TRUE(HasFindingAt(findings, "R6", 6)) << "\"topology.h\" is not repo-rooted";
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(SabaLintTest, CleanFilePasses) {
+  EXPECT_TRUE(LintFixture("clean.cc", "src/fixture/clean.cc").empty());
+}
+
+TEST(SabaLintTest, RuleTableNamesEveryRule) {
+  const auto table = RuleTable();
+  ASSERT_EQ(table.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(table[static_cast<size_t>(i)].first, "R" + std::to_string(i + 1));
+  }
+}
+
+TEST(SabaLintTest, RelativizePathFindsTopLevelMarker) {
+  EXPECT_EQ(RelativizePath("/root/repo/src/sim/rng.cc"), "src/sim/rng.cc");
+  EXPECT_EQ(RelativizePath("bench/bench_util.h"), "bench/bench_util.h");
+  EXPECT_EQ(RelativizePath("/abs/without/marker.cc"), "/abs/without/marker.cc");
+}
+
+// The gate itself: the live tree must be clean. This is the same invocation
+// as `cmake --build build --target saba_lint_check`, run as a tier-1 test so
+// a violating diff fails `ctest` even if nobody runs the custom target.
+TEST(SabaLintTest, LiveTreeIsClean) {
+  const std::string root = SABA_SOURCE_DIR;
+  std::ostringstream report;
+  const auto findings = LintPaths(
+      {root + "/src", root + "/bench", root + "/tests", root + "/examples", root + "/tools"},
+      report);
+  EXPECT_TRUE(findings.empty()) << report.str();
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace saba

@@ -1,0 +1,23 @@
+// A clean translation unit: no rule fires. Linted as "src/fixture/clean.cc".
+#include <map>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace saba {
+
+// Raw-string and char-literal edge cases the scanner must not trip over:
+// digit separators, escaped quotes, banned names inside literals.
+inline const char* kDoc = R"(std::mt19937 and getenv are banned outside their homes)";
+
+int Sum(const std::vector<int>& v) {
+  int total = 1'000'000 % 7;
+  for (int x : v) {
+    total += x;
+  }
+  char quote = '\'';
+  (void)quote;
+  return total;
+}
+
+}  // namespace saba

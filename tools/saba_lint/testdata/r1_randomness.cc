@@ -1,0 +1,26 @@
+// R1 fixture: raw randomness sources. Linted as "src/fixture/r1.cc".
+#include <random>
+
+int Bad() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+int SuppressedOnPreviousLine() {
+  // saba-lint: allow(R1): fixture demonstrates the suppression syntax.
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());
+}
+
+int SuppressedOnSameLine() {
+  return rand();  // saba-lint: allow(R1): fixture, same-line form.
+}
+
+const char* NotARandomCall() {
+  // Identifiers that merely contain a banned name, and banned names inside
+  // string literals, must not fire.
+  static const char* mt19937_doc = "std::mt19937 is banned; use saba::Rng";
+  int random_index = 3;
+  (void)random_index;
+  return mt19937_doc;
+}

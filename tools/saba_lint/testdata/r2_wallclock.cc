@@ -1,0 +1,27 @@
+// R2 fixture: wall-clock reads. Linted as "src/fixture/r2.cc".
+#include <chrono>
+#include <ctime>
+
+double Bad() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long BadCallForm() {
+  return static_cast<long>(std::time(nullptr));
+}
+
+double Suppressed() {
+  // saba-lint: allow(R2): fixture demonstrates the suppression syntax.
+  auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+struct Scheduler {
+  double time() const { return 0.0; }
+};
+
+double MemberNamedTimeIsFine(const Scheduler& s) {
+  // Member calls named `time`/`clock` are not wall-clock reads.
+  return s.time();
+}

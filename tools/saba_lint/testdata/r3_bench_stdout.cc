@@ -1,0 +1,29 @@
+// R3 fixture: bench stdout discipline. Linted as "bench/fixture_r3.cc".
+#include <cstdio>
+#include <iostream>
+
+#include "src/sim/wallclock.h"
+
+void Bad() {
+  saba::Stopwatch watch;
+  std::cout << watch.ElapsedSeconds() << "\n";
+}
+
+void BadPrintf() {
+  std::printf("rows: %d\n", 3);
+}
+
+void Suppressed() {
+  saba::Stopwatch watch;
+  // saba-lint: allow(R3): fixture demonstrates the suppression syntax.
+  std::cout << watch.ElapsedSeconds() << "\n";
+}
+
+void TimingToStderrIsFine() {
+  saba::Stopwatch watch;
+  std::cerr << "sweep took " << watch.ElapsedSeconds() << " s on SABA_JOBS workers\n";
+}
+
+void PlainReportLineIsFine() {
+  std::cout << "average speedup: 2.41x\n";
+}

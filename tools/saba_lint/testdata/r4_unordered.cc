@@ -1,0 +1,23 @@
+// R4 fixture: unordered-container audit annotations. Linted as
+// "src/fixture/r4.cc".
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Bad {
+  std::unordered_map<int, int> counts;
+};
+
+struct AnnotatedOnPreviousLine {
+  // saba-lint: unordered-iter-ok(lookup-only cache; never iterated)
+  std::unordered_map<std::string, int> cache;
+};
+
+struct AnnotatedOnSameLine {
+  std::unordered_set<int> seen;  // saba-lint: unordered-iter-ok(membership test only)
+};
+
+struct EmptyReasonDoesNotCount {
+  // saba-lint: unordered-iter-ok()
+  std::unordered_set<int> bad_annotation;
+};

@@ -1,0 +1,14 @@
+// R5 fixture: raw environment access. Linted as "src/fixture/r5.cc".
+#include <cstdlib>
+
+const char* Bad() {
+  return std::getenv("SABA_FIXTURE");
+}
+
+const char* Suppressed() {
+  return std::getenv("SABA_FIXTURE");  // saba-lint: allow(R5): fixture.
+}
+
+const char* StringMentionIsFine() {
+  return "set SABA_SEED in the environment; parsed via getenv in knobs.cc";
+}

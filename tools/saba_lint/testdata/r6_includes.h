@@ -1,0 +1,12 @@
+// R6 fixture: include hygiene. Linted as "src/fixture/r6.h", so the
+// canonical guard would be SRC_FIXTURE_R6_H_.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+#include "topology.h"
+// saba-lint: allow(R6): fixture demonstrates the suppression syntax.
+#include "other.h"
+
+#include "src/net/topology.h"
+
+#endif  // WRONG_GUARD_H
