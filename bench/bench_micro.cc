@@ -115,7 +115,11 @@ BENCHMARK(BM_StrictPriorityAllocator)->Arg(1000)->Arg(5000)->Unit(benchmark::kMi
 // is a single cross-ToR flow arriving and departing against that background —
 // the dominant event shape at co-run scale.
 struct ChurnFixture {
-  ChurnFixture() : network(BuildSpineLeaf(params), 8) {
+  // `flows_per_rack` scales the per-component solve cost without changing the
+  // component structure: 8 matches the co-run-scale churn benches; larger
+  // values give the multi-component batch bench components heavy enough for
+  // fan-out to amortize its dispatch cost.
+  explicit ChurnFixture(int flows_per_rack = 8) : network(BuildSpineLeaf(params), 8) {
     network.SetCongestionModel(std::make_unique<FecnCongestionModel>(0.30));
     for (int sl = 0; sl < kNumServiceLevels; ++sl) {
       network.MapSlToQueueEverywhere(sl, sl % 8);
@@ -133,8 +137,15 @@ struct ChurnFixture {
     };
     for (int t = 0; t < params.num_tor; ++t) {
       const NodeId base = t * params.hosts_per_tor;
-      for (int i = 0; i < 8; ++i) {
-        add(base + i, base + i + 1, static_cast<AppId>(t % 20));
+      for (int i = 0; i < flows_per_rack; ++i) {
+        if (i < params.hosts_per_tor - 1) {
+          add(base + i, base + i + 1, static_cast<AppId>(t % 20));
+        } else {
+          // Past the chain, fan out from the rack's first host: the shared
+          // egress ties the rack into one link-sharing component, growing its
+          // solve cost without touching the default (chain-only) shape.
+          add(base, base + 1 + (i % (params.hosts_per_tor - 1)), static_cast<AppId>(t % 20));
+        }
       }
     }
     const int tors_per_pod = params.num_tor / params.num_pods;
@@ -211,6 +222,60 @@ void BM_ChurnFullRebuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_ChurnFullRebuild)->Unit(benchmark::kMicrosecond);
+
+// The churn event with the component batch fanned across a worker pool
+// (DESIGN.md §7.3). The arrival dirties ONE component, so this measures the
+// parallel path's fixed cost on single-component batches (it must stay
+// serial — compare against BM_ChurnIncremental: the numbers should match).
+void BM_ChurnIncrementalParallel(benchmark::State& state) {
+  ChurnFixture fixture;
+  WfqMaxMinAllocator allocator;
+  std::unique_ptr<AllocationEngine> engine = allocator.CreateEngine(&fixture.network);
+  engine->SetSolveJobs(static_cast<int>(state.range(0)));
+  for (ActiveFlow* flow : fixture.raw) {
+    engine->FlowAdded(flow);
+  }
+  engine->Recompute();
+  ActiveFlow churn = fixture.MakeChurnFlow();
+  for (auto _ : state) {
+    engine->FlowAdded(&churn);
+    engine->Recompute();
+    engine->FlowRemoved(&churn);
+    engine->Recompute();
+    benchmark::DoNotOptimize(churn.rate);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  const AllocationEngineStats& stats = engine->stats();
+  state.counters["flows_rerated_per_event"] = benchmark::Counter(
+      static_cast<double>(stats.flows_rerated) / static_cast<double>(stats.recomputes));
+}
+BENCHMARK(BM_ChurnIncrementalParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+// Multi-component batches: InvalidateAll makes every component dirty, so the
+// following Recompute solves the whole fixture as one batch — serially at
+// Arg 1, fanned across the pool at Args 2 and 4. The dense fixture (48
+// flows/rack) makes each rack one heavy component, the shape where fan-out
+// amortizes its dispatch cost; rates stay bit-identical at every Arg.
+void BM_ComponentBatchSolve(benchmark::State& state) {
+  ChurnFixture fixture(/*flows_per_rack=*/48);
+  WfqMaxMinAllocator allocator;
+  std::unique_ptr<AllocationEngine> engine = allocator.CreateEngine(&fixture.network);
+  engine->SetSolveJobs(static_cast<int>(state.range(0)));
+  for (ActiveFlow* flow : fixture.raw) {
+    engine->FlowAdded(flow);
+  }
+  engine->Recompute();
+  for (auto _ : state) {
+    engine->InvalidateAll();
+    engine->Recompute();
+    benchmark::DoNotOptimize(fixture.raw[0]->rate);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["components_per_solve"] =
+      benchmark::Counter(static_cast<double>(engine->stats().components_solved) /
+                         static_cast<double>(engine->stats().recomputes));
+}
+BENCHMARK(BM_ComponentBatchSolve)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
 
 // --- Eq 2 weight solver vs application count ---------------------------------
 

@@ -76,6 +76,11 @@ struct CoRunOptions {
   // minutes, so a 0.25 s grid costs <2% accuracy and saves an order of
   // magnitude in reallocations.
   double completion_quantum = 0.25;
+  // Worker slots for the engine's component-parallel solves (DESIGN.md
+  // §7.3). 0 (the default) reads the SABA_SOLVE_JOBS knob, which itself
+  // defaults to 1 (serial). Rates — and therefore every report byte — are
+  // identical at every setting.
+  int solve_jobs = 0;
   uint64_t seed = 1;
 };
 

@@ -19,6 +19,7 @@ struct Knob {
   bool from_env = false;
 };
 
+// saba-lint: allow(R7): guards only the knob registry, never held across user code.
 std::mutex registry_mutex;
 std::vector<Knob>& Registry() {
   static std::vector<Knob>* knobs = new std::vector<Knob>();
@@ -26,7 +27,7 @@ std::vector<Knob>& Registry() {
 }
 
 void RecordKnob(const char* name, const std::string& value, bool from_env) {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  std::lock_guard<std::mutex> lock(registry_mutex);  // saba-lint: allow(R7): registry lock.
   for (const Knob& knob : Registry()) {
     if (knob.name == name) {
       return;  // First read wins; repeated reads see the same environment.
@@ -102,6 +103,22 @@ int EnvJobs() {
   if (jobs > 0) {
     return jobs;
   }
+  // saba-lint: allow(R7): queries the thread count, constructs no thread.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+int EnvSolveJobs() {
+  const int jobs = EnvInt("SABA_SOLVE_JOBS", 1);
+  if (jobs < 0) {
+    std::cerr << "fatal: SABA_SOLVE_JOBS='" << jobs
+              << "' must be >= 0 (0 means all hardware threads, 1 is serial)\n";
+    std::exit(2);
+  }
+  if (jobs > 0) {
+    return jobs;
+  }
+  // saba-lint: allow(R7): queries the thread count, constructs no thread.
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware > 0 ? static_cast<int>(hardware) : 1;
 }
@@ -117,10 +134,11 @@ std::string EnvString(const char* name, const std::string& fallback) {
 }
 
 std::string KnobSummary() {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  std::lock_guard<std::mutex> lock(registry_mutex);  // saba-lint: allow(R7): registry lock.
   std::string out;
   for (const Knob& knob : Registry()) {
-    if (knob.name == "SABA_SEED" || knob.name == "SABA_JOBS") {
+    if (knob.name == "SABA_SEED" || knob.name == "SABA_JOBS" ||
+        knob.name == "SABA_SOLVE_JOBS") {
       continue;
     }
     if (!out.empty()) {

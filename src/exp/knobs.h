@@ -3,9 +3,9 @@
 // Parsing is strict: a knob that is set but malformed is fatal, instead of
 // std::atoi's silent 0 turning a typo'd variable into an empty sweep. Every
 // knob read is recorded in a registry so each bench banner can print the
-// exact knob set it ran with (SABA_SEED and SABA_JOBS excluded — the seed
-// has its own banner line and the job count must not reach stdout, which is
-// required to be byte-identical across thread counts).
+// exact knob set it ran with (SABA_SEED, SABA_JOBS and SABA_SOLVE_JOBS
+// excluded — the seed has its own banner line and the job counts must not
+// reach stdout, which is required to be byte-identical across thread counts).
 
 #ifndef SRC_EXP_KNOBS_H_
 #define SRC_EXP_KNOBS_H_
@@ -31,13 +31,21 @@ uint64_t EnvSeed(uint64_t fallback = 42);
 // hardware threads". Negative values are rejected.
 int EnvJobs();
 
+// SABA_SOLVE_JOBS: intra-instance worker count for the allocation engine's
+// component-parallel solves (DESIGN.md §7.3). Unset or 1 solves serially —
+// the default, so every existing bench byte-stream is unchanged; results are
+// bit-identical at every setting regardless. 0 means "all hardware threads".
+// Negative values are rejected.
+int EnvSolveJobs();
+
 // String knob from the environment with a default (e.g. an output path).
 // Registered in the knob summary like the integer knobs; an empty value is
 // taken literally, not as "unset".
 std::string EnvString(const char* name, const std::string& fallback);
 
 // "SABA_SETUPS=100 [default], SABA_FIG10_INSTANCES=8" for every knob read so
-// far, in first-read order; empty if none. SABA_SEED/SABA_JOBS are omitted.
+// far, in first-read order; empty if none. SABA_SEED, SABA_JOBS and
+// SABA_SOLVE_JOBS are omitted.
 std::string KnobSummary();
 
 }  // namespace saba

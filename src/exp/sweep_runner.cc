@@ -4,10 +4,10 @@
 #include <atomic>
 #include <exception>
 #include <sstream>
-#include <thread>
 
 #include "src/exp/knobs.h"
 #include "src/sim/wallclock.h"
+#include "src/sim/worker_pool.h"
 
 namespace saba {
 
@@ -30,25 +30,6 @@ std::string SweepStats::Summary() const {
 }
 
 SweepRunner::SweepRunner(int jobs) : jobs_(jobs > 0 ? jobs : EnvJobs()) {}
-
-namespace {
-
-// One contiguous range of task indices with an atomic claim cursor. Workers
-// drain their own block front-to-back and then steal from the block with the
-// most work left; claims are a single fetch_add, so the hot path never locks.
-// The cursor may overshoot `end` when several thieves race on a near-empty
-// block — harmless, remaining work is computed as end - min(next, end).
-struct alignas(64) Block {
-  std::atomic<size_t> next{0};
-  size_t end = 0;
-};
-
-size_t Remaining(const Block& block) {
-  const size_t next = block.next.load(std::memory_order_relaxed);
-  return block.end - std::min(next, block.end);
-}
-
-}  // namespace
 
 void SweepRunner::RunIndexed(size_t num_tasks, const std::function<void(size_t)>& body) {
   stats_ = SweepStats{};
@@ -76,71 +57,30 @@ void SweepRunner::RunIndexed(size_t num_tasks, const std::function<void(size_t)>
   }
   stats_.jobs = jobs;
 
-  std::vector<Block> blocks(static_cast<size_t>(jobs));
-  for (int w = 0; w < jobs; ++w) {
-    blocks[static_cast<size_t>(w)].next.store(
-        num_tasks * static_cast<size_t>(w) / static_cast<size_t>(jobs),
-        std::memory_order_relaxed);
-    blocks[static_cast<size_t>(w)].end =
-        num_tasks * static_cast<size_t>(w + 1) / static_cast<size_t>(jobs);
+  // Threads come from the shared pool primitive; the sweep layer adds
+  // exception transport and per-worker timing. One error slot per task so the
+  // first-failing *index* is rethrown deterministically, not whichever thread
+  // lost the race.
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(jobs_);
   }
-
-  // One slot per task so the first-failing *index* is rethrown
-  // deterministically, not whichever thread lost the race.
   std::vector<std::exception_ptr> errors(num_tasks);
   std::atomic<bool> failed{false};
-  std::vector<double> worker_seconds(static_cast<size_t>(jobs), 0.0);
+  std::vector<double> worker_seconds(static_cast<size_t>(pool_->jobs()), 0.0);
 
-  auto worker = [&](int w) {
-    double& my_seconds = worker_seconds[static_cast<size_t>(w)];
-    auto run_one = [&](size_t index) {
-      if (failed.load(std::memory_order_acquire)) {
-        return;  // Abort the sweep: claim (to terminate) but skip the body.
-      }
-      Stopwatch task_watch;
-      try {
-        body(index);
-      } catch (...) {
-        errors[index] = std::current_exception();
-        failed.store(true, std::memory_order_release);
-      }
-      my_seconds += task_watch.ElapsedSeconds();
-    };
-    for (;;) {
-      Block& own = blocks[static_cast<size_t>(w)];
-      const size_t index = own.next.fetch_add(1, std::memory_order_relaxed);
-      if (index < own.end) {
-        run_one(index);
-        continue;
-      }
-      // Own block drained: steal from the fullest block.
-      Block* victim = nullptr;
-      size_t most = 0;
-      for (Block& other : blocks) {
-        const size_t remaining = Remaining(other);
-        if (remaining > most) {
-          most = remaining;
-          victim = &other;
-        }
-      }
-      if (victim == nullptr) {
-        return;  // Every block is empty.
-      }
-      const size_t stolen = victim->next.fetch_add(1, std::memory_order_relaxed);
-      if (stolen < victim->end) {
-        run_one(stolen);
-      }
+  pool_->Run(num_tasks, [&](size_t index, int slot) {
+    if (failed.load(std::memory_order_acquire)) {
+      return;  // Abort the sweep: claim (to terminate) but skip the body.
     }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(jobs));
-  for (int w = 0; w < jobs; ++w) {
-    threads.emplace_back(worker, w);
-  }
-  for (std::thread& thread : threads) {
-    thread.join();
-  }
+    Stopwatch task_watch;
+    try {
+      body(index);
+    } catch (...) {
+      errors[index] = std::current_exception();
+      failed.store(true, std::memory_order_release);
+    }
+    worker_seconds[static_cast<size_t>(slot)] += task_watch.ElapsedSeconds();
+  });
 
   for (double seconds : worker_seconds) {
     stats_.task_seconds += seconds;

@@ -12,16 +12,23 @@
 // Under those rules the sweep's output is bit-for-bit identical for every
 // thread count (tested in tests/sweep_runner_test.cc; contract documented in
 // DESIGN.md "Determinism & threading model").
+//
+// Threads come from the shared saba::WorkerPool primitive
+// (src/sim/worker_pool.h) — the same pool substrate the allocation engine's
+// component-parallel solves use (DESIGN.md §7.3). SweepRunner adds the
+// per-task exception transport and timing on top.
 
 #ifndef SRC_EXP_SWEEP_RUNNER_H_
 #define SRC_EXP_SWEEP_RUNNER_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/sim/rng.h"
+#include "src/sim/worker_pool.h"
 
 namespace saba {
 
@@ -75,6 +82,7 @@ class SweepRunner {
 
   int jobs_;
   SweepStats stats_;
+  std::unique_ptr<WorkerPool> pool_;  // Created on the first parallel sweep.
 };
 
 }  // namespace saba

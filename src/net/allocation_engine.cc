@@ -7,8 +7,9 @@
 #include <queue>
 #include <utility>
 
+#include "src/sim/worker_pool.h"
+
 namespace saba {
-namespace {
 
 // -----------------------------------------------------------------------------
 // Shared allocation core. The fluid WFQ allocation is a *nested* max-min:
@@ -31,7 +32,14 @@ namespace {
 // allocations are independent subproblems. Solving per component is what
 // makes the incremental engine's answer bit-identical to a from-scratch run —
 // both paths feed the same component, in the same canonical order (ascending
-// flow id), through the same code.
+// flow id), through the same code. It is also what makes component-*parallel*
+// solving exact (DESIGN.md §7.3): a component's solve reads only the shared
+// immutable Network and its own flows and scratch arena, so fanning
+// components across worker slots cannot change any float program.
+//
+// The scratch types below are file-local implementation details; they live at
+// namespace (not anonymous) scope only because EngineSolveState — forward-
+// declared in the header so the engine can own one — aggregates them.
 // -----------------------------------------------------------------------------
 
 // Working state for one virtual resource (a queue on a link).
@@ -54,16 +62,6 @@ struct ResourceWork {
     binding = false;
     flow_indices.clear();  // Keeps vector capacity across fills.
   }
-};
-
-struct HeapEntry {
-  double level = 0;  // remaining / denom at push time.
-  int resource = 0;
-  uint64_t version = 0;
-};
-
-struct HeapLater {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const { return a.level > b.level; }
 };
 
 // Maps LinkId -> dense slot, reusing storage across calls.
@@ -101,13 +99,115 @@ class LinkSlotMap {
   int32_t next_ = 0;
 };
 
+// Union-find over links, storage reused across calls like LinkSlotMap.
+class LinkUnionFind {
+ public:
+  void Prepare(size_t num_links) {
+    if (parent_.size() < num_links) {
+      parent_.assign(num_links, kInvalidLink);
+    }
+  }
+
+  LinkId Find(LinkId l) {
+    if (parent_[static_cast<size_t>(l)] == kInvalidLink) {
+      parent_[static_cast<size_t>(l)] = l;
+      touched_.push_back(l);
+    }
+    LinkId root = l;
+    while (parent_[static_cast<size_t>(root)] != root) {
+      root = parent_[static_cast<size_t>(root)];
+    }
+    while (parent_[static_cast<size_t>(l)] != root) {
+      const LinkId next = parent_[static_cast<size_t>(l)];
+      parent_[static_cast<size_t>(l)] = root;
+      l = next;
+    }
+    return root;
+  }
+
+  void Union(LinkId a, LinkId b) {
+    const LinkId ra = Find(a);
+    const LinkId rb = Find(b);
+    if (ra != rb) {
+      parent_[static_cast<size_t>(rb)] = ra;
+    }
+  }
+
+  void Reset() {
+    for (LinkId l : touched_) {
+      parent_[static_cast<size_t>(l)] = kInvalidLink;
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<LinkId> parent_;
+  std::vector<LinkId> touched_;
+};
+
+// Per-slot solver arenas. Every piece of scratch the component solvers used
+// to keep in `static thread_local` storage is an explicit field here, so
+// concurrent component solves on pool workers touch disjoint memory by
+// construction (DESIGN.md §7.3) — no sharing assumption is left implicit in
+// thread identity. One arena exists per worker slot; the serial path uses
+// arena 0.
+struct ComponentScratch {
+  // ProgressiveFill.
+  std::vector<bool> frozen;
+  std::vector<int> requeue;
+  // SolveComponentNested.
+  LinkSlotMap nested_link_slot;
+  std::vector<std::vector<std::pair<int, int>>> queue_index;
+  std::vector<ResourceWork> work;
+  // SolveComponentStrict.
+  std::vector<ActiveFlow*> by_class;
+  LinkSlotMap remaining_slot;
+  std::vector<double> remaining;
+  std::vector<ActiveFlow*> cls;
+  std::vector<std::vector<int>> resource_of;
+  std::vector<ResourceWork> links;
+  LinkSlotMap strict_link_slot;
+};
+
+// Everything one solve needs besides the flows: per-slot arenas, the
+// partition scratch, and the (lazily created) worker pool. The engine owns
+// one; AllocateFromScratch keeps one per calling thread (it runs inside
+// SweepRunner tasks, where thread confinement is the isolation).
+struct EngineSolveState {
+  int jobs = 1;                       // Solve-time worker slots (>= 1).
+  std::unique_ptr<WorkerPool> pool;   // Created on the first parallel batch.
+  std::vector<std::unique_ptr<ComponentScratch>> arenas;  // arenas[slot].
+
+  // SolvePartitioned / Recompute component-batch scratch.
+  LinkUnionFind uf;
+  std::vector<int32_t> group_of_root;  // Per link, -1 = none.
+  std::vector<LinkId> group_roots;
+  std::vector<std::vector<ActiveFlow*>> groups;
+
+  // AllocateFromScratch canonical-order scratch.
+  std::vector<ActiveFlow*> sorted;
+};
+
+namespace {
+
+struct HeapEntry {
+  double level = 0;  // remaining / denom at push time.
+  int resource = 0;
+  uint64_t version = 0;
+};
+
+struct HeapLater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const { return a.level > b.level; }
+};
+
 // Weighted progressive filling over virtual resources. Each flow has a scalar
 // weight (its intra weight) and a list of resource ids (one per path link);
 // all rates grow in proportion to the weights until a resource saturates,
 // whose flows then freeze at their shares — classic, exact weighted max-min.
 void ProgressiveFill(const std::vector<ActiveFlow*>& flows,
                      const std::vector<std::vector<int>>& resource_of,
-                     std::vector<ResourceWork>* resources, size_t num_resources) {
+                     std::vector<ResourceWork>* resources, size_t num_resources,
+                     ComponentScratch* scratch) {
   const size_t n = flows.size();
   for (size_t f = 0; f < n; ++f) {
     flows[f]->rate = 0;
@@ -131,7 +231,7 @@ void ProgressiveFill(const std::vector<ActiveFlow*>& flows,
     push_resource(static_cast<int>(r));
   }
 
-  static thread_local std::vector<bool> frozen;
+  std::vector<bool>& frozen = scratch->frozen;
   frozen.assign(n, false);
   size_t frozen_count = 0;
   while (frozen_count < n && !heap.empty()) {
@@ -146,7 +246,7 @@ void ProgressiveFill(const std::vector<ActiveFlow*>& flows,
     // Freeze every still-active flow on the bottleneck at its weighted share,
     // collecting the changed resources (deduplicated — a busy bottleneck
     // would otherwise re-queue the same resource hundreds of times).
-    static thread_local std::vector<int> requeue;
+    std::vector<int>& requeue = scratch->requeue;
     requeue.clear();
     for (int fi : bottleneck.flow_indices) {
       const size_t f = static_cast<size_t>(fi);
@@ -195,7 +295,7 @@ struct NestedWfqInput {
 
 // Runs the redistribution rounds; leaves final rates in the flows.
 void SolveNestedWfq(const std::vector<ActiveFlow*>& flows, const NestedWfqInput& input,
-                    std::vector<ResourceWork>* work) {
+                    std::vector<ResourceWork>* work, ComponentScratch* scratch) {
   const size_t num_resources = input.resources.size();
 
   // Initial capacities: WFQ shares among the queues present at each link,
@@ -218,7 +318,7 @@ void SolveNestedWfq(const std::vector<ActiveFlow*>& flows, const NestedWfqInput&
     for (size_t r = 0; r < num_resources; ++r) {
       (*work)[r].ResetForFill();
     }
-    ProgressiveFill(flows, input.resource_of, work, num_resources);
+    ProgressiveFill(flows, input.resource_of, work, num_resources, scratch);
     if (round + 1 == kMaxRounds) {
       break;  // This fill stands.
     }
@@ -274,19 +374,20 @@ void SolveNestedWfq(const std::vector<ActiveFlow*>& flows, const NestedWfqInput&
 // accumulation, and freeze order all follow it.
 template <typename QueueKeyFn, typename QueueWeightFn>
 void SolveComponentNested(const std::vector<ActiveFlow*>& flows, const Network& net,
-                          QueueKeyFn queue_key, QueueWeightFn queue_weight) {
+                          QueueKeyFn queue_key, QueueWeightFn queue_weight,
+                          ComponentScratch* scratch) {
   if (flows.empty()) {
     return;
   }
 
-  static thread_local LinkSlotMap link_slot;
+  LinkSlotMap& link_slot = scratch->nested_link_slot;
   link_slot.Prepare(net.topology().num_links());
 
   NestedWfqInput input;
   input.resource_of.assign(flows.size(), {});
 
   // Per link slot: (queue key -> resource index), linear-scanned small vecs.
-  static thread_local std::vector<std::vector<std::pair<int, int>>> queue_index;
+  std::vector<std::vector<std::pair<int, int>>>& queue_index = scratch->queue_index;
   // Per resource: distinct apps (for the congestion model).
   std::vector<std::vector<AppId>> apps_in_resource;
 
@@ -335,26 +436,27 @@ void SolveComponentNested(const std::vector<ActiveFlow*>& flows, const Network& 
         net.congestion().QueueEfficiency(apps_in_resource[r].size());
   }
 
-  static thread_local std::vector<ResourceWork> work;
+  std::vector<ResourceWork>& work = scratch->work;
   if (work.size() < input.resources.size()) {
     work.resize(input.resources.size());
   }
-  SolveNestedWfq(flows, input, &work);
+  SolveNestedWfq(flows, input, &work, scratch);
   link_slot.Reset();
 }
 
 // Strict priority over one component: classes served best (lowest value)
 // first, each getting a max-min allocation of what higher classes left. All
-// scratch lives in thread_local arenas — this solver runs once per component
+// scratch lives in the per-slot arena — this solver runs once per component
 // per event, so per-call heap allocation would dominate at churn rates.
-void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& net) {
+void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& net,
+                          ComponentScratch* scratch) {
   if (flows.empty()) {
     return;
   }
 
   // Group by priority class; the stable sort preserves the canonical id
   // order within each class.
-  static thread_local std::vector<ActiveFlow*> by_class;
+  std::vector<ActiveFlow*>& by_class = scratch->by_class;
   by_class.assign(flows.begin(), flows.end());
   std::stable_sort(by_class.begin(), by_class.end(), [](const ActiveFlow* a, const ActiveFlow* b) {
     return a->priority < b->priority;
@@ -362,9 +464,9 @@ void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& 
 
   // Remaining capacity persists across classes; lower classes only see what
   // higher classes left behind.
-  static thread_local LinkSlotMap remaining_slot;
+  LinkSlotMap& remaining_slot = scratch->remaining_slot;
   remaining_slot.Prepare(net.topology().num_links());
-  static thread_local std::vector<double> remaining;
+  std::vector<double>& remaining = scratch->remaining;
   remaining.clear();
   for (const ActiveFlow* flow : by_class) {
     assert(flow->path != nullptr && !flow->path->empty());
@@ -377,10 +479,10 @@ void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& 
     }
   }
 
-  static thread_local std::vector<ActiveFlow*> cls;
-  static thread_local std::vector<std::vector<int>> resource_of;
-  static thread_local std::vector<ResourceWork> links;
-  static thread_local LinkSlotMap link_slot;
+  std::vector<ActiveFlow*>& cls = scratch->cls;
+  std::vector<std::vector<int>>& resource_of = scratch->resource_of;
+  std::vector<ResourceWork>& links = scratch->links;
+  LinkSlotMap& link_slot = scratch->strict_link_slot;
 
   size_t i = 0;
   while (i < by_class.size()) {
@@ -416,7 +518,7 @@ void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& 
         resource_of[f].push_back(slot);
       }
     }
-    ProgressiveFill(cls, resource_of, &links, used_links);
+    ProgressiveFill(cls, resource_of, &links, used_links, scratch);
     link_slot.Reset();
 
     for (const ActiveFlow* flow : cls) {
@@ -429,9 +531,12 @@ void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& 
   remaining_slot.Reset();
 }
 
-// Solves one component under the discipline. Flows must be id-sorted.
+// Solves one component under the discipline. Flows must be id-sorted. Reads
+// only the (immutable during a solve) Network, the component's flows and the
+// given arena — the isolation the parallel batch below relies on.
 void SolveComponent(const std::vector<ActiveFlow*>& flows, const Network& net,
-                    AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights) {
+                    AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights,
+                    ComponentScratch* scratch) {
   switch (discipline) {
     case AllocationDiscipline::kWfqSlQueues:
       SolveComponentNested(
@@ -448,7 +553,8 @@ void SolveComponent(const std::vector<ActiveFlow*>& flows, const Network& net,
             const double w = port.queue_weights[static_cast<size_t>(q)];
             assert(w > 0 && "queue weights must be strictly positive");
             return w;
-          });
+          },
+          scratch);
       break;
     case AllocationDiscipline::kPerAppQueues:
       SolveComponentNested(
@@ -457,70 +563,62 @@ void SolveComponent(const std::vector<ActiveFlow*>& flows, const Network& net,
             const double w = per_app_weights ? per_app_weights(l, flow.app) : 1.0;
             assert(w > 0);
             return w;
-          });
+          },
+          scratch);
       break;
     case AllocationDiscipline::kStrictPriority:
-      SolveComponentStrict(flows, net);
+      SolveComponentStrict(flows, net, scratch);
       break;
   }
 }
 
-// Union-find over links, storage reused across calls like LinkSlotMap.
-class LinkUnionFind {
- public:
-  void Prepare(size_t num_links) {
-    if (parent_.size() < num_links) {
-      parent_.assign(num_links, kInvalidLink);
-    }
+// Solves components[0..num) under the discipline. With jobs > 1 and at least
+// two components the batch is fanned across the worker pool, each slot
+// solving into its own arena; otherwise it runs serially on the calling
+// thread with arena 0. Either way every component's float program is
+// identical — the choice is pure scheduling (DESIGN.md §7.3). Components are
+// handed out in ascending canonical order and each writes only its own
+// flows' rates, so "merging" is the identity: rates land exactly where the
+// serial loop would have put them.
+void SolveComponentBatch(const std::vector<std::vector<ActiveFlow*>>& components, size_t num,
+                         const Network& net, AllocationDiscipline discipline,
+                         const PerAppWeightFn& per_app_weights, EngineSolveState* state,
+                         AllocationEngineStats* stats) {
+  const bool fan_out = state->jobs > 1 && num > 1;
+  const size_t arenas_needed = fan_out ? static_cast<size_t>(state->jobs) : 1;
+  while (state->arenas.size() < arenas_needed) {
+    state->arenas.push_back(std::make_unique<ComponentScratch>());
   }
-
-  LinkId Find(LinkId l) {
-    if (parent_[static_cast<size_t>(l)] == kInvalidLink) {
-      parent_[static_cast<size_t>(l)] = l;
-      touched_.push_back(l);
+  if (!fan_out) {
+    for (size_t i = 0; i < num; ++i) {
+      SolveComponent(components[i], net, discipline, per_app_weights, state->arenas[0].get());
     }
-    LinkId root = l;
-    while (parent_[static_cast<size_t>(root)] != root) {
-      root = parent_[static_cast<size_t>(root)];
-    }
-    while (parent_[static_cast<size_t>(l)] != root) {
-      const LinkId next = parent_[static_cast<size_t>(l)];
-      parent_[static_cast<size_t>(l)] = root;
-      l = next;
-    }
-    return root;
+    return;
   }
-
-  void Union(LinkId a, LinkId b) {
-    const LinkId ra = Find(a);
-    const LinkId rb = Find(b);
-    if (ra != rb) {
-      parent_[static_cast<size_t>(rb)] = ra;
-    }
+  if (state->pool == nullptr || state->pool->jobs() != state->jobs) {
+    state->pool = std::make_unique<WorkerPool>(state->jobs);
   }
-
-  void Reset() {
-    for (LinkId l : touched_) {
-      parent_[static_cast<size_t>(l)] = kInvalidLink;
-    }
-    touched_.clear();
+  state->pool->Run(num, [&](size_t i, int slot) {
+    SolveComponent(components[i], net, discipline, per_app_weights,
+                   state->arenas[static_cast<size_t>(slot)].get());
+  });
+  if (stats != nullptr) {
+    ++stats->parallel_solves;
+    stats->parallel_components += num;
   }
-
- private:
-  std::vector<LinkId> parent_;
-  std::vector<LinkId> touched_;
-};
+}
 
 // Partitions id-sorted flows into link-sharing components and solves each.
 // Components are numbered by first appearance in the sorted scan; flows stay
 // in sorted order within their component. Returns the component count.
 size_t SolvePartitioned(const std::vector<ActiveFlow*>& sorted_flows, const Network& net,
-                        AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights) {
+                        AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights,
+                        EngineSolveState* state, AllocationEngineStats* stats) {
   if (sorted_flows.empty()) {
     return 0;
   }
 
-  static thread_local LinkUnionFind uf;
+  LinkUnionFind& uf = state->uf;
   uf.Prepare(net.topology().num_links());
   for (const ActiveFlow* flow : sorted_flows) {
     assert(flow->path != nullptr && !flow->path->empty());
@@ -531,12 +629,12 @@ size_t SolvePartitioned(const std::vector<ActiveFlow*>& sorted_flows, const Netw
     }
   }
 
-  static thread_local std::vector<int32_t> group_of_root;  // Per link, -1 = none.
+  std::vector<int32_t>& group_of_root = state->group_of_root;
   if (group_of_root.size() < net.topology().num_links()) {
     group_of_root.assign(net.topology().num_links(), -1);
   }
-  static thread_local std::vector<LinkId> group_roots;
-  static thread_local std::vector<std::vector<ActiveFlow*>> groups;
+  std::vector<LinkId>& group_roots = state->group_roots;
+  std::vector<std::vector<ActiveFlow*>>& groups = state->groups;
   size_t num_groups = 0;
   for (ActiveFlow* flow : sorted_flows) {
     const LinkId root = uf.Find(flow->path->front());
@@ -552,9 +650,7 @@ size_t SolvePartitioned(const std::vector<ActiveFlow*>& sorted_flows, const Netw
     groups[static_cast<size_t>(g)].push_back(flow);
   }
 
-  for (size_t g = 0; g < num_groups; ++g) {
-    SolveComponent(groups[g], net, discipline, per_app_weights);
-  }
+  SolveComponentBatch(groups, num_groups, net, discipline, per_app_weights, state, stats);
 
   for (LinkId root : group_roots) {
     group_of_root[static_cast<size_t>(root)] = -1;
@@ -571,22 +667,37 @@ void AllocateFromScratch(const std::vector<ActiveFlow*>& flows, const Network& n
   if (flows.empty()) {
     return;
   }
-  static thread_local std::vector<ActiveFlow*> sorted;
-  sorted.assign(flows.begin(), flows.end());
-  std::stable_sort(sorted.begin(), sorted.end(),
+  // Entry-point arena only: from-scratch solves run inside SweepRunner tasks
+  // on many threads at once, so the state is thread-confined here (and stays
+  // serial — jobs is never raised, so no nested pool is ever created).
+  static thread_local EngineSolveState state;
+  state.sorted.assign(flows.begin(), flows.end());
+  std::stable_sort(state.sorted.begin(), state.sorted.end(),
                    [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
-  SolvePartitioned(sorted, net, discipline, per_app_weights);
+  SolvePartitioned(state.sorted, net, discipline, per_app_weights, &state, nullptr);
 }
 
 AllocationEngine::AllocationEngine(const Network* net, AllocationDiscipline discipline,
                                    PerAppWeightFn per_app_weights)
-    : net_(net), discipline_(discipline), per_app_weights_(std::move(per_app_weights)) {
+    : net_(net),
+      discipline_(discipline),
+      per_app_weights_(std::move(per_app_weights)),
+      solve_(std::make_unique<EngineSolveState>()) {
   assert(net != nullptr);
   const size_t num_links = net->topology().num_links();
   link_flows_.resize(num_links);
   link_dirty_.assign(num_links, 0);
   link_visited_.assign(num_links, 0);
 }
+
+AllocationEngine::~AllocationEngine() = default;
+
+void AllocationEngine::SetSolveJobs(int jobs) {
+  assert(jobs >= 1 && "solve_jobs counts worker slots; 1 is the serial path");
+  solve_->jobs = jobs;  // The pool is (re)created lazily on the next batch.
+}
+
+int AllocationEngine::solve_jobs() const { return solve_->jobs; }
 
 void AllocationEngine::MarkLinkDirty(LinkId link) {
   assert(link >= 0 && static_cast<size_t>(link) < link_dirty_.size());
@@ -677,23 +788,34 @@ void AllocationEngine::Recompute() {
     for (const auto& [id, flow] : flows_) {
       all_flows_scratch_.push_back(flow);  // std::map: already id-sorted.
     }
-    stats_.components_solved +=
-        SolvePartitioned(all_flows_scratch_, *net_, discipline_, per_app_weights_);
+    stats_.components_solved += SolvePartitioned(all_flows_scratch_, *net_, discipline_,
+                                                 per_app_weights_, solve_.get(), &stats_);
     rerated = all_flows_scratch_.size();
   } else {
+    // Gather ALL dirty components first (the BFS stays serial and
+    // deterministic), then solve the batch — serially or fanned across the
+    // pool; either way bit-identical (DESIGN.md §7.3).
+    std::vector<std::vector<ActiveFlow*>>& components = solve_->groups;
+    size_t num_components = 0;
     for (const LinkId seed : dirty_links_) {
       if (link_visited_[static_cast<size_t>(seed)]) {
         continue;  // Already part of an earlier seed's component.
       }
-      component_flows_.clear();
-      CollectComponent(seed, &component_flows_);
-      if (component_flows_.empty()) {
+      if (components.size() == num_components) {
+        components.emplace_back();
+      }
+      std::vector<ActiveFlow*>& out = components[num_components];
+      out.clear();
+      CollectComponent(seed, &out);
+      if (out.empty()) {
         continue;  // A dirty link nobody crosses (e.g. a removed flow's last link).
       }
-      SolveComponent(component_flows_, *net_, discipline_, per_app_weights_);
-      ++stats_.components_solved;
-      rerated += component_flows_.size();
+      rerated += out.size();
+      ++num_components;
     }
+    SolveComponentBatch(components, num_components, *net_, discipline_, per_app_weights_,
+                        solve_.get(), &stats_);
+    stats_.components_solved += num_components;
     for (const LinkId l : visited_scratch_) {
       link_visited_[static_cast<size_t>(l)] = 0;
     }

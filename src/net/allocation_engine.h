@@ -24,12 +24,22 @@
 // Determinism: the engine introduces no randomness and no dependence on
 // memory layout; the canonical flow order is by flow id, so results are
 // reproducible across runs and SABA_JOBS settings (DESIGN.md §7).
+//
+// Component-parallel solving (DESIGN.md §7.3): because components are
+// independent subproblems, a solve that touches several of them may fan the
+// component solves across a saba::WorkerPool (SetSolveJobs). Scheduling never
+// reaches any component's float program — each worker slot solves into its
+// own scratch arena and writes only its component's flows — so serial,
+// parallel, incremental, and from-scratch solves are all bit-identical;
+// tests/allocation_engine_test.cc enforces this under randomized churn at
+// solve_jobs ∈ {1, 2, 4}.
 
 #ifndef SRC_NET_ALLOCATION_ENGINE_H_
 #define SRC_NET_ALLOCATION_ENGINE_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/net/allocator.h"
@@ -37,14 +47,24 @@
 
 namespace saba {
 
+// Everything one solve needs that is not the flows themselves: the per-worker
+// scratch arenas, the partition scratch, and the (lazily created) worker
+// pool. Opaque — defined in allocation_engine.cc.
+struct EngineSolveState;
+
 // Counters exposed for benchmarks and the co-run report. flows_rerated vs
-// flow_events shows how much work the dirty-component expansion saved.
+// flow_events shows how much work the dirty-component expansion saved. The
+// parallel_* counters are deterministic functions of (delta stream,
+// solve_jobs): both are 0 when solve_jobs == 1, and identical for every
+// solve_jobs > 1 (the dispatch decision depends only on the component count).
 struct AllocationEngineStats {
   uint64_t recomputes = 0;        // Recompute() calls that had dirty state.
   uint64_t full_recomputes = 0;   // ... of which took the full fallback path.
   uint64_t components_solved = 0; // Connected components re-solved.
   uint64_t flows_rerated = 0;     // Flow rates recomputed, summed over solves.
   uint64_t flows_frozen = 0;      // Flows whose rates were left untouched.
+  uint64_t parallel_solves = 0;   // Component batches fanned across the pool.
+  uint64_t parallel_components = 0;  // Components solved inside those batches.
 };
 
 class AllocationEngine {
@@ -54,9 +74,21 @@ class AllocationEngine {
   // `per_app_weights` is used by kPerAppQueues only (null = unit weights).
   AllocationEngine(const Network* net, AllocationDiscipline discipline,
                    PerAppWeightFn per_app_weights = nullptr);
+  ~AllocationEngine();
 
   AllocationEngine(const AllocationEngine&) = delete;
   AllocationEngine& operator=(const AllocationEngine&) = delete;
+
+  // Component-parallel solving (DESIGN.md §7.3): when a solve touches more
+  // than one dirty component, fan the component solves across `jobs` worker
+  // slots (1, the default, solves serially on the calling thread; the env
+  // knob is SABA_SOLVE_JOBS, threaded down by the exp layer). Rates are
+  // bit-identical at every setting, so this may be changed at any time, even
+  // between Recomputes. When discipline is kPerAppQueues, `per_app_weights`
+  // must be safe to call concurrently (a pure read, like the controller's
+  // AppWeightAtPort) before setting jobs > 1. jobs must be >= 1.
+  void SetSolveJobs(int jobs);
+  int solve_jobs() const;
 
   // --- Delta feed ----------------------------------------------------------
   // The flow pointer must stay valid and its path stable until FlowRemoved.
@@ -114,8 +146,10 @@ class AllocationEngine {
   std::vector<uint8_t> link_visited_;
   std::vector<LinkId> visited_scratch_;
   std::vector<LinkId> bfs_queue_;
-  std::vector<ActiveFlow*> component_flows_;
   std::vector<ActiveFlow*> all_flows_scratch_;
+
+  // Solver arenas + worker pool (per-slot scratch; DESIGN.md §7.3).
+  std::unique_ptr<EngineSolveState> solve_;
 
   AllocationEngineStats stats_;
 };

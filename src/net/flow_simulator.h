@@ -10,8 +10,8 @@
 // Allocation is incremental: the simulator streams flow/port deltas into a
 // persistent AllocationEngine (created via allocator->CreateEngine) and each
 // coalesced reallocation re-solves only the link-sharing components those
-// deltas touched (see allocation_engine.h; DESIGN.md "Incremental allocation
-// engine"). The engine's rates are bit-identical to a from-scratch run.
+// deltas touched (see allocation_engine.h; DESIGN.md §7.1 "Incremental
+// allocation"). The engine's rates are bit-identical to a from-scratch run.
 
 #ifndef SRC_NET_FLOW_SIMULATOR_H_
 #define SRC_NET_FLOW_SIMULATOR_H_
@@ -67,6 +67,12 @@ class FlowSimulator {
   // Installed hook runs immediately before each allocator invocation — the
   // Homa-like policy refreshes size-based priorities here.
   void SetPreAllocateHook(std::function<void()> hook) { pre_allocate_hook_ = std::move(hook); }
+
+  // Component-parallel solving (DESIGN.md §7.3): fan multi-component solves
+  // across `jobs` worker slots on the engine. Rates are bit-identical at
+  // every setting; 1 (the default) is the serial path. The exp layer threads
+  // the SABA_SOLVE_JOBS knob here (CoRunOptions::solve_jobs).
+  void SetSolveJobs(int jobs) { engine_->SetSolveJobs(jobs); }
 
   // Quantizes flow-completion event times up to the next multiple of
   // `quantum` seconds (0 = exact, the default). Large co-runs use a coarse

@@ -173,6 +173,213 @@ INSTANTIATE_TEST_SUITE_P(
         ChurnCase{"strict_ideal", AllocationDiscipline::kStrictPriority, false, 16}),
     [](const ::testing::TestParamInfo<ChurnCase>& info) { return std::string(info.param.name); });
 
+// Component-parallel solving (DESIGN.md §7.3): one engine per solve_jobs
+// setting {1, 2, 4} consumes the SAME delta stream over per-universe flow
+// copies (engines write rates in place; the const routes are shared), and
+// after every event all engines plus the from-scratch oracle must agree
+// bit-exactly. This is the serial == parallel == incremental == from-scratch
+// proof the parallelism contract rests on.
+struct ParallelChurnCase {
+  const char* name;
+  AllocationDiscipline discipline;
+  int events;
+  uint64_t seed;
+};
+
+class EngineParallelChurnTest : public ::testing::TestWithParam<ParallelChurnCase> {};
+
+TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
+  const ParallelChurnCase& c = GetParam();
+  Network network(BuildSpineLeaf({.num_spine = 2,
+                                  .num_leaf = 4,
+                                  .num_tor = 4,
+                                  .hosts_per_tor = 3,
+                                  .num_pods = 2,
+                                  .host_link_bps = Gbps(10),
+                                  .tor_leaf_bps = Gbps(10),
+                                  .leaf_spine_bps = Gbps(10)}),
+                  /*default_queues=*/4);
+  for (int sl = 0; sl < kNumServiceLevels; ++sl) {
+    network.MapSlToQueueEverywhere(sl, sl % 4);
+  }
+  network.SetCongestionModel(std::make_unique<FecnCongestionModel>(0.30));
+  const PerAppWeightFn weights =
+      c.discipline == AllocationDiscipline::kPerAppQueues ? PerAppWeight : PerAppWeightFn();
+
+  constexpr int kJobs[] = {1, 2, 4};
+  constexpr size_t kUniverses = 3;
+  struct Universe {
+    std::unique_ptr<AllocationEngine> engine;
+    std::map<FlowId, std::unique_ptr<ActiveFlow>> live;
+  };
+  Universe universes[kUniverses];
+  for (size_t u = 0; u < kUniverses; ++u) {
+    universes[u].engine = std::make_unique<AllocationEngine>(&network, c.discipline, weights);
+    universes[u].engine->SetSolveJobs(kJobs[u]);
+  }
+
+  const std::vector<NodeId> hosts = network.topology().Hosts();
+  const size_t num_links = network.topology().num_links();
+  Rng rng(c.seed);
+  std::vector<FlowId> live_ids;
+  FlowId next_id = 1;
+
+  std::vector<ActiveFlow> oracle;
+  std::vector<ActiveFlow*> oracle_ptrs;
+
+  for (int e = 0; e < c.events; ++e) {
+    const double start_w = live_ids.size() < 100 ? 0.45 : 0.25;
+    const double cancel_w = live_ids.size() < 100 ? 0.20 : 0.40;
+    const size_t op = live_ids.empty()
+                          ? 0
+                          : rng.WeightedIndex({start_w, cancel_w, 0.20, 0.10, 0.05});
+    switch (op) {
+      case 0: {  // Start a flow: draw it once, register a copy per universe.
+        const NodeId src = rng.Choice(hosts);
+        NodeId dst = rng.Choice(hosts);
+        while (dst == src) {
+          dst = rng.Choice(hosts);
+        }
+        ActiveFlow proto;
+        proto.id = next_id++;
+        proto.app = static_cast<AppId>(rng.UniformInt(0, 9));
+        proto.sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
+        proto.priority = static_cast<int>(rng.UniformInt(0, 7));
+        proto.intra_weight = rng.Bernoulli(0.2) ? 0.0625 : 1.0;
+        proto.remaining_bits = rng.Uniform(1e6, 1e9);
+        proto.path = &network.router().Route(src, dst, rng.Next());
+        for (Universe& u : universes) {
+          auto flow = std::make_unique<ActiveFlow>(proto);
+          u.engine->FlowAdded(flow.get());
+          u.live.emplace(proto.id, std::move(flow));
+        }
+        live_ids.push_back(proto.id);
+        break;
+      }
+      case 1: {  // Cancel a flow, everywhere.
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(live_ids.size()) - 1));
+        const FlowId id = live_ids[pick];
+        live_ids[pick] = live_ids.back();
+        live_ids.pop_back();
+        for (Universe& u : universes) {
+          u.engine->FlowRemoved(u.live.at(id).get());
+          u.live.erase(id);
+        }
+        break;
+      }
+      case 2: {  // Move a flow between queues / classes (same move everywhere).
+        const FlowId id = rng.Choice(live_ids);
+        const int64_t kind = rng.UniformInt(0, 2);
+        const int new_sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
+        const int new_priority = static_cast<int>(rng.UniformInt(0, 7));
+        for (Universe& u : universes) {
+          ActiveFlow* flow = u.live.at(id).get();
+          switch (kind) {
+            case 0:
+              flow->sl = new_sl;
+              break;
+            case 1:
+              flow->priority = new_priority;
+              break;
+            default:
+              flow->intra_weight = flow->intra_weight == 1.0 ? 0.0625 : 1.0;
+              break;
+          }
+          u.engine->FlowQueueChanged(flow);
+        }
+        break;
+      }
+      case 3: {  // Reconfigure one port (the network is shared).
+        const LinkId link = static_cast<LinkId>(rng.UniformInt(
+            0, static_cast<int64_t>(num_links) - 1));
+        PortConfig& port = network.port(link);
+        if (rng.Bernoulli(0.5)) {
+          const int sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
+          port.sl_to_queue[static_cast<size_t>(sl)] =
+              static_cast<int>(rng.UniformInt(0, port.num_queues - 1));
+        } else {
+          const size_t q = static_cast<size_t>(rng.UniformInt(0, port.num_queues - 1));
+          port.queue_weights[q] = rng.Uniform(0.1, 2.0);
+        }
+        for (Universe& u : universes) {
+          u.engine->PortConfigChanged(link);
+        }
+        break;
+      }
+      default:
+        for (Universe& u : universes) {
+          u.engine->InvalidateAll();
+        }
+        break;
+    }
+
+    for (Universe& u : universes) {
+      u.engine->Recompute();
+    }
+
+    // Every parallel universe must match the serial one, bit for bit.
+    for (const FlowId id : live_ids) {
+      const double serial = universes[0].live.at(id)->rate;
+      for (size_t u = 1; u < kUniverses; ++u) {
+        ASSERT_EQ(serial, universes[u].live.at(id)->rate)
+            << "event " << e << " flow " << id << " diverged at solve_jobs=" << kJobs[u];
+      }
+    }
+    // ... and the serial one must match the from-scratch oracle.
+    oracle.clear();
+    oracle_ptrs.clear();
+    oracle.reserve(universes[0].live.size());
+    for (const auto& [id, flow] : universes[0].live) {
+      oracle.push_back(*flow);
+    }
+    for (ActiveFlow& flow : oracle) {
+      oracle_ptrs.push_back(&flow);
+    }
+    AllocateFromScratch(oracle_ptrs, network, c.discipline, weights);
+    for (const ActiveFlow& expect : oracle) {
+      ASSERT_EQ(expect.rate, universes[0].live.at(expect.id)->rate)
+          << "event " << e << " flow " << expect.id << " diverged from oracle";
+    }
+  }
+
+  // The accounting must be scheduling-independent too: every counter that
+  // describes WHAT was solved agrees across solve_jobs; the parallel_*
+  // counters are 0 serially and identical for every parallel setting (the
+  // dispatch decision depends only on the component count).
+  const AllocationEngineStats& s1 = universes[0].engine->stats();
+  const AllocationEngineStats& s2 = universes[1].engine->stats();
+  const AllocationEngineStats& s4 = universes[2].engine->stats();
+  EXPECT_EQ(s1.recomputes, s2.recomputes);
+  EXPECT_EQ(s1.recomputes, s4.recomputes);
+  EXPECT_EQ(s1.full_recomputes, s2.full_recomputes);
+  EXPECT_EQ(s1.full_recomputes, s4.full_recomputes);
+  EXPECT_EQ(s1.components_solved, s2.components_solved);
+  EXPECT_EQ(s1.components_solved, s4.components_solved);
+  EXPECT_EQ(s1.flows_rerated, s2.flows_rerated);
+  EXPECT_EQ(s1.flows_rerated, s4.flows_rerated);
+  EXPECT_EQ(s1.flows_frozen, s2.flows_frozen);
+  EXPECT_EQ(s1.flows_frozen, s4.flows_frozen);
+  EXPECT_EQ(s1.parallel_solves, 0u);
+  EXPECT_EQ(s1.parallel_components, 0u);
+  EXPECT_GT(s2.parallel_solves, 0u) << "churn never produced a multi-component batch";
+  EXPECT_EQ(s2.parallel_solves, s4.parallel_solves);
+  EXPECT_EQ(s2.parallel_components, s4.parallel_components);
+  EXPECT_LE(s2.parallel_components, s2.components_solved);
+  EXPECT_GE(s2.parallel_components, 2 * s2.parallel_solves)
+      << "a dispatched batch always has at least two components";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDisciplines, EngineParallelChurnTest,
+    ::testing::Values(
+        ParallelChurnCase{"wfq_fecn", AllocationDiscipline::kWfqSlQueues, 10000, 21},
+        ParallelChurnCase{"perapp_fecn", AllocationDiscipline::kPerAppQueues, 3000, 22},
+        ParallelChurnCase{"strict_fecn", AllocationDiscipline::kStrictPriority, 3000, 23}),
+    [](const ::testing::TestParamInfo<ParallelChurnCase>& info) {
+      return std::string(info.param.name);
+    });
+
 // Deterministic skip accounting on a star: host pairs (0,1) and (2,3) share
 // no link, so events on one pair must never re-rate the other.
 TEST(AllocationEngineStatsTest, UntouchedComponentsAreFrozen) {
@@ -228,6 +435,64 @@ TEST(AllocationEngineStatsTest, UntouchedComponentsAreFrozen) {
   const uint64_t before = engine.stats().recomputes;
   engine.Recompute();
   EXPECT_EQ(engine.stats().recomputes, before);
+}
+
+// Exact values for the parallel counters (DESIGN.md §7.3): they count
+// dispatch DECISIONS, which depend only on solve_jobs and the per-recompute
+// component count — never on thread timing. Three disjoint host pairs on a
+// star give a three-component solve; a follow-up event touching one pair is
+// a single-component batch, which always runs serially.
+TEST(AllocationEngineStatsTest, ParallelCountersAgreeAcrossSolveJobs) {
+  Network network(BuildSingleSwitchStar(6, Gbps(10)), /*default_queues=*/2);
+  AllocationEngine serial(&network, AllocationDiscipline::kWfqSlQueues);
+  AllocationEngine pooled(&network, AllocationDiscipline::kWfqSlQueues);
+  pooled.SetSolveJobs(4);
+  EXPECT_EQ(serial.solve_jobs(), 1);
+  EXPECT_EQ(pooled.solve_jobs(), 4);
+
+  std::vector<std::unique_ptr<ActiveFlow>> flows;
+  auto add_pair = [&](FlowId id, NodeId src, NodeId dst) {
+    for (AllocationEngine* engine : {&serial, &pooled}) {
+      auto flow = std::make_unique<ActiveFlow>();
+      flow->id = id;
+      flow->app = static_cast<AppId>(id);
+      flow->remaining_bits = Gbps(10);
+      flow->path = &network.router().Route(src, dst, 0);
+      engine->FlowAdded(flow.get());
+      flows.push_back(std::move(flow));
+    }
+  };
+
+  add_pair(1, 0, 1);
+  add_pair(2, 2, 3);
+  add_pair(3, 4, 5);
+  serial.Recompute();
+  pooled.Recompute();
+
+  // Same work on both engines...
+  EXPECT_EQ(serial.stats().components_solved, 3u);
+  EXPECT_EQ(pooled.stats().components_solved, 3u);
+  for (size_t i = 0; i + 1 < flows.size(); i += 2) {
+    EXPECT_EQ(flows[i]->rate, flows[i + 1]->rate) << "flow " << flows[i]->id;
+  }
+  // ...but only the pooled engine dispatched: one batch of three components.
+  EXPECT_EQ(serial.stats().parallel_solves, 0u);
+  EXPECT_EQ(serial.stats().parallel_components, 0u);
+  EXPECT_EQ(pooled.stats().parallel_solves, 1u);
+  EXPECT_EQ(pooled.stats().parallel_components, 3u);
+
+  // A single-component batch runs serially even at solve_jobs=4: the
+  // parallel counters must not move.
+  add_pair(4, 0, 1);
+  serial.Recompute();
+  pooled.Recompute();
+  EXPECT_EQ(serial.stats().components_solved, 4u);
+  EXPECT_EQ(pooled.stats().components_solved, 4u);
+  EXPECT_EQ(pooled.stats().parallel_solves, 1u);
+  EXPECT_EQ(pooled.stats().parallel_components, 3u);
+  for (size_t i = 0; i + 1 < flows.size(); i += 2) {
+    EXPECT_EQ(flows[i]->rate, flows[i + 1]->rate) << "flow " << flows[i]->id;
+  }
 }
 
 }  // namespace

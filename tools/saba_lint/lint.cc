@@ -284,6 +284,7 @@ struct FileScope {
   bool rng_impl = false;        // src/sim/rng.{h,cc}: R1 exempt.
   bool wallclock_impl = false;  // src/sim/wallclock.h: R2 exempt.
   bool knobs_impl = false;      // src/exp/knobs.{h,cc}: R5 exempt.
+  bool pool_impl = false;       // src/sim/worker_pool.{h,cc}: R7 exempt.
   bool bench = false;           // bench/: R3 applies.
   bool header = false;          // *.h: guard check applies.
 };
@@ -293,6 +294,8 @@ FileScope ScopeFor(const std::string& rel_path) {
   scope.rng_impl = rel_path == "src/sim/rng.h" || rel_path == "src/sim/rng.cc";
   scope.wallclock_impl = rel_path == "src/sim/wallclock.h";
   scope.knobs_impl = rel_path == "src/exp/knobs.h" || rel_path == "src/exp/knobs.cc";
+  scope.pool_impl =
+      rel_path == "src/sim/worker_pool.h" || rel_path == "src/sim/worker_pool.cc";
   scope.bench = StartsWith(rel_path, "bench/");
   scope.header = rel_path.size() >= 2 && rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
   return scope;
@@ -376,6 +379,25 @@ const std::set<std::string>& R3TimingIdentifiers() {
   return kTiming;
 }
 
+// R7: raw threading primitives. Only the std::-qualified forms are banned so
+// an ordinary variable named `thread` or `mutex` stays legal; the pthread/C11
+// thread entry points are banned by call form.
+const std::set<std::string>& R7BannedStdIdentifiers() {
+  static const std::set<std::string> kBanned = {
+      "thread",        "jthread",        "async",
+      "mutex",         "recursive_mutex", "timed_mutex",
+      "recursive_timed_mutex",           "shared_mutex",
+      "shared_timed_mutex",              "condition_variable",
+      "condition_variable_any",          "promise",
+      "packaged_task", "future",         "shared_future"};
+  return kBanned;
+}
+
+const std::set<std::string>& R7BannedThreadCalls() {
+  static const std::set<std::string> kBanned = {"pthread_create", "thrd_create"};
+  return kBanned;
+}
+
 struct RuleContext {
   const std::string* rel_path;
   const std::string* display_path;
@@ -448,6 +470,20 @@ void CheckIdentifierRules(const RuleContext& ctx) {
                  "'; knobs are read through src/exp/knobs.h (strict parsing, "
                  "registry-backed banners) so a typo'd variable aborts instead of "
                  "silently defaulting");
+    }
+    if (!ctx.scope.pool_impl) {
+      const Token* prev2 = i >= 2 ? &tokens[i - 2] : nullptr;
+      const bool std_qualified = prev != nullptr && prev->text == "::" && prev2 != nullptr &&
+                                 prev2->is_ident && prev2->text == "std";
+      if ((std_qualified && R7BannedStdIdentifiers().count(tok.text) != 0) ||
+          (call_form && !member_access && R7BannedThreadCalls().count(tok.text) != 0)) {
+        Report(ctx, tok.line, "R7",
+               "raw threading primitive '" + tok.text +
+                   "'; threads and locks are constructed only inside saba::WorkerPool "
+                   "(src/sim/worker_pool.h) — fan work over WorkerPool or SweepRunner "
+                   "so the determinism argument and TSan coverage stay centralized "
+                   "(DESIGN.md §7.3)");
+      }
     }
   }
 }
@@ -595,6 +631,7 @@ std::vector<std::pair<std::string, std::string>> RuleTable() {
       {"R4", "unordered-container uses carry // saba-lint: unordered-iter-ok(<reason>)"},
       {"R5", "environment access only through src/exp/knobs.h"},
       {"R6", "repo-rooted quote-includes and canonical path-derived header guards"},
+      {"R7", "threads and locks constructed only inside saba::WorkerPool (src/sim/worker_pool.h)"},
   };
 }
 

@@ -15,6 +15,8 @@
 //       annotation: // saba-lint: unordered-iter-ok(<reason>)
 //   R5  environment access only through src/exp/knobs.h
 //   R6  src/-rooted quote-includes and canonical header guards
+//   R7  threads/locks (std::thread, std::async, std::mutex, …) constructed
+//       only inside the blessed pool primitive, src/sim/worker_pool.{h,cc}
 //
 // Suppression: a finding on line N is suppressed by a comment on line N or
 // N-1 of the form  // saba-lint: allow(R2): <reason>.  R4 uses its dedicated
@@ -35,7 +37,7 @@ namespace lint {
 struct Finding {
   std::string file;     // Path as reported to the user.
   int line = 0;         // 1-based.
-  std::string rule;     // "R1".."R6".
+  std::string rule;     // "R1".."R7".
   std::string message;  // Human-readable explanation.
 };
 

@@ -113,14 +113,32 @@ TEST(SabaLintTest, R6ChecksGuardsAndRootedIncludes) {
   EXPECT_EQ(findings.size(), 2u);
 }
 
+TEST(SabaLintTest, R7FiresOnRawThreadingPrimitives) {
+  const auto findings = LintFixture("r7_threads.cc", "src/fixture/r7.cc");
+  EXPECT_EQ(CountRule(findings, "R7"), 3);
+  EXPECT_TRUE(HasFindingAt(findings, "R7", 9)) << "std::thread construction";
+  EXPECT_TRUE(HasFindingAt(findings, "R7", 11)) << "raw std::mutex";
+  EXPECT_TRUE(HasFindingAt(findings, "R7", 13)) << "std::async";
+  EXPECT_EQ(findings.size(), 3u) << "line 14's unqualified `thread` variable and the "
+                                    "allow(R7)-annotated mutex on line 16 stay legal";
+}
+
+TEST(SabaLintTest, R7ExemptInsideWorkerPool) {
+  const std::string content = ReadFixture("r7_threads.cc");
+  EXPECT_EQ(CountRule(LintFile("src/sim/worker_pool.cc", content), "R7"), 0)
+      << "worker_pool is the one home for thread construction";
+  EXPECT_EQ(CountRule(LintFile("src/sim/worker_pool.h", content), "R7"), 0)
+      << "the .h path additionally fails the guard check on this fixture, which is fine";
+}
+
 TEST(SabaLintTest, CleanFilePasses) {
   EXPECT_TRUE(LintFixture("clean.cc", "src/fixture/clean.cc").empty());
 }
 
 TEST(SabaLintTest, RuleTableNamesEveryRule) {
   const auto table = RuleTable();
-  ASSERT_EQ(table.size(), 6u);
-  for (int i = 0; i < 6; ++i) {
+  ASSERT_EQ(table.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
     EXPECT_EQ(table[static_cast<size_t>(i)].first, "R" + std::to_string(i + 1));
   }
 }

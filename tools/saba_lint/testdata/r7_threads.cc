@@ -1,0 +1,21 @@
+// R7 fixture: raw threading primitives outside the blessed pool primitive.
+#include <future>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+inline int Compute() {
+  std::thread worker([] {});
+  worker.join();
+  std::mutex gate;
+  (void)gate;
+  auto task = std::async([] { return 1; });
+  int thread = 0;  // Unqualified: an ordinary identifier, not a primitive.
+  // saba-lint: allow(R7): fixture audit record for the suppression path.
+  std::mutex audited;
+  (void)audited;
+  return thread + static_cast<int>(task.get());
+}
+
+}  // namespace fixture
