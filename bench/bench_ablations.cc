@@ -68,7 +68,7 @@ void SolverAblation(const SensitivityTable& table) {
 
 void FloorAblation(const SensitivityTable& table, uint64_t seed) {
   std::cout << "--- Ablation 2: relative weight floor (skew budget) ---\n";
-  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(32, Gbps64(56));
   const std::vector<JobSpec> jobs = StandardSetup(seed);
   const std::vector<double> floors = {0.25, 0.5, 0.75, 0.9, 1.0};
 
@@ -100,7 +100,7 @@ void FloorAblation(const SensitivityTable& table, uint64_t seed) {
 
 void GammaAblation(const SensitivityTable& table, uint64_t seed) {
   std::cout << "--- Ablation 3: FECN inefficiency strength (gamma) ---\n";
-  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(32, Gbps64(56));
   const std::vector<JobSpec> jobs = StandardSetup(seed);
   const std::vector<double> gammas = {0.0, 0.1, 0.25, 0.4};
   // Tasks are (gamma, policy) pairs: even = baseline, odd = Saba.
@@ -129,7 +129,7 @@ void GammaAblation(const SensitivityTable& table, uint64_t seed) {
 
 void QuantumAblation(uint64_t seed) {
   std::cout << "--- Ablation 4: completion-event quantization ---\n";
-  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(32, Gbps64(56));
   const std::vector<JobSpec> jobs = StandardSetup(seed);
 
   // Task 0 is the exact (quantum 0) reference, tasks 1.. the grid sizes.
@@ -159,7 +159,7 @@ void QuantumAblation(uint64_t seed) {
 
 void PolicyComparison(const SensitivityTable& table, uint64_t seed) {
   std::cout << "--- Ablation 5: every policy on the standard 16-job setup ---\n";
-  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(32, Gbps64(56));
   const std::vector<JobSpec> jobs = StandardSetup(seed);
   const std::vector<PolicyKind> policies = {
       PolicyKind::kBaseline,  PolicyKind::kSaba, PolicyKind::kSabaUnlimited,

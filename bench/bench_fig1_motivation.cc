@@ -53,7 +53,7 @@ void Fig1b(const SensitivityTable& table) {
   }
   const std::vector<JobSpec> jobs = {{*FindWorkload("LR"), hosts, 0.0},
                                      {*FindWorkload("PR"), hosts, 0.0}};
-  const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(56));
 
   // Four independent simulations: the two isolated references and the two
   // co-runs. Results are keyed by task index.

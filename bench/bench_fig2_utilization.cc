@@ -30,7 +30,7 @@ struct Timeline {
 
 Timeline RunWithSampling(const WorkloadSpec& spec, double fraction) {
   EventScheduler scheduler;
-  Network network(BuildSingleSwitchStar(8, Gbps(56) * fraction));
+  Network network(BuildSingleSwitchStar(8, RoundBps(Gbps(56) * fraction)));
   WfqMaxMinAllocator allocator;
   FlowSimulator flow_sim(&scheduler, &network, &allocator);
   NullNetworkPolicy policy;

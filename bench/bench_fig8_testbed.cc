@@ -39,7 +39,7 @@ void Run() {
               seed);
 
   const SensitivityTable table = ProfileCatalog(seed);
-  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(32, Gbps64(56));
 
   // Pre-generate the setups from one deterministic stream, then execute them
   // across the sweep pool (setups are independent simulations).

@@ -39,7 +39,7 @@ std::vector<double> SpeedupsFor(const SensitivityTable& table, double dataset_sc
                                 int num_nodes, uint64_t seed) {
   Rng rng(seed);
   const std::vector<JobSpec> jobs = HomogeneousJobs(dataset_scale, num_nodes, &rng);
-  const Topology topo = BuildSingleSwitchStar(num_nodes, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(num_nodes, Gbps64(56));
   CoRunOptions baseline_options;
   baseline_options.policy = PolicyKind::kBaseline;
   const CoRunResult baseline = RunCoRun(topo, jobs, baseline_options);

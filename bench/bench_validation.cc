@@ -48,7 +48,7 @@ void SinglePortStudy() {
         Topology topo;
         const NodeId a = topo.AddNode(NodeKind::kHost);
         const NodeId b = topo.AddNode(NodeKind::kHost);
-        topo.AddLink(a, b, Gbps(1));
+        topo.AddLink(a, b, Gbps64(1));
         Network network(std::move(topo), static_cast<int>(c.queue_weights.size()));
         network.port(0).queue_weights = c.queue_weights;
 
@@ -71,7 +71,7 @@ void SinglePortStudy() {
         WfqMaxMinAllocator allocator;
         allocator.Allocate(fluid, network);
         const WrrResult wrr =
-            SimulateWrrPort({Gbps(1), c.queue_weights}, packet, /*horizon=*/2.0);
+            SimulateWrrPort({Gbps64(1), c.queue_weights}, packet, /*horizon=*/2.0);
 
         Rows rows;
         for (size_t f = 0; f < c.flows.size(); ++f) {
@@ -101,9 +101,9 @@ void MultiHopStudy(uint64_t seed) {
                                   .num_tor = 2,
                                   .hosts_per_tor = 3,
                                   .num_pods = 2,
-                                  .host_link_bps = Gbps(1),
-                                  .tor_leaf_bps = Gbps(1),
-                                  .leaf_spine_bps = Gbps(1)}),
+                                  .host_link_bps = Gbps64(1),
+                                  .tor_leaf_bps = Gbps64(1),
+                                  .leaf_spine_bps = Gbps64(1)}),
                   2);
   network.MapSlToQueueEverywhere(1, 1);
   for (size_t l = 0; l < network.topology().num_links(); ++l) {

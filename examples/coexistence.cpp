@@ -19,7 +19,7 @@ int main() {
   // Fabric: 4 hosts, one switch, 8 queues per port. The operator reserves
   // the last 2 queues and 30% of capacity for non-Saba traffic.
   EventScheduler scheduler;
-  Network network(BuildSingleSwitchStar(4, Gbps(56)), /*default_queues=*/8);
+  Network network(BuildSingleSwitchStar(4, Gbps64(56)), /*default_queues=*/8);
   WfqMaxMinAllocator allocator;
   FlowSimulator flow_sim(&scheduler, &network, &allocator);
 

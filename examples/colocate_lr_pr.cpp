@@ -31,7 +31,7 @@ int main() {
     hosts.push_back(h);
   }
   const std::vector<JobSpec> jobs = {{lr, hosts, 0.0}, {pr, hosts, 0.0}};
-  const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(56));
 
   std::printf("%-22s %14s %14s\n", "allocation scheme", "LR slowdown", "PR slowdown");
   for (PolicyKind policy :

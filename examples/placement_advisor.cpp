@@ -31,9 +31,9 @@ double SimulatePlacement(const std::vector<std::string>& mix, const std::vector<
                                   .num_tor = 2,
                                   .hosts_per_tor = 8,
                                   .num_pods = 2,
-                                  .host_link_bps = Gbps(56),
-                                  .tor_leaf_bps = Gbps(56),
-                                  .leaf_spine_bps = Gbps(56)});
+                                  .host_link_bps = Gbps64(56),
+                                  .tor_leaf_bps = Gbps64(56),
+                                  .leaf_spine_bps = Gbps64(56)});
   std::vector<JobSpec> jobs;
   for (size_t j = 0; j < mix.size(); ++j) {
     JobSpec job;

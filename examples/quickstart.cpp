@@ -53,7 +53,7 @@ int main() {
   }
   const std::vector<JobSpec> jobs = {{*FindWorkload("LR"), hosts, 0.0},
                                      {*FindWorkload("PR"), hosts, 0.0}};
-  const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(56));
 
   CoRunOptions baseline;
   baseline.policy = PolicyKind::kBaseline;

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate bench_micro throughput against the committed BENCH_micro.json.
+
+Usage: check_bench_regression.py BASELINE.json CANDIDATE.json [--threshold 0.30]
+
+Compares `items_per_second` for every benchmark present in BOTH files and
+fails (exit 1) if any candidate rate is more than `threshold` below the
+baseline. Benchmarks without an items_per_second field (pure-latency rows)
+and benchmarks missing from either side are skipped — the gate is a smoke
+check for the allocation hot paths, not a full perf suite. All output goes
+to stderr (R3: stdout belongs to diffable reports).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {
+        b["name"]: float(b["items_per_second"])
+        for b in doc.get("benchmarks", [])
+        if "items_per_second" in b
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max fractional regression allowed (default 0.30)")
+    args = parser.parse_args()
+
+    base = load_rates(args.baseline)
+    cand = load_rates(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("check_bench_regression: no comparable benchmarks", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in shared:
+        ratio = cand[name] / base[name]
+        verdict = "FAIL" if ratio < 1.0 - args.threshold else "ok"
+        print(f"  {verdict:4} {name}: {cand[name]:,.0f} vs baseline "
+              f"{base[name]:,.0f} items/s ({ratio:.2f}x)", file=sys.stderr)
+        if verdict == "FAIL":
+            failures.append(name)
+
+    if failures:
+        print(f"check_bench_regression: {len(failures)} benchmark(s) regressed "
+              f">{args.threshold:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"check_bench_regression: {len(shared)} benchmark(s) within "
+          f"{args.threshold:.0%} of baseline", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ double OfflineProfiler::RunIsolated(const WorkloadSpec& spec, double fraction, i
   assert(throttle_floor >= 0 && throttle_floor <= 1.0);
   const double effective = std::max(fraction, throttle_floor);
   EventScheduler scheduler;
-  Network network(BuildSingleSwitchStar(num_nodes, link_bps * effective));
+  Network network(BuildSingleSwitchStar(num_nodes, RoundBps(link_bps * effective)));
   WfqMaxMinAllocator allocator;
   FlowSimulator flow_sim(&scheduler, &network, &allocator);
   NullNetworkPolicy policy;

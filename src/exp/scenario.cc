@@ -97,7 +97,7 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
         }
         kv[key] = number;
       }
-      const double capacity = Gbps(kv.count("capacity_gbps") ? kv["capacity_gbps"] : 56.0);
+      const Bps64 capacity = Gbps64(kv.count("capacity_gbps") ? kv["capacity_gbps"] : 56.0);
       if (rest[0] == "star") {
         const int servers = static_cast<int>(kv.count("servers") ? kv["servers"] : 32);
         if (servers < 2) {
@@ -209,7 +209,7 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
   }
 
   if (!have_topology) {
-    scenario.topology = BuildSingleSwitchStar(32, Gbps(56));
+    scenario.topology = BuildSingleSwitchStar(32, Gbps64(56));
   }
   if (scenario.jobs.empty()) {
     Fail(error, 0, "scenario declares no jobs");

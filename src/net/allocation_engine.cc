@@ -4,9 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <utility>
 
+#include "src/net/waterfill.h"
 #include "src/sim/worker_pool.h"
 
 namespace saba {
@@ -19,23 +19,24 @@ namespace saba {
 //            max-min fairly, weighted by ActiveFlow::intra_weight.
 //
 // We model every (link, queue) pair that carries flows as a *virtual
-// resource* with its own capacity, run classic weighted progressive filling
-// over those resources (each flow has ONE scalar weight — its intra weight —
-// so the filling is exact weighted max-min over the resources), and then
+// resource* with its own capacity, run weighted progressive filling over
+// those resources (each flow has ONE scalar weight — its intra weight — so
+// the filling is exact weighted max-min over the resources), and then
 // redistribute the capacity that under-demanding queues left unused to the
 // queues that were actually constrained, iterating toward the
 // work-conserving fixed point. A few rounds suffice: each round either finds
 // no slack or strictly grows some binding queue's capacity.
 //
-// Everything below operates on ONE connected component of the link-sharing
-// graph at a time: flows in different components share no link, so their
-// allocations are independent subproblems. Solving per component is what
-// makes the incremental engine's answer bit-identical to a from-scratch run —
-// both paths feed the same component, in the same canonical order (ascending
-// flow id), through the same code. It is also what makes component-*parallel*
-// solving exact (DESIGN.md §7.3): a component's solve reads only the shared
-// immutable Network and its own flows and scratch arena, so fanning
-// components across worker slots cannot change any float program.
+// All of it is fixed-point integer arithmetic (units.h): capacities and rates
+// are Bps64, weights live on the WeightUnits grid, water levels are exact
+// rationals, and frozen rates are 128-bit-exact floors. The result is a pure
+// function of the *multiset* of flows in a component — no summation order,
+// iteration order, or heap tie-break can change a single bit (DESIGN.md
+// §7.1). That arithmetic exactness, not ordering discipline, is what makes
+// the incremental engine bit-identical to a from-scratch run, and what makes
+// component-*parallel* solving exact (DESIGN.md §7.3): a component's solve
+// reads only the shared immutable Network and its own flows and scratch
+// arena, so fanning components across worker slots cannot change anything.
 //
 // The scratch types below are file-local implementation details; they live at
 // namespace (not anonymous) scope only because EngineSolveState — forward-
@@ -44,24 +45,25 @@ namespace saba {
 
 // Working state for one virtual resource (a queue on a link).
 struct ResourceWork {
-  double capacity = 0;   // Goodput available to this queue at this link.
-  double remaining = 0;  // Capacity not yet claimed by frozen flows (per fill).
-  double denom = 0;      // Sum of weights of still-active flows.
-  int active = 0;
-  uint64_t version = 0;
-  bool requeue_mark = false;
-  bool binding = false;  // Some flow froze *at* this resource in the last fill.
-  std::vector<int> flow_indices;
+  Bps64 capacity = 0;       // Goodput available to this queue at this link.
+  Bps64 remaining = 0;      // Capacity not yet claimed by frozen flows.
+  int64_t weight_units = 0; // Configured WFQ weight of the queue (WeightUnits).
+  int64_t denom0 = 0;       // Sum of member flows' intra weight units.
+  int64_t denom = 0;        // ... restricted to still-active flows (per fill).
+  int32_t active0 = 0;      // Member flow count.
+  int32_t active = 0;       // Still-active flow count (per fill).
+  double efficiency = 1.0;  // Congestion-model efficiency of the queue.
+  bool binding = false;     // Some flow froze *at* this resource in the fill.
+};
 
-  void ResetForFill() {
-    remaining = capacity;
-    denom = 0;
-    active = 0;
-    version = 0;
-    requeue_mark = false;
-    binding = false;
-    flow_indices.clear();  // Keeps vector capacity across fills.
-  }
+// One lazy min-heap entry: the resource's water level remaining/denom as it
+// was when pushed. Levels only rise during a fill, so a popped entry whose
+// stored level no longer matches the resource is simply stale — re-push at
+// the current level. Exactly one live entry exists per active resource.
+struct LevelHeapEntry {
+  Bps64 num = 0;      // remaining at push time (>= 0).
+  int64_t den = 1;    // denom at push time (> 0).
+  int32_t resource = 0;
 };
 
 // Maps LinkId -> dense slot, reusing storage across calls.
@@ -145,28 +147,44 @@ class LinkUnionFind {
   std::vector<LinkId> touched_;
 };
 
-// Per-slot solver arenas. Every piece of scratch the component solvers used
-// to keep in `static thread_local` storage is an explicit field here, so
-// concurrent component solves on pool workers touch disjoint memory by
-// construction (DESIGN.md §7.3) — no sharing assumption is left implicit in
-// thread identity. One arena exists per worker slot; the serial path uses
-// arena 0.
+// Per-slot solver arenas. Every piece of scratch the component solvers need
+// is an explicit field here, so concurrent component solves on pool workers
+// touch disjoint memory by construction (DESIGN.md §7.3) — no sharing
+// assumption is left implicit in thread identity. One arena exists per worker
+// slot; the serial path uses arena 0.
+//
+// The flow <-> resource incidence is CSR-shaped and built ONCE per component
+// solve (the old per-round rebuild of per-resource member vectors dominated
+// the churn benches): flow_res_offset/flow_res list each flow's resources,
+// res_flow_offset/res_flow the transpose via counting sort.
 struct ComponentScratch {
-  // ProgressiveFill.
-  std::vector<bool> frozen;
-  std::vector<int> requeue;
-  // SolveComponentNested.
-  LinkSlotMap nested_link_slot;
-  std::vector<std::vector<std::pair<int, int>>> queue_index;
+  // Incidence CSR + quantized per-flow weights.
+  std::vector<int32_t> flow_res_offset;  // size n+1.
+  std::vector<int32_t> flow_res;
+  std::vector<int64_t> flow_weight;      // WeightUnits(intra_weight).
+  std::vector<int32_t> res_flow_offset;  // size R+1.
+  std::vector<int32_t> res_flow;
+  std::vector<int32_t> res_fill;
   std::vector<ResourceWork> work;
+  std::vector<std::vector<AppId>> res_apps;  // Distinct apps per resource.
+  // Per link slot (SolveComponentNested).
+  LinkSlotMap link_slot;
+  std::vector<std::vector<std::pair<int, int>>> queue_index;
+  std::vector<Bps64> link_capacity;
+  std::vector<int32_t> link_crossings;  // Σ active0 over the link's resources.
+  std::vector<std::vector<int32_t>> link_resources;
+  // ProgressiveFillInt.
+  std::vector<uint8_t> frozen;
+  std::vector<LevelHeapEntry> heap;
+  std::vector<int32_t> batch;
+  // Single-link fast path.
+  std::vector<WaterfillEntry> wf_entries;
+  std::vector<Bps64> wf_rates;
   // SolveComponentStrict.
   std::vector<ActiveFlow*> by_class;
   LinkSlotMap remaining_slot;
-  std::vector<double> remaining;
+  std::vector<Bps64> remaining;
   std::vector<ActiveFlow*> cls;
-  std::vector<std::vector<int>> resource_of;
-  std::vector<ResourceWork> links;
-  LinkSlotMap strict_link_slot;
 };
 
 // Everything one solve needs besides the flows: per-slot arenas, the
@@ -183,142 +201,199 @@ struct EngineSolveState {
   std::vector<int32_t> group_of_root;  // Per link, -1 = none.
   std::vector<LinkId> group_roots;
   std::vector<std::vector<ActiveFlow*>> groups;
-
-  // AllocateFromScratch canonical-order scratch.
-  std::vector<ActiveFlow*> sorted;
 };
 
 namespace {
 
-struct HeapEntry {
-  double level = 0;  // remaining / denom at push time.
-  int resource = 0;
-  uint64_t version = 0;
+using Int128 = __int128;
+
+// Exact rational level comparisons by cross-multiplication. Numerators are
+// capacities (< 2^63) and denominators weight sums (< 2^62), so the products
+// stay inside signed 128 bits.
+inline bool LevelEq(Bps64 na, int64_t da, Bps64 nb, int64_t db) {
+  return static_cast<Int128>(na) * db == static_cast<Int128>(nb) * da;
+}
+
+struct LevelGreater {
+  bool operator()(const LevelHeapEntry& a, const LevelHeapEntry& b) const {
+    return static_cast<Int128>(a.num) * b.den > static_cast<Int128>(b.num) * a.den;
+  }
 };
 
-struct HeapLater {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const { return a.level > b.level; }
-};
-
-// Weighted progressive filling over virtual resources. Each flow has a scalar
-// weight (its intra weight) and a list of resource ids (one per path link);
-// all rates grow in proportion to the weights until a resource saturates,
-// whose flows then freeze at their shares — classic, exact weighted max-min.
-void ProgressiveFill(const std::vector<ActiveFlow*>& flows,
-                     const std::vector<std::vector<int>>& resource_of,
-                     std::vector<ResourceWork>* resources, size_t num_resources,
-                     ComponentScratch* scratch) {
+// Weighted progressive filling over virtual resources, in exact integer
+// arithmetic. Each flow has a scalar weight (its quantized intra weight) and
+// a CSR list of resources (one per path link); all rates grow in proportion
+// to the weights until a resource saturates, whose flows then freeze at
+// floor(weight * level) — classic weighted max-min.
+//
+// Order independence is arithmetic, not disciplinary: the minimum water level
+// is a unique rational, the *batch* of resources sitting at that level is
+// gathered in full before anything freezes, every frozen rate is an exact
+// floor of the same rational snapshot, and all state updates are commutative
+// integer sums. The execution is therefore a deterministic sequence of
+// (level, batch, frozen set) values no enumeration order can perturb.
+//
+// Caller contract: the incidence CSR, flow_weight, and work[0..num_resources)
+// are built, with remaining=capacity, denom=denom0>0, active=active0>0 and
+// binding=false. Writes flows[f]->rate for every flow.
+void ProgressiveFillInt(const std::vector<ActiveFlow*>& flows, size_t num_resources,
+                        ComponentScratch* s) {
   const size_t n = flows.size();
-  for (size_t f = 0; f < n; ++f) {
-    flows[f]->rate = 0;
-    for (int r : resource_of[f]) {
-      ResourceWork& work = (*resources)[static_cast<size_t>(r)];
-      work.denom += flows[f]->intra_weight;
-      work.active += 1;
-      work.flow_indices.push_back(static_cast<int>(f));
-    }
-  }
+  s->frozen.assign(n, 0);
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap;
-  auto push_resource = [&](int r) {
-    ResourceWork& work = (*resources)[static_cast<size_t>(r)];
-    if (work.active == 0 || work.denom <= 0) {
-      return;
-    }
-    heap.push({std::max(work.remaining, 0.0) / work.denom, r, work.version});
-  };
+  std::vector<LevelHeapEntry>& heap = s->heap;
+  heap.clear();
   for (size_t r = 0; r < num_resources; ++r) {
-    push_resource(static_cast<int>(r));
+    const ResourceWork& w = s->work[r];
+    assert(w.active > 0 && w.denom > 0 && w.remaining >= 0);
+    heap.push_back({w.remaining, w.denom, static_cast<int32_t>(r)});
   }
+  std::make_heap(heap.begin(), heap.end(), LevelGreater{});
 
-  std::vector<bool>& frozen = scratch->frozen;
-  frozen.assign(n, false);
+  std::vector<int32_t>& batch = s->batch;
   size_t frozen_count = 0;
-  while (frozen_count < n && !heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    ResourceWork& bottleneck = (*resources)[static_cast<size_t>(top.resource)];
-    if (top.version != bottleneck.version || bottleneck.active == 0) {
-      continue;  // Stale entry; a fresh one was pushed when the state changed.
+  while (frozen_count < n) {
+    assert(!heap.empty() && "unfrozen flows imply a live resource entry");
+    std::pop_heap(heap.begin(), heap.end(), LevelGreater{});
+    const LevelHeapEntry top = heap.back();
+    heap.pop_back();
+    ResourceWork& w0 = s->work[static_cast<size_t>(top.resource)];
+    if (w0.active == 0) {
+      continue;  // Drained by earlier freezes; the entry is dead.
     }
-    const double level = top.level;
-    bottleneck.binding = true;
-    // Freeze every still-active flow on the bottleneck at its weighted share,
-    // collecting the changed resources (deduplicated — a busy bottleneck
-    // would otherwise re-queue the same resource hundreds of times).
-    std::vector<int>& requeue = scratch->requeue;
-    requeue.clear();
-    for (int fi : bottleneck.flow_indices) {
-      const size_t f = static_cast<size_t>(fi);
-      if (frozen[f]) {
+    if (!LevelEq(w0.remaining, w0.denom, top.num, top.den)) {
+      // Stale: the level rose since the push. Re-push at the current level.
+      heap.push_back({w0.remaining, w0.denom, top.resource});
+      std::push_heap(heap.begin(), heap.end(), LevelGreater{});
+      continue;
+    }
+    // top is fresh, so its level is the global minimum (stored levels never
+    // exceed current ones). Gather EVERY resource sitting at exactly this
+    // level before freezing anything: all their entries are at the heap
+    // front, and the full batch is what makes the freeze set — and therefore
+    // the whole fill — independent of heap tie-break order.
+    const Bps64 p = w0.remaining;
+    const int64_t q = w0.denom;
+    batch.clear();
+    batch.push_back(top.resource);
+    while (!heap.empty() && LevelEq(heap.front().num, heap.front().den, p, q)) {
+      std::pop_heap(heap.begin(), heap.end(), LevelGreater{});
+      const LevelHeapEntry e = heap.back();
+      heap.pop_back();
+      ResourceWork& we = s->work[static_cast<size_t>(e.resource)];
+      if (we.active == 0) {
         continue;
       }
-      frozen[f] = true;
-      ++frozen_count;
-      const double rate = flows[f]->intra_weight * level;
-      flows[f]->rate = rate;
-      for (int r : resource_of[f]) {
-        ResourceWork& work = (*resources)[static_cast<size_t>(r)];
-        work.remaining -= rate;
-        work.denom -= flows[f]->intra_weight;
-        work.active -= 1;
-        ++work.version;
-        if (!work.requeue_mark) {
-          work.requeue_mark = true;
-          requeue.push_back(r);
-        }
+      if (LevelEq(we.remaining, we.denom, p, q)) {
+        batch.push_back(e.resource);
+      } else {
+        heap.push_back({we.remaining, we.denom, e.resource});
+        std::push_heap(heap.begin(), heap.end(), LevelGreater{});
       }
     }
-    for (int r : requeue) {
-      (*resources)[static_cast<size_t>(r)].requeue_mark = false;
-      push_resource(r);
+    for (const int32_t rb : batch) {
+      ResourceWork& wr = s->work[static_cast<size_t>(rb)];
+      wr.binding = true;
+      for (int32_t k = s->res_flow_offset[static_cast<size_t>(rb)],
+                   end = s->res_flow_offset[static_cast<size_t>(rb) + 1];
+           k < end; ++k) {
+        const size_t f = static_cast<size_t>(s->res_flow[static_cast<size_t>(k)]);
+        if (s->frozen[f]) {
+          continue;
+        }
+        s->frozen[f] = 1;
+        ++frozen_count;
+        const int64_t wf = s->flow_weight[f];
+        // Exact floor of the weighted share at the batch level. Any equal
+        // rational representation of the level gives the same floor, so it
+        // does not matter which batch resource supplied (p, q).
+        const Bps64 rate = p > 0 ? static_cast<Bps64>(static_cast<Int128>(wf) * p / q) : 0;
+        flows[f]->rate = rate;
+        for (int32_t j = s->flow_res_offset[f], jend = s->flow_res_offset[f + 1]; j < jend; ++j) {
+          ResourceWork& wx = s->work[static_cast<size_t>(s->flow_res[static_cast<size_t>(j)])];
+          wx.remaining -= rate;
+          wx.denom -= wf;
+          wx.active -= 1;
+          // Frozen shares never exceed a resource's proportional claim, so
+          // remaining stays >= 0 and levels are monotone non-decreasing —
+          // the invariant the lazy heap relies on.
+          assert(wx.remaining >= 0);
+        }
+      }
+      assert(wr.active == 0 && "a binding resource freezes all its flows");
     }
   }
-  assert(frozen_count == n && "every flow must freeze at some bottleneck");
   (void)frozen_count;
 }
 
-// Prepared inputs for the nested WFQ fixed point, shared by the SL-mapped
-// and per-application disciplines.
-struct NestedWfqInput {
-  // Per flow: the resource index of each path link, in path order.
-  std::vector<std::vector<int>> resource_of;
-  struct Resource {
-    double weight = 1;      // Configured WFQ weight of the queue behind it.
-    double efficiency = 1;  // Congestion-model efficiency of the queue.
-  };
-  std::vector<Resource> resources;
-  // Per link slot: raw capacity and the resources living on the link.
-  std::vector<double> link_capacity;
-  std::vector<std::vector<int>> link_resources;
-};
+// Builds the resource -> flows CSR (transpose of flow_res) by counting sort,
+// and resets the per-fill resource state. Shared by the nested and strict
+// solvers once their flow -> resource CSR is in place.
+void FinishIncidence(size_t n, size_t num_resources, ComponentScratch* s) {
+  if (s->res_flow_offset.size() < num_resources + 1) {
+    s->res_flow_offset.resize(num_resources + 1);
+  }
+  if (s->res_fill.size() < num_resources) {
+    s->res_fill.resize(num_resources);
+  }
+  s->res_flow_offset[0] = 0;
+  for (size_t r = 0; r < num_resources; ++r) {
+    s->res_flow_offset[r + 1] = s->res_flow_offset[r] + s->work[r].active0;
+    s->res_fill[r] = s->res_flow_offset[r];
+  }
+  if (s->res_flow.size() < s->flow_res.size()) {
+    s->res_flow.resize(s->flow_res.size());
+  }
+  for (size_t f = 0; f < n; ++f) {
+    for (int32_t j = s->flow_res_offset[f], jend = s->flow_res_offset[f + 1]; j < jend; ++j) {
+      const size_t r = static_cast<size_t>(s->flow_res[static_cast<size_t>(j)]);
+      s->res_flow[static_cast<size_t>(s->res_fill[r]++)] = static_cast<int32_t>(f);
+    }
+  }
+}
 
-// Runs the redistribution rounds; leaves final rates in the flows.
-void SolveNestedWfq(const std::vector<ActiveFlow*>& flows, const NestedWfqInput& input,
-                    std::vector<ResourceWork>* work, ComponentScratch* scratch) {
-  const size_t num_resources = input.resources.size();
+// Floor dust threshold for redistribution at a link: integer freezes shed
+// strictly less than one bit/s per (flow, resource) crossing, and every
+// RoundBps crossing at most half a bit, so residuals below this are rounding
+// noise, not reclaimable capacity. Value-based (capacity and crossing count),
+// hence order-independent.
+inline Bps64 FloorDust(Bps64 link_capacity, int32_t crossings) {
+  return std::max<Bps64>(link_capacity / 1000000000, 2 * static_cast<Bps64>(crossings) + 2);
+}
 
+// Runs the redistribution rounds over the prepared component; leaves final
+// rates in the flows.
+void SolveNestedWfqInt(const std::vector<ActiveFlow*>& flows, size_t num_resources,
+                       size_t num_link_slots, ComponentScratch* s) {
   // Initial capacities: WFQ shares among the queues present at each link,
-  // each degraded by its own protocol efficiency.
-  for (size_t ls = 0; ls < input.link_resources.size(); ++ls) {
-    double weight_sum = 0;
-    for (int r : input.link_resources[ls]) {
-      weight_sum += input.resources[static_cast<size_t>(r)].weight;
+  // each degraded by its own protocol efficiency. The share ratio and
+  // efficiency are the only double factors in the solver; both are exact
+  // functions of integer weight sums and app counts, and the product is
+  // rounded once through RoundBps.
+  for (size_t ls = 0; ls < num_link_slots; ++ls) {
+    int64_t weight_sum = 0;
+    for (const int32_t r : s->link_resources[ls]) {
+      weight_sum += s->work[static_cast<size_t>(r)].weight_units;
     }
     assert(weight_sum > 0);
-    for (int r : input.link_resources[ls]) {
-      const auto& meta = input.resources[static_cast<size_t>(r)];
-      (*work)[static_cast<size_t>(r)].capacity =
-          input.link_capacity[ls] * (meta.weight / weight_sum) * meta.efficiency;
+    for (const int32_t r : s->link_resources[ls]) {
+      ResourceWork& w = s->work[static_cast<size_t>(r)];
+      w.capacity = RoundBps(
+          BpsToDouble(s->link_capacity[ls]) *
+          (static_cast<double>(w.weight_units) / static_cast<double>(weight_sum)) * w.efficiency);
     }
   }
 
   constexpr int kMaxRounds = 4;
   for (int round = 0; round < kMaxRounds; ++round) {
     for (size_t r = 0; r < num_resources; ++r) {
-      (*work)[r].ResetForFill();
+      ResourceWork& w = s->work[r];
+      w.remaining = w.capacity;
+      w.denom = w.denom0;
+      w.active = w.active0;
+      w.binding = false;
     }
-    ProgressiveFill(flows, input.resource_of, work, num_resources, scratch);
+    ProgressiveFillInt(flows, num_resources, s);
     if (round + 1 == kMaxRounds) {
       break;  // This fill stands.
     }
@@ -326,39 +401,40 @@ void SolveNestedWfq(const std::vector<ActiveFlow*>& flows, const NestedWfqInput&
     // Work conservation: re-home each link's unused capacity to the queues
     // that were actually constrained there ("binding"), in weight proportion.
     // Slack re-enters scaled by the receiving queue's own efficiency — WRR
-    // can only hand out what the (imperfect) protocol can carry.
+    // can only hand out what the (imperfect) protocol can carry. Every
+    // aggregate here is a commutative integer sum of per-resource values.
     bool changed = false;
-    for (size_t ls = 0; ls < input.link_resources.size(); ++ls) {
-      double used = 0;
-      double wire_used = 0;
-      double hungry_weight = 0;
-      for (int r : input.link_resources[ls]) {
-        const ResourceWork& res = (*work)[static_cast<size_t>(r)];
-        const auto& meta = input.resources[static_cast<size_t>(r)];
-        const double goodput = res.capacity - std::max(res.remaining, 0.0);
-        used += goodput;
-        wire_used += meta.efficiency > 0 ? goodput / meta.efficiency : goodput;
-        if (res.binding) {
-          hungry_weight += meta.weight;
+    for (size_t ls = 0; ls < num_link_slots; ++ls) {
+      Bps64 wire_used = 0;
+      int64_t hungry_weight = 0;
+      for (const int32_t r : s->link_resources[ls]) {
+        const ResourceWork& w = s->work[static_cast<size_t>(r)];
+        const Bps64 goodput = w.capacity - w.remaining;
+        wire_used += w.efficiency > 0 ? RoundBps(BpsToDouble(goodput) / w.efficiency) : goodput;
+        if (w.binding) {
+          hungry_weight += w.weight_units;
         }
       }
-      const double slack = input.link_capacity[ls] - wire_used;
-      if (slack <= input.link_capacity[ls] * 1e-9 || hungry_weight <= 0) {
+      const Bps64 dust = FloorDust(s->link_capacity[ls], s->link_crossings[ls]);
+      const Bps64 slack = s->link_capacity[ls] - wire_used;
+      if (slack <= dust || hungry_weight == 0) {
         continue;
       }
-      for (int r : input.link_resources[ls]) {
-        ResourceWork& res = (*work)[static_cast<size_t>(r)];
-        const auto& meta = input.resources[static_cast<size_t>(r)];
-        const double goodput = res.capacity - std::max(res.remaining, 0.0);
-        if (res.binding) {
-          const double grant = slack * (meta.weight / hungry_weight) * meta.efficiency;
-          if (grant > input.link_capacity[ls] * 1e-9) {
+      for (const int32_t r : s->link_resources[ls]) {
+        ResourceWork& w = s->work[static_cast<size_t>(r)];
+        const Bps64 goodput = w.capacity - w.remaining;
+        if (w.binding) {
+          const Bps64 grant = RoundBps(
+              BpsToDouble(slack) *
+              (static_cast<double>(w.weight_units) / static_cast<double>(hungry_weight)) *
+              w.efficiency);
+          if (grant > dust) {
             changed = true;
           }
-          res.capacity = goodput + grant;
+          w.capacity = goodput + grant;
         } else {
           // Keep only what it used; its surplus is being re-homed.
-          res.capacity = goodput;
+          w.capacity = goodput;
         }
       }
     }
@@ -369,79 +445,148 @@ void SolveNestedWfq(const std::vector<ActiveFlow*>& flows, const NestedWfqInput&
 }
 
 // Nested WFQ over one component: `queue_key(flow, link)` identifies the
-// flow's queue at a port, `queue_weight(flow, link)` its weight. The flows
-// must be in canonical (ascending id) order — resource numbering, weight
-// accumulation, and freeze order all follow it.
+// flow's queue at a port, `queue_weight(flow, link)` its weight. Flows may
+// arrive in ANY order — the solve is a function of the flow multiset.
 template <typename QueueKeyFn, typename QueueWeightFn>
 void SolveComponentNested(const std::vector<ActiveFlow*>& flows, const Network& net,
                           QueueKeyFn queue_key, QueueWeightFn queue_weight,
-                          ComponentScratch* scratch) {
+                          ComponentScratch* s) {
   if (flows.empty()) {
     return;
   }
+  const size_t n = flows.size();
 
-  LinkSlotMap& link_slot = scratch->nested_link_slot;
+  if (n == 1) {
+    // Single-flow component: the flow owns every queue it crosses (weight
+    // ratios are exactly 1.0), so its rate is the minimum over path links of
+    // the efficiency-degraded link capacity. Bit-identical to the general
+    // path, which would compute the same RoundBps per link and freeze at the
+    // floor of share/weight = capacity.
+    ActiveFlow* flow = flows[0];
+    assert(flow->path != nullptr && !flow->path->empty());
+    assert(flow->remaining_bits > 0);
+    assert(flow->intra_weight > 0);
+    const double eff = net.congestion().QueueEfficiency(1);
+    Bps64 rate = kBps64Max;
+    for (const LinkId l : *flow->path) {
+      rate = std::min(rate, RoundBps(BpsToDouble(net.topology().link(l).capacity_bps) * eff));
+    }
+    flow->rate = rate;
+    return;
+  }
+
+  // --- Build the component's resource graph (once; reused across rounds). ---
+  LinkSlotMap& link_slot = s->link_slot;
   link_slot.Prepare(net.topology().num_links());
+  if (s->flow_res_offset.size() < n + 1) {
+    s->flow_res_offset.resize(n + 1);
+  }
+  if (s->flow_weight.size() < n) {
+    s->flow_weight.resize(n);
+  }
+  s->flow_res.clear();
 
-  NestedWfqInput input;
-  input.resource_of.assign(flows.size(), {});
-
-  // Per link slot: (queue key -> resource index), linear-scanned small vecs.
-  std::vector<std::vector<std::pair<int, int>>>& queue_index = scratch->queue_index;
-  // Per resource: distinct apps (for the congestion model).
-  std::vector<std::vector<AppId>> apps_in_resource;
-
-  for (size_t f = 0; f < flows.size(); ++f) {
+  size_t num_resources = 0;
+  size_t num_link_slots = 0;
+  for (size_t f = 0; f < n; ++f) {
     const ActiveFlow* flow = flows[f];
     assert(flow->path != nullptr && !flow->path->empty());
     assert(flow->remaining_bits > 0);
     assert(flow->intra_weight > 0);
-    input.resource_of[f].reserve(flow->path->size());
-    for (LinkId l : *flow->path) {
+    s->flow_weight[f] = WeightUnits(flow->intra_weight);
+    s->flow_res_offset[f] = static_cast<int32_t>(s->flow_res.size());
+    for (const LinkId l : *flow->path) {
       bool inserted = false;
-      const int ls = link_slot.SlotFor(l, &inserted);
+      const size_t ls = static_cast<size_t>(link_slot.SlotFor(l, &inserted));
       if (inserted) {
-        if (queue_index.size() <= static_cast<size_t>(ls)) {
-          queue_index.resize(static_cast<size_t>(ls) + 1);
+        if (s->queue_index.size() <= ls) {
+          s->queue_index.resize(ls + 1);
+          s->link_resources.resize(ls + 1);
+          s->link_capacity.resize(ls + 1);
+          s->link_crossings.resize(ls + 1);
         }
-        queue_index[static_cast<size_t>(ls)].clear();
-        input.link_capacity.resize(static_cast<size_t>(ls) + 1);
-        input.link_capacity[static_cast<size_t>(ls)] = net.topology().link(l).capacity_bps;
-        input.link_resources.resize(static_cast<size_t>(ls) + 1);
+        s->queue_index[ls].clear();
+        s->link_resources[ls].clear();
+        s->link_capacity[ls] = net.topology().link(l).capacity_bps;
+        s->link_crossings[ls] = 0;
+        ++num_link_slots;
       }
       const int key = queue_key(*flow, l);
-      auto& index = queue_index[static_cast<size_t>(ls)];
-      auto it = std::find_if(index.begin(), index.end(),
-                             [key](const auto& entry) { return entry.first == key; });
+      auto& index = s->queue_index[ls];
+      const auto it = std::find_if(index.begin(), index.end(),
+                                   [key](const auto& entry) { return entry.first == key; });
       int resource;
       if (it == index.end()) {
-        resource = static_cast<int>(input.resources.size());
+        resource = static_cast<int>(num_resources++);
+        if (s->work.size() < num_resources) {
+          s->work.resize(num_resources);
+          s->res_apps.resize(num_resources);
+        }
+        ResourceWork& w = s->work[static_cast<size_t>(resource)];
+        // Any member flow yields the same queue weight (the key pins the
+        // queue), so it is fine that the first-seen flow supplies it.
+        w.weight_units = WeightUnits(queue_weight(*flow, l));
+        w.denom0 = 0;
+        w.active0 = 0;
+        s->res_apps[static_cast<size_t>(resource)].clear();
         index.emplace_back(key, resource);
-        input.resources.push_back({queue_weight(*flow, l), 1.0});
-        input.link_resources[static_cast<size_t>(ls)].push_back(resource);
-        apps_in_resource.emplace_back();
+        s->link_resources[ls].push_back(resource);
       } else {
         resource = it->second;
       }
-      auto& apps = apps_in_resource[static_cast<size_t>(resource)];
+      auto& apps = s->res_apps[static_cast<size_t>(resource)];
       if (std::find(apps.begin(), apps.end(), flow->app) == apps.end()) {
         apps.push_back(flow->app);
       }
-      input.resource_of[f].push_back(resource);
+      ResourceWork& w = s->work[static_cast<size_t>(resource)];
+      w.denom0 += s->flow_weight[f];
+      w.active0 += 1;
+      s->link_crossings[ls] += 1;
+      s->flow_res.push_back(static_cast<int32_t>(resource));
     }
   }
-
-  for (size_t r = 0; r < input.resources.size(); ++r) {
-    input.resources[r].efficiency =
-        net.congestion().QueueEfficiency(apps_in_resource[r].size());
-  }
-
-  std::vector<ResourceWork>& work = scratch->work;
-  if (work.size() < input.resources.size()) {
-    work.resize(input.resources.size());
-  }
-  SolveNestedWfq(flows, input, &work, scratch);
+  s->flow_res_offset[n] = static_cast<int32_t>(s->flow_res.size());
   link_slot.Reset();
+
+  for (size_t r = 0; r < num_resources; ++r) {
+    s->work[r].efficiency = net.congestion().QueueEfficiency(s->res_apps[r].size());
+  }
+  FinishIncidence(n, num_resources, s);
+
+  if (num_link_slots == 1) {
+    // Single-link component: each queue's WFQ share is final (no other link
+    // can bind first, and every queue is fully used by its elastic flows, so
+    // redistribution could only move floor dust). Each queue then degenerates
+    // to a single-resource water-fill with elastic demands — the closed form
+    // SolveWaterfill computes directly, identical to what the progressive
+    // fill would freeze.
+    int64_t weight_sum = 0;
+    for (const int32_t r : s->link_resources[0]) {
+      weight_sum += s->work[static_cast<size_t>(r)].weight_units;
+    }
+    assert(weight_sum > 0);
+    for (const int32_t r : s->link_resources[0]) {
+      const ResourceWork& w = s->work[static_cast<size_t>(r)];
+      const Bps64 cap = RoundBps(
+          BpsToDouble(s->link_capacity[0]) *
+          (static_cast<double>(w.weight_units) / static_cast<double>(weight_sum)) * w.efficiency);
+      const int32_t begin = s->res_flow_offset[static_cast<size_t>(r)];
+      const int32_t end = s->res_flow_offset[static_cast<size_t>(r) + 1];
+      s->wf_entries.clear();
+      for (int32_t k = begin; k < end; ++k) {
+        const size_t f = static_cast<size_t>(s->res_flow[static_cast<size_t>(k)]);
+        s->wf_entries.push_back({s->flow_weight[f], kElasticDemand});
+      }
+      SolveWaterfill(cap, s->wf_entries, &s->wf_rates);
+      for (int32_t k = begin; k < end; ++k) {
+        const size_t f = static_cast<size_t>(s->res_flow[static_cast<size_t>(k)]);
+        flows[f]->rate = s->wf_rates[static_cast<size_t>(k - begin)];
+      }
+    }
+    return;
+  }
+
+  SolveNestedWfqInt(flows, num_resources, num_link_slots, s);
 }
 
 // Strict priority over one component: classes served best (lowest value)
@@ -449,28 +594,27 @@ void SolveComponentNested(const std::vector<ActiveFlow*>& flows, const Network& 
 // scratch lives in the per-slot arena — this solver runs once per component
 // per event, so per-call heap allocation would dominate at churn rates.
 void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& net,
-                          ComponentScratch* scratch) {
+                          ComponentScratch* s) {
   if (flows.empty()) {
     return;
   }
 
-  // Group by priority class; the stable sort preserves the canonical id
-  // order within each class.
-  std::vector<ActiveFlow*>& by_class = scratch->by_class;
+  // Group by priority class. A plain sort suffices: order *within* a class
+  // cannot matter, the integer fill being a function of the flow multiset.
+  std::vector<ActiveFlow*>& by_class = s->by_class;
   by_class.assign(flows.begin(), flows.end());
-  std::stable_sort(by_class.begin(), by_class.end(), [](const ActiveFlow* a, const ActiveFlow* b) {
-    return a->priority < b->priority;
-  });
+  std::sort(by_class.begin(), by_class.end(),
+            [](const ActiveFlow* a, const ActiveFlow* b) { return a->priority < b->priority; });
 
   // Remaining capacity persists across classes; lower classes only see what
   // higher classes left behind.
-  LinkSlotMap& remaining_slot = scratch->remaining_slot;
+  LinkSlotMap& remaining_slot = s->remaining_slot;
   remaining_slot.Prepare(net.topology().num_links());
-  std::vector<double>& remaining = scratch->remaining;
+  std::vector<Bps64>& remaining = s->remaining;
   remaining.clear();
   for (const ActiveFlow* flow : by_class) {
     assert(flow->path != nullptr && !flow->path->empty());
-    for (LinkId l : *flow->path) {
+    for (const LinkId l : *flow->path) {
       bool inserted = false;
       (void)remaining_slot.SlotFor(l, &inserted);
       if (inserted) {
@@ -479,10 +623,8 @@ void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& 
     }
   }
 
-  std::vector<ActiveFlow*>& cls = scratch->cls;
-  std::vector<std::vector<int>>& resource_of = scratch->resource_of;
-  std::vector<ResourceWork>& links = scratch->links;
-  LinkSlotMap& link_slot = scratch->strict_link_slot;
+  std::vector<ActiveFlow*>& cls = s->cls;
+  LinkSlotMap& link_slot = s->link_slot;
 
   size_t i = 0;
   while (i < by_class.size()) {
@@ -492,48 +634,85 @@ void SolveComponentStrict(const std::vector<ActiveFlow*>& flows, const Network& 
       cls.push_back(by_class[i]);
       ++i;
     }
+    const size_t m = cls.size();
 
-    // Weighted max-min within the class on the remaining capacity: one
-    // resource per link (a priority class behaves like a single queue).
-    link_slot.Prepare(net.topology().num_links());
-    if (resource_of.size() < cls.size()) {
-      resource_of.resize(cls.size());
-    }
-    size_t used_links = 0;
-    for (size_t f = 0; f < cls.size(); ++f) {
-      resource_of[f].clear();
-      resource_of[f].reserve(cls[f]->path->size());
-      for (LinkId l : *cls[f]->path) {
-        bool inserted = false;
-        const int slot = link_slot.SlotFor(l, &inserted);
-        if (inserted) {
-          if (links.size() <= used_links) {
-            links.emplace_back();
-          }
-          links[used_links].capacity =
-              std::max(remaining[static_cast<size_t>(remaining_slot.At(l))], 0.0);
-          links[used_links].ResetForFill();
-          ++used_links;
-        }
-        resource_of[f].push_back(slot);
+    if (m == 1) {
+      // One flow in the class (the common case under pFabric-style per-flow
+      // priorities): its max-min rate is the bottleneck remaining capacity.
+      // Identical to the general fill, which freezes at floor(W*rem/W).
+      ActiveFlow* flow = cls[0];
+      assert(flow->remaining_bits > 0);
+      assert(flow->intra_weight > 0);
+      Bps64 rate = kBps64Max;
+      for (const LinkId l : *flow->path) {
+        rate = std::min(rate, remaining[static_cast<size_t>(remaining_slot.At(l))]);
       }
+      flow->rate = rate;
+    } else {
+      // Weighted max-min within the class on the remaining capacity: one
+      // resource per link (a priority class behaves like a single queue).
+      link_slot.Prepare(net.topology().num_links());
+      if (s->flow_res_offset.size() < m + 1) {
+        s->flow_res_offset.resize(m + 1);
+      }
+      if (s->flow_weight.size() < m) {
+        s->flow_weight.resize(m);
+      }
+      s->flow_res.clear();
+      size_t used_links = 0;
+      for (size_t f = 0; f < m; ++f) {
+        const ActiveFlow* flow = cls[f];
+        assert(flow->remaining_bits > 0);
+        assert(flow->intra_weight > 0);
+        s->flow_weight[f] = WeightUnits(flow->intra_weight);
+        s->flow_res_offset[f] = static_cast<int32_t>(s->flow_res.size());
+        for (const LinkId l : *flow->path) {
+          bool inserted = false;
+          const int slot = link_slot.SlotFor(l, &inserted);
+          if (inserted) {
+            if (s->work.size() <= used_links) {
+              s->work.resize(used_links + 1);
+            }
+            ResourceWork& w = s->work[used_links];
+            w.capacity = remaining[static_cast<size_t>(remaining_slot.At(l))];
+            w.denom0 = 0;
+            w.active0 = 0;
+            ++used_links;
+          }
+          ResourceWork& w = s->work[static_cast<size_t>(slot)];
+          w.denom0 += s->flow_weight[f];
+          w.active0 += 1;
+          s->flow_res.push_back(slot);
+        }
+      }
+      s->flow_res_offset[m] = static_cast<int32_t>(s->flow_res.size());
+      link_slot.Reset();
+      FinishIncidence(m, used_links, s);
+      for (size_t r = 0; r < used_links; ++r) {
+        ResourceWork& w = s->work[r];
+        w.remaining = w.capacity;
+        w.denom = w.denom0;
+        w.active = w.active0;
+        w.binding = false;
+      }
+      ProgressiveFillInt(cls, used_links, s);
     }
-    ProgressiveFill(cls, resource_of, &links, used_links, scratch);
-    link_slot.Reset();
 
+    // Integer conservation guarantees the class fits; the clamp only guards
+    // the (unreachable) pathological case.
     for (const ActiveFlow* flow : cls) {
-      for (LinkId l : *flow->path) {
-        double& rem = remaining[static_cast<size_t>(remaining_slot.At(l))];
-        rem = std::max(0.0, rem - flow->rate);
+      for (const LinkId l : *flow->path) {
+        Bps64& rem = remaining[static_cast<size_t>(remaining_slot.At(l))];
+        rem = std::max<Bps64>(0, rem - flow->rate);
       }
     }
   }
   remaining_slot.Reset();
 }
 
-// Solves one component under the discipline. Flows must be id-sorted. Reads
-// only the (immutable during a solve) Network, the component's flows and the
-// given arena — the isolation the parallel batch below relies on.
+// Solves one component under the discipline. Reads only the (immutable
+// during a solve) Network, the component's flows and the given arena — the
+// isolation the parallel batch below relies on. Flow order is irrelevant.
 void SolveComponent(const std::vector<ActiveFlow*>& flows, const Network& net,
                     AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights,
                     ComponentScratch* scratch) {
@@ -575,11 +754,9 @@ void SolveComponent(const std::vector<ActiveFlow*>& flows, const Network& net,
 // Solves components[0..num) under the discipline. With jobs > 1 and at least
 // two components the batch is fanned across the worker pool, each slot
 // solving into its own arena; otherwise it runs serially on the calling
-// thread with arena 0. Either way every component's float program is
-// identical — the choice is pure scheduling (DESIGN.md §7.3). Components are
-// handed out in ascending canonical order and each writes only its own
-// flows' rates, so "merging" is the identity: rates land exactly where the
-// serial loop would have put them.
+// thread with arena 0. Either way every component's arithmetic is identical —
+// the choice is pure scheduling (DESIGN.md §7.3). Each component writes only
+// its own flows' rates, so "merging" is the identity.
 void SolveComponentBatch(const std::vector<std::vector<ActiveFlow*>>& components, size_t num,
                          const Network& net, AllocationDiscipline discipline,
                          const PerAppWeightFn& per_app_weights, EngineSolveState* state,
@@ -608,19 +785,20 @@ void SolveComponentBatch(const std::vector<std::vector<ActiveFlow*>>& components
   }
 }
 
-// Partitions id-sorted flows into link-sharing components and solves each.
-// Components are numbered by first appearance in the sorted scan; flows stay
-// in sorted order within their component. Returns the component count.
-size_t SolvePartitioned(const std::vector<ActiveFlow*>& sorted_flows, const Network& net,
+// Partitions flows into link-sharing components and solves each. Components
+// are numbered by first appearance in the scan; the numbering (like the flow
+// order inside each group) affects nothing but scheduling. Returns the
+// component count.
+size_t SolvePartitioned(const std::vector<ActiveFlow*>& flows, const Network& net,
                         AllocationDiscipline discipline, const PerAppWeightFn& per_app_weights,
                         EngineSolveState* state, AllocationEngineStats* stats) {
-  if (sorted_flows.empty()) {
+  if (flows.empty()) {
     return 0;
   }
 
   LinkUnionFind& uf = state->uf;
   uf.Prepare(net.topology().num_links());
-  for (const ActiveFlow* flow : sorted_flows) {
+  for (const ActiveFlow* flow : flows) {
     assert(flow->path != nullptr && !flow->path->empty());
     const LinkId first = flow->path->front();
     (void)uf.Find(first);  // Registers single-link paths too.
@@ -636,7 +814,7 @@ size_t SolvePartitioned(const std::vector<ActiveFlow*>& sorted_flows, const Netw
   std::vector<LinkId>& group_roots = state->group_roots;
   std::vector<std::vector<ActiveFlow*>>& groups = state->groups;
   size_t num_groups = 0;
-  for (ActiveFlow* flow : sorted_flows) {
+  for (ActiveFlow* flow : flows) {
     const LinkId root = uf.Find(flow->path->front());
     int32_t& g = group_of_root[static_cast<size_t>(root)];
     if (g < 0) {
@@ -652,7 +830,7 @@ size_t SolvePartitioned(const std::vector<ActiveFlow*>& sorted_flows, const Netw
 
   SolveComponentBatch(groups, num_groups, net, discipline, per_app_weights, state, stats);
 
-  for (LinkId root : group_roots) {
+  for (const LinkId root : group_roots) {
     group_of_root[static_cast<size_t>(root)] = -1;
   }
   group_roots.clear();
@@ -669,12 +847,10 @@ void AllocateFromScratch(const std::vector<ActiveFlow*>& flows, const Network& n
   }
   // Entry-point arena only: from-scratch solves run inside SweepRunner tasks
   // on many threads at once, so the state is thread-confined here (and stays
-  // serial — jobs is never raised, so no nested pool is ever created).
+  // serial — jobs is never raised, so no nested pool is ever created). No
+  // canonical sort: the integer solve is order-independent by arithmetic.
   static thread_local EngineSolveState state;
-  state.sorted.assign(flows.begin(), flows.end());
-  std::stable_sort(state.sorted.begin(), state.sorted.end(),
-                   [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
-  SolvePartitioned(state.sorted, net, discipline, per_app_weights, &state, nullptr);
+  SolvePartitioned(flows, net, discipline, per_app_weights, &state, nullptr);
 }
 
 AllocationEngine::AllocationEngine(const Network* net, AllocationDiscipline discipline,
@@ -756,7 +932,13 @@ void AllocationEngine::CollectComponent(LinkId seed, std::vector<ActiveFlow*>* o
   for (size_t head = 0; head < bfs_queue_.size(); ++head) {
     const LinkId l = bfs_queue_[head];
     for (ActiveFlow* flow : link_flows_[static_cast<size_t>(l)]) {
-      out->push_back(flow);  // Once per incident link; deduplicated below.
+      // Every link of the flow's path joins the component, so the flow is
+      // collected exactly once: when the BFS processes its first path link.
+      // (Paths never repeat a link — FlowRemoved's single-erase relies on
+      // the same property.)
+      if (flow->path->front() == l) {
+        out->push_back(flow);
+      }
       for (LinkId k : *flow->path) {
         if (!link_visited_[static_cast<size_t>(k)]) {
           link_visited_[static_cast<size_t>(k)] = 1;
@@ -766,11 +948,6 @@ void AllocationEngine::CollectComponent(LinkId seed, std::vector<ActiveFlow*>* o
       }
     }
   }
-  std::sort(out->begin(), out->end(),
-            [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
-  out->erase(std::unique(out->begin(), out->end(),
-                         [](const ActiveFlow* a, const ActiveFlow* b) { return a->id == b->id; }),
-             out->end());
 }
 
 void AllocationEngine::Recompute() {
@@ -786,7 +963,7 @@ void AllocationEngine::Recompute() {
     all_flows_scratch_.clear();
     all_flows_scratch_.reserve(flows_.size());
     for (const auto& [id, flow] : flows_) {
-      all_flows_scratch_.push_back(flow);  // std::map: already id-sorted.
+      all_flows_scratch_.push_back(flow);
     }
     stats_.components_solved += SolvePartitioned(all_flows_scratch_, *net_, discipline_,
                                                  per_app_weights_, solve_.get(), &stats_);

@@ -15,22 +15,26 @@
 // link <-> flow sharing graph is a self-contained allocation subproblem. Both
 // the engine and the from-scratch path (AllocateFromScratch, which backs the
 // classic BandwidthAllocator::Allocate) decompose the fabric into components
-// and solve each with the same code over the same canonical flow order
-// (ascending flow id). Incremental and from-scratch rates are therefore
-// bit-identical — a property tests/allocation_engine_test.cc enforces under
+// and solve each with the same code. The solve itself is fixed-point integer
+// arithmetic (units.h Bps64 + WeightUnits): rates are exact 128-bit floors of
+// rational water levels and every aggregate is a commutative integer sum, so
+// a component's rates are a pure function of its flow *multiset* — no flow
+// ordering, summation order, or tie-break exists to discipline (DESIGN.md
+// §7.1). Incremental and from-scratch rates are therefore bit-identical by
+// arithmetic — a property tests/allocation_engine_test.cc enforces under
 // randomized churn. InvalidateAll() remains as the full-recompute fallback
 // (and is what RequestReallocate maps to when the changed ports are unknown).
 //
 // Determinism: the engine introduces no randomness and no dependence on
-// memory layout; the canonical flow order is by flow id, so results are
-// reproducible across runs and SABA_JOBS settings (DESIGN.md §7).
+// memory layout or flow order, so results are reproducible across runs and
+// SABA_JOBS settings (DESIGN.md §7).
 //
 // Component-parallel solving (DESIGN.md §7.3): because components are
 // independent subproblems, a solve that touches several of them may fan the
 // component solves across a saba::WorkerPool (SetSolveJobs). Scheduling never
-// reaches any component's float program — each worker slot solves into its
-// own scratch arena and writes only its component's flows — so serial,
-// parallel, incremental, and from-scratch solves are all bit-identical;
+// reaches any component's arithmetic — each worker slot solves into its own
+// scratch arena and writes only its component's flows — so serial, parallel,
+// incremental, and from-scratch solves are all bit-identical;
 // tests/allocation_engine_test.cc enforces this under randomized churn at
 // solve_jobs ∈ {1, 2, 4}.
 
@@ -124,8 +128,9 @@ class AllocationEngine {
 
  private:
   void MarkLinkDirty(LinkId link);
-  // Appends the component of `seed` (links and id-sorted flows) reachable
-  // through shared links, marking links visited. Returns the flows.
+  // Appends the flows of the component of `seed` reachable through shared
+  // links (each exactly once, in BFS discovery order — the solver does not
+  // care), marking links visited.
   void CollectComponent(LinkId seed, std::vector<ActiveFlow*>* out);
 
   const Network* net_;
@@ -154,12 +159,13 @@ class AllocationEngine {
   AllocationEngineStats stats_;
 };
 
-// From-scratch allocation under `discipline`: sorts the flows into canonical
-// order, partitions them into link-sharing components, and solves each with
-// the same component solver the engine uses. This is the oracle the
-// incremental path is tested against, and the implementation behind the
-// stateless BandwidthAllocator::Allocate entry points. Flow ids must be
-// unique. Writes ActiveFlow::rate for every flow.
+// From-scratch allocation under `discipline`: partitions the flows into
+// link-sharing components (in whatever order they arrive — the integer solve
+// is order-independent) and solves each with the same component solver the
+// engine uses. This is the oracle the incremental path is tested against,
+// and the implementation behind the stateless BandwidthAllocator::Allocate
+// entry points. Flow ids must be unique. Writes ActiveFlow::rate for every
+// flow.
 void AllocateFromScratch(const std::vector<ActiveFlow*>& flows, const Network& net,
                          AllocationDiscipline discipline,
                          const PerAppWeightFn& per_app_weights = nullptr);

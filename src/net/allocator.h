@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/net/network.h"
+#include "src/net/units.h"
 
 namespace saba {
 
@@ -66,8 +67,10 @@ struct ActiveFlow {
   double remaining_bits = 0;
   // Path of the flow (non-empty; set by the flow simulator at start time).
   const std::vector<LinkId>* path = nullptr;
-  // Output: instantaneous rate in bits/s, written by Allocate().
-  double rate = 0;
+  // Output: instantaneous rate in fixed-point bits/s, written by Allocate().
+  // Integer by design: rates come out of the integer water-fill exactly
+  // (units.h), and consumers convert to double only at the fluid boundary.
+  Bps64 rate = 0;
 };
 
 // Queue discipline a BandwidthAllocator (or AllocationEngine) solves under.

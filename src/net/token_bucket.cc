@@ -2,49 +2,74 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace saba {
+namespace {
 
-TokenBucket::TokenBucket(double rate_bps, double burst_bits)
-    : rate_bps_(rate_bps), burst_bits_(burst_bits), tokens_(burst_bits) {
+int64_t WholeBits(double bits) {
+  assert(bits >= 0);
+  return static_cast<int64_t>(bits + 0.5);
+}
+
+}  // namespace
+
+TokenBucket::TokenBucket(Bps64 rate_bps, double burst_bits)
+    : rate_bps_(rate_bps), burst_bits_(WholeBits(burst_bits)), token_bits_(burst_bits_) {
   assert(rate_bps > 0);
-  assert(burst_bits > 0);
+  assert(burst_bits_ > 0);
 }
 
 void TokenBucket::Refill(SimTime now) {
   assert(now >= last_refill_ && "time must be monotone");
-  tokens_ = std::min(burst_bits_, tokens_ + rate_bps_ * (now - last_refill_));
+  const double grown = BpsToDouble(rate_bps_) * (now - last_refill_) + token_frac_;
+  const double room = static_cast<double>(burst_bits_ - token_bits_);
+  if (grown >= room) {
+    // Full (also guards the int64 against unbounded idle periods).
+    token_bits_ = burst_bits_;
+    token_frac_ = 0;
+  } else {
+    const double whole = std::floor(grown);
+    token_bits_ += static_cast<int64_t>(whole);
+    token_frac_ = grown - whole;  // In [0, 1): the only non-integer state.
+  }
   last_refill_ = now;
 }
 
 bool TokenBucket::TryConsume(double bits, SimTime now) {
   assert(bits >= 0);
   Refill(now);
-  if (tokens_ + kTimeEpsilon * rate_bps_ < bits) {
+  const double available = static_cast<double>(token_bits_) + token_frac_;
+  if (available + kTimeEpsilon * BpsToDouble(rate_bps_) < bits) {
     return false;
   }
-  tokens_ -= bits;
+  token_bits_ -= WholeBits(bits);
   return true;
 }
 
 SimTime TokenBucket::NextAdmissionTime(double bits, SimTime now) const {
   assert(bits >= 0);
-  if (bits > burst_bits_) {
+  if (bits > static_cast<double>(burst_bits_)) {
     return kNeverTime;
   }
+  const double rate = BpsToDouble(rate_bps_);
   const double tokens_now =
-      std::min(burst_bits_, tokens_ + rate_bps_ * std::max(0.0, now - last_refill_));
+      std::min(static_cast<double>(burst_bits_),
+               static_cast<double>(token_bits_) + token_frac_ +
+                   rate * std::max(0.0, now - last_refill_));
   if (tokens_now >= bits) {
     return now;
   }
-  return now + (bits - tokens_now) / rate_bps_;
+  return now + (bits - tokens_now) / rate;
 }
 
 double TokenBucket::AvailableAt(SimTime now) const {
-  return std::min(burst_bits_, tokens_ + rate_bps_ * std::max(0.0, now - last_refill_));
+  return std::min(static_cast<double>(burst_bits_),
+                  static_cast<double>(token_bits_) + token_frac_ +
+                      BpsToDouble(rate_bps_) * std::max(0.0, now - last_refill_));
 }
 
-void TokenBucket::SetRate(double rate_bps) {
+void TokenBucket::SetRate(Bps64 rate_bps) {
   assert(rate_bps > 0);
   rate_bps_ = rate_bps;
 }

@@ -6,10 +6,19 @@
 // equivalent); this class models the actual mechanism at packet granularity
 // and is used by tests and the profiler example to document conformance
 // (long-run rate == configured rate, bursts bounded by bucket depth).
+//
+// Token state is carried as integer bits (units.h fixed point): each refill
+// banks whole bits into an int64 and keeps only the sub-bit fraction — which
+// stays in [0, 1) forever — as the carry. The old all-double accumulator lost
+// precision once the token count grew large; here the accumulated quantity is
+// exact no matter how long the bucket runs.
 
 #ifndef SRC_NET_TOKEN_BUCKET_H_
 #define SRC_NET_TOKEN_BUCKET_H_
 
+#include <cstdint>
+
+#include "src/net/units.h"
 #include "src/sim/sim_time.h"
 
 namespace saba {
@@ -17,8 +26,9 @@ namespace saba {
 class TokenBucket {
  public:
   // `rate_bps`: sustained token refill rate. `burst_bits`: bucket depth (the
-  // maximum burst admitted after idling). The bucket starts full.
-  TokenBucket(double rate_bps, double burst_bits);
+  // maximum burst admitted after idling), rounded to whole bits. The bucket
+  // starts full.
+  TokenBucket(Bps64 rate_bps, double burst_bits);
 
   // Attempts to admit `bits` at time `now`. Returns true (and consumes
   // tokens) if the bucket holds enough; false otherwise. `now` must be
@@ -33,18 +43,20 @@ class TokenBucket {
   // Tokens available at `now` (after refill, clamped to depth).
   double AvailableAt(SimTime now) const;
 
-  double rate_bps() const { return rate_bps_; }
-  double burst_bits() const { return burst_bits_; }
+  Bps64 rate_bps() const { return rate_bps_; }
+  double burst_bits() const { return static_cast<double>(burst_bits_); }
 
   // Changes the sustained rate (the profiler adjusts this between runs).
-  void SetRate(double rate_bps);
+  void SetRate(Bps64 rate_bps);
 
  private:
   void Refill(SimTime now);
 
-  double rate_bps_;
-  double burst_bits_;
-  double tokens_;
+  Bps64 rate_bps_;
+  int64_t burst_bits_;
+  int64_t token_bits_;     // Whole banked bits (may dip below 0 by the
+                           // epsilon-slack TryConsume admits).
+  double token_frac_ = 0;  // Sub-bit carry, always in [0, 1).
   SimTime last_refill_ = 0;
 };
 

@@ -12,7 +12,7 @@ NodeId Topology::AddNode(NodeKind kind, std::string label) {
   return id;
 }
 
-LinkId Topology::AddLink(NodeId src, NodeId dst, double capacity_bps) {
+LinkId Topology::AddLink(NodeId src, NodeId dst, Bps64 capacity_bps) {
   assert(src >= 0 && static_cast<size_t>(src) < nodes_.size());
   assert(dst >= 0 && static_cast<size_t>(dst) < nodes_.size());
   assert(src != dst);
@@ -23,13 +23,13 @@ LinkId Topology::AddLink(NodeId src, NodeId dst, double capacity_bps) {
   return id;
 }
 
-LinkId Topology::AddDuplexLink(NodeId a, NodeId b, double capacity_bps) {
+LinkId Topology::AddDuplexLink(NodeId a, NodeId b, Bps64 capacity_bps) {
   const LinkId forward = AddLink(a, b, capacity_bps);
   AddLink(b, a, capacity_bps);
   return forward;
 }
 
-void Topology::SetLinkCapacity(LinkId id, double capacity_bps) {
+void Topology::SetLinkCapacity(LinkId id, Bps64 capacity_bps) {
   assert(id >= 0 && static_cast<size_t>(id) < links_.size());
   assert(capacity_bps > 0);
   links_[static_cast<size_t>(id)].capacity_bps = capacity_bps;
@@ -64,7 +64,7 @@ std::vector<NodeId> Topology::Switches() const {
   return switches;
 }
 
-Topology BuildSingleSwitchStar(int num_hosts, double link_capacity_bps) {
+Topology BuildSingleSwitchStar(int num_hosts, Bps64 link_capacity_bps) {
   assert(num_hosts >= 2);
   Topology topo;
   std::vector<NodeId> hosts;

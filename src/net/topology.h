@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/net/units.h"
+
 namespace saba {
 
 using NodeId = int32_t;
@@ -40,7 +42,7 @@ struct Node {
 struct Link {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
-  double capacity_bps = 0;
+  Bps64 capacity_bps = 0;
 };
 
 class Topology {
@@ -50,11 +52,11 @@ class Topology {
   NodeId AddNode(NodeKind kind, std::string label = "");
 
   // Adds a single directed link and returns its id.
-  LinkId AddLink(NodeId src, NodeId dst, double capacity_bps);
+  LinkId AddLink(NodeId src, NodeId dst, Bps64 capacity_bps);
 
   // Adds both directions with equal capacity; returns the src->dst id (the
   // reverse id is the returned id + 1).
-  LinkId AddDuplexLink(NodeId a, NodeId b, double capacity_bps);
+  LinkId AddDuplexLink(NodeId a, NodeId b, Bps64 capacity_bps);
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_links() const { return links_.size(); }
@@ -63,7 +65,7 @@ class Topology {
   const Link& link(LinkId id) const { return links_[static_cast<size_t>(id)]; }
 
   // Mutable capacity access (the profiler throttles host links this way).
-  void SetLinkCapacity(LinkId id, double capacity_bps);
+  void SetLinkCapacity(LinkId id, Bps64 capacity_bps);
 
   // Outgoing link ids of a node, in insertion order.
   const std::vector<LinkId>& OutLinks(NodeId id) const {
@@ -87,7 +89,7 @@ class Topology {
 
 // Builder for the testbed-style star: `num_hosts` hosts on one switch, every
 // host link at `link_capacity_bps` (the paper's testbed uses 56 Gb/s).
-Topology BuildSingleSwitchStar(int num_hosts, double link_capacity_bps);
+Topology BuildSingleSwitchStar(int num_hosts, Bps64 link_capacity_bps);
 
 // Parameters for the three-tier spine-leaf fabric of §8.1.
 struct SpineLeafParams {
@@ -98,9 +100,9 @@ struct SpineLeafParams {
   // Each ToR uplinks to all leaves of its pod; each leaf uplinks to every
   // spine. Pods partition ToRs and leaves evenly.
   int num_pods = 6;
-  double host_link_bps = 56e9;
-  double tor_leaf_bps = 56e9;
-  double leaf_spine_bps = 56e9;
+  Bps64 host_link_bps = Gbps64(56);
+  Bps64 tor_leaf_bps = Gbps64(56);
+  Bps64 leaf_spine_bps = Gbps64(56);
 };
 
 // Builds the fabric. Host ids are assigned first (so host h is node h),

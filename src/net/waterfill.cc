@@ -1,0 +1,187 @@
+#include "src/net/waterfill.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace saba {
+namespace {
+
+using Int128 = __int128;
+
+// Normalized demand comparison: demand_a / weight_a <op> demand_b / weight_b
+// by cross-multiplication. Demands are < 2^63 and weights < 2^41, so the
+// products stay far inside the signed 128-bit range.
+inline bool NormLess(Bps64 da, int64_t wa, Bps64 db, int64_t wb) {
+  return static_cast<Int128>(da) * wb < static_cast<Int128>(db) * wa;
+}
+
+inline bool NormEqual(Bps64 da, int64_t wa, Bps64 db, int64_t wb) {
+  return static_cast<Int128>(da) * wb == static_cast<Int128>(db) * wa;
+}
+
+// floor(weight * num / den); exact in 128-bit intermediates.
+inline Bps64 FlooredShare(int64_t weight, Bps64 num, int64_t den) {
+  assert(den > 0);
+  if (num <= 0) {
+    return 0;
+  }
+  return static_cast<Bps64>(static_cast<Int128>(weight) * num / den);
+}
+
+}  // namespace
+
+WaterLevel SolveWaterfill(Bps64 capacity, const std::vector<WaterfillEntry>& entries,
+                          std::vector<Bps64>* rates, const WaterfillOptions& options) {
+  assert(capacity >= 0);
+  const size_t n = entries.size();
+  rates->assign(n, 0);
+  if (n == 0) {
+    return {capacity, 0};
+  }
+
+  int64_t weight_total = 0;
+  for (const WaterfillEntry& e : entries) {
+    assert(e.weight > 0);
+    assert(e.demand >= 0);
+    weight_total += e.weight;
+  }
+
+  Bps64 rem = capacity;           // Capacity minus demands of saturated entries.
+  int64_t wsum = weight_total;    // Weights of entries not yet known saturated.
+  std::vector<uint32_t> cand;     // Undecided entry indices.
+  cand.reserve(n);
+
+  // Tiny-flow fast path: a demand that fits its share of the *initial* fair
+  // level can never be rate-limited (the level only rises as demands
+  // saturate), so grant it outright and keep it out of the selection.
+  if (options.enable_tiny_flow_opt) {
+    for (uint32_t i = 0; i < n; ++i) {
+      const WaterfillEntry& e = entries[i];
+      if (e.demand != kElasticDemand &&
+          static_cast<Int128>(e.demand) * weight_total <=
+              static_cast<Int128>(capacity) * e.weight) {
+        (*rates)[i] = e.demand;
+        rem -= e.demand;
+        wsum -= e.weight;
+      } else {
+        cand.push_back(i);
+      }
+    }
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      cand.push_back(i);
+    }
+  }
+
+  if (options.mode == WaterfillMode::kFullSort) {
+    // Reference path: ascending normalized demand, then a single scan.
+    std::sort(cand.begin(), cand.end(), [&](uint32_t a, uint32_t b) {
+      return NormLess(entries[a].demand, entries[a].weight, entries[b].demand, entries[b].weight);
+    });
+    size_t cut = cand.size();
+    for (size_t k = 0; k < cand.size(); ++k) {
+      const WaterfillEntry& e = entries[cand[k]];
+      // Saturates iff its normalized demand fits the level over the suffix.
+      if (e.demand != kElasticDemand &&
+          static_cast<Int128>(e.demand) * wsum <= static_cast<Int128>(rem) * e.weight) {
+        (*rates)[cand[k]] = e.demand;
+        rem -= e.demand;
+        wsum -= e.weight;
+      } else {
+        cut = k;
+        break;
+      }
+    }
+    cand.erase(cand.begin(), cand.begin() + static_cast<ptrdiff_t>(cut));
+  } else {
+    // Partial selection: partition candidates around a pivot normalized
+    // demand and recurse only into the side the water level falls on. The
+    // "== pivot" band is always resolved, so every round strictly shrinks
+    // the range. O(N) average, and no full order is ever materialized.
+    size_t lo = 0;
+    size_t hi = cand.size();
+    while (lo < hi) {
+      // Deterministic median-of-three pivot (no randomness: lint R1).
+      const size_t mid = lo + (hi - lo) / 2;
+      uint32_t pa = cand[lo];
+      uint32_t pb = cand[mid];
+      uint32_t pc = cand[hi - 1];
+      auto norm_less = [&](uint32_t x, uint32_t y) {
+        return NormLess(entries[x].demand, entries[x].weight, entries[y].demand,
+                        entries[y].weight);
+      };
+      if (norm_less(pb, pa)) {
+        std::swap(pa, pb);
+      }
+      if (norm_less(pc, pb)) {
+        std::swap(pb, pc);
+        if (norm_less(pb, pa)) {
+          std::swap(pa, pb);
+        }
+      }
+      const Bps64 pd = entries[pb].demand;
+      const int64_t pw = entries[pb].weight;
+
+      // Three-way partition of [lo, hi): [< pivot][== pivot][> pivot].
+      size_t lt = lo;
+      size_t eq = lo;
+      size_t gt = hi;
+      while (eq < gt) {
+        const WaterfillEntry& e = entries[cand[eq]];
+        if (NormLess(e.demand, e.weight, pd, pw)) {
+          std::swap(cand[lt++], cand[eq++]);
+        } else if (NormEqual(e.demand, e.weight, pd, pw)) {
+          ++eq;
+        } else {
+          std::swap(cand[eq], cand[--gt]);
+        }
+      }
+
+      Int128 below_demand = 0;  // Σ demand over [< pivot] ∪ [== pivot].
+      int64_t below_weight = 0;
+      bool has_elastic = false;
+      for (size_t k = lo; k < eq; ++k) {
+        const WaterfillEntry& e = entries[cand[k]];
+        if (e.demand == kElasticDemand) {
+          has_elastic = true;
+          break;
+        }
+        below_demand += e.demand;
+        below_weight += e.weight;
+      }
+      // All entries at or below the pivot saturate iff the level over the
+      // rest still reaches the pivot's normalized demand.
+      const bool saturates =
+          !has_elastic && static_cast<Int128>(pd) * (wsum - below_weight) <=
+                              static_cast<Int128>(pw) * (static_cast<Int128>(rem) - below_demand);
+      if (saturates) {
+        for (size_t k = lo; k < eq; ++k) {
+          const WaterfillEntry& e = entries[cand[k]];
+          (*rates)[cand[k]] = e.demand;
+          rem -= e.demand;
+          wsum -= e.weight;
+        }
+        lo = eq;
+      } else {
+        // The level sits below the pivot: everything from the pivot band up
+        // is rate-limited (resolved later from the final level).
+        hi = lt;
+      }
+    }
+  }
+
+  if (wsum == 0) {
+    // Every demand fit; capacity was not exhausted.
+    return {rem, 0};
+  }
+  const WaterLevel level{rem < 0 ? 0 : rem, wsum};
+  for (uint32_t i : cand) {
+    const WaterfillEntry& e = entries[i];
+    const Bps64 share = FlooredShare(e.weight, level.num, level.den);
+    (*rates)[i] = e.demand == kElasticDemand ? share : std::min(e.demand, share);
+  }
+  return level;
+}
+
+}  // namespace saba

@@ -1,0 +1,75 @@
+// Single-resource weighted max-min water-filling in fixed-point integers.
+//
+// This is the innermost primitive of the allocation stack: given one
+// capacity and a set of (weight, demand) entries, find the water level L —
+// the largest rational such that sum_i min(demand_i, weight_i * L) fits the
+// capacity — and grant each entry min(demand_i, floor(weight_i * L)).
+// Everything is int64 (units.h fixed point), so the result is an exact
+// function of the multiset of entries: no summation-order or tie-break
+// dependence, which is what lets the component solver drop its canonical
+// sorts (DESIGN.md §7.1).
+//
+// Two interchangeable strategies are provided, after the PartialSortAllocator
+// idiom in heyp-agents:
+//  * kFullSort — sort entries by normalized demand (demand/weight) and scan;
+//    O(N log N), trivially correct, the reference for tests.
+//  * kPartialSelection — quickselect-style partitioning around a pivot
+//    normalized demand, recursing only into the side containing the level;
+//    O(N) average, no full order ever materializes. The default.
+// Both honor the tiny-flow fast path: entries whose demand fits their share
+// of the *initial* fair level (demand_i * sum_w <= capacity * weight_i) can
+// never be rate-limited — the level only rises as demands saturate — so they
+// are granted outright and excluded from selection. Workloads dominated by
+// small flows collapse to a single O(N) pass.
+//
+// An elastic (unbounded) entry uses demand = kElasticDemand; a solve where
+// every entry is elastic degenerates to the closed form L = capacity / sum_w,
+// which is how the component solver uses this module for single-link
+// components.
+
+#ifndef SRC_NET_WATERFILL_H_
+#define SRC_NET_WATERFILL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/units.h"
+
+namespace saba {
+
+inline constexpr Bps64 kElasticDemand = kBps64Max;
+
+struct WaterfillEntry {
+  int64_t weight = kWeightScale;  // WeightUnits grid; > 0.
+  Bps64 demand = kElasticDemand;  // >= 0; kElasticDemand = unbounded.
+};
+
+// Exact water level as a rational num/den. den == 0 encodes "unbounded"
+// (every entry was satisfied below its demand; capacity was not exhausted).
+struct WaterLevel {
+  Bps64 num = 0;
+  int64_t den = 0;
+
+  bool unbounded() const { return den == 0; }
+};
+
+enum class WaterfillMode {
+  kPartialSelection,  // O(N) average partial selection (default).
+  kFullSort,          // O(N log N) reference.
+};
+
+struct WaterfillOptions {
+  WaterfillMode mode = WaterfillMode::kPartialSelection;
+  bool enable_tiny_flow_opt = true;
+};
+
+// Grants rates[i] = min(entries[i].demand, floor(entries[i].weight * L)) for
+// the computed level L and returns L. rates is resized to entries.size().
+// capacity must be >= 0; weights strictly positive. The sum of grants never
+// exceeds capacity (exact integer conservation).
+WaterLevel SolveWaterfill(Bps64 capacity, const std::vector<WaterfillEntry>& entries,
+                          std::vector<Bps64>* rates, const WaterfillOptions& options = {});
+
+}  // namespace saba
+
+#endif  // SRC_NET_WATERFILL_H_

@@ -7,12 +7,20 @@
 // counter, round-robin arbitration across backlogged queues — so tests can
 // cross-validate the fluid shares against packet-level truth. It is a
 // validation instrument, not a performance path.
+//
+// Deficit counters are integers on the WeightUnits grid (units.h): a queue
+// banks weight_units * packet_bits units per visit and a packet costs
+// min_weight_units * packet_bits, so service proportions are exact and the
+// counters cannot drift no matter how long the horizon runs. (The old double
+// counters accumulated rounding error at every visit.)
 
 #ifndef SRC_NET_WRR_REFERENCE_H_
 #define SRC_NET_WRR_REFERENCE_H_
 
 #include <cstdint>
 #include <vector>
+
+#include "src/net/units.h"
 
 namespace saba {
 
@@ -26,9 +34,9 @@ struct WrrFlowSpec {
 };
 
 struct WrrPortSpec {
-  double capacity_bps = 0;
+  Bps64 capacity_bps = 0;
   std::vector<double> queue_weights;  // One per queue; > 0.
-  double packet_bits = 8.0 * 1500;    // MTU-sized packets by default.
+  int64_t packet_bits = 8 * 1500;     // MTU-sized packets by default.
 };
 
 struct WrrResult {

@@ -16,7 +16,7 @@ namespace {
 class AbortTest : public ::testing::Test {
  protected:
   AbortTest()
-      : network_(BuildSingleSwitchStar(8, Gbps(56)), 8),
+      : network_(BuildSingleSwitchStar(8, Gbps64(56)), 8),
         flow_sim_(&scheduler_, &network_, &allocator_) {
     SensitivityEntry lr;
     lr.model = SensitivityModel{Polynomial({5.0, -4.0})};

@@ -38,9 +38,9 @@ TEST_P(EngineChurnTest, IncrementalMatchesFromScratchBitExact) {
                                   .num_tor = 4,
                                   .hosts_per_tor = 3,
                                   .num_pods = 2,
-                                  .host_link_bps = Gbps(10),
-                                  .tor_leaf_bps = Gbps(10),
-                                  .leaf_spine_bps = Gbps(10)}),
+                                  .host_link_bps = Gbps64(10),
+                                  .tor_leaf_bps = Gbps64(10),
+                                  .leaf_spine_bps = Gbps64(10)}),
                   /*default_queues=*/4);
   for (int sl = 0; sl < kNumServiceLevels; ++sl) {
     network.MapSlToQueueEverywhere(sl, sl % 4);
@@ -173,6 +173,77 @@ INSTANTIATE_TEST_SUITE_P(
         ChurnCase{"strict_ideal", AllocationDiscipline::kStrictPriority, false, 16}),
     [](const ::testing::TestParamInfo<ChurnCase>& info) { return std::string(info.param.name); });
 
+// The integer solve's headline property (DESIGN.md §7.1): rates are a pure
+// function of the flow *multiset*. Feed AllocateFromScratch the same flows in
+// shuffled orders and demand bit-identical rates — no canonical sort exists
+// anywhere to restore order, so any hidden order dependence fails here.
+TEST(AllocateFromScratchTest, FlowInputOrderNeverChangesAnyRate) {
+  for (const AllocationDiscipline discipline :
+       {AllocationDiscipline::kWfqSlQueues, AllocationDiscipline::kPerAppQueues,
+        AllocationDiscipline::kStrictPriority}) {
+    Network network(BuildSpineLeaf({.num_spine = 2,
+                                    .num_leaf = 4,
+                                    .num_tor = 4,
+                                    .hosts_per_tor = 3,
+                                    .num_pods = 2,
+                                    .host_link_bps = Gbps64(10),
+                                    .tor_leaf_bps = Gbps64(10),
+                                    .leaf_spine_bps = Gbps64(10)}),
+                    /*default_queues=*/4);
+    for (int sl = 0; sl < kNumServiceLevels; ++sl) {
+      network.MapSlToQueueEverywhere(sl, sl % 4);
+    }
+    network.SetCongestionModel(std::make_unique<FecnCongestionModel>(0.30));
+    const PerAppWeightFn weights =
+        discipline == AllocationDiscipline::kPerAppQueues ? PerAppWeight : PerAppWeightFn();
+    const std::vector<NodeId> hosts = network.topology().Hosts();
+
+    Rng rng(20260808 + static_cast<uint64_t>(discipline));
+    std::vector<ActiveFlow> flows(300);
+    FlowId next_id = 1;
+    for (ActiveFlow& flow : flows) {
+      const NodeId src = rng.Choice(hosts);
+      NodeId dst = rng.Choice(hosts);
+      while (dst == src) {
+        dst = rng.Choice(hosts);
+      }
+      flow.id = next_id++;
+      flow.app = static_cast<AppId>(rng.UniformInt(0, 9));
+      flow.sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
+      flow.priority = static_cast<int>(rng.UniformInt(0, 7));
+      flow.intra_weight = rng.Bernoulli(0.2) ? 0.0625 : 1.0;
+      flow.remaining_bits = rng.Uniform(1e6, 1e9);
+      flow.path = &network.router().Route(src, dst, rng.Next());
+    }
+
+    std::vector<ActiveFlow*> ptrs(flows.size());
+    for (size_t i = 0; i < flows.size(); ++i) {
+      ptrs[i] = &flows[i];
+    }
+    AllocateFromScratch(ptrs, network, discipline, weights);
+    std::map<FlowId, Bps64> baseline;
+    for (const ActiveFlow& flow : flows) {
+      baseline[flow.id] = flow.rate;
+    }
+
+    for (int trial = 0; trial < 10; ++trial) {
+      for (size_t i = ptrs.size(); i > 1; --i) {  // Fisher-Yates on the input order.
+        std::swap(ptrs[i - 1],
+                  ptrs[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+      }
+      for (ActiveFlow& flow : flows) {
+        flow.rate = -1;  // Poison so a skipped flow cannot pass by luck.
+      }
+      AllocateFromScratch(ptrs, network, discipline, weights);
+      for (const ActiveFlow& flow : flows) {
+        ASSERT_EQ(flow.rate, baseline.at(flow.id))
+            << "discipline " << static_cast<int>(discipline) << " trial " << trial << " flow "
+            << flow.id;
+      }
+    }
+  }
+}
+
 // Component-parallel solving (DESIGN.md §7.3): one engine per solve_jobs
 // setting {1, 2, 4} consumes the SAME delta stream over per-universe flow
 // copies (engines write rates in place; the const routes are shared), and
@@ -195,9 +266,9 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
                                   .num_tor = 4,
                                   .hosts_per_tor = 3,
                                   .num_pods = 2,
-                                  .host_link_bps = Gbps(10),
-                                  .tor_leaf_bps = Gbps(10),
-                                  .leaf_spine_bps = Gbps(10)}),
+                                  .host_link_bps = Gbps64(10),
+                                  .tor_leaf_bps = Gbps64(10),
+                                  .leaf_spine_bps = Gbps64(10)}),
                   /*default_queues=*/4);
   for (int sl = 0; sl < kNumServiceLevels; ++sl) {
     network.MapSlToQueueEverywhere(sl, sl % 4);
@@ -383,7 +454,7 @@ INSTANTIATE_TEST_SUITE_P(
 // Deterministic skip accounting on a star: host pairs (0,1) and (2,3) share
 // no link, so events on one pair must never re-rate the other.
 TEST(AllocationEngineStatsTest, UntouchedComponentsAreFrozen) {
-  Network network(BuildSingleSwitchStar(6, Gbps(10)), /*default_queues=*/2);
+  Network network(BuildSingleSwitchStar(6, Gbps64(10)), /*default_queues=*/2);
   AllocationEngine engine(&network, AllocationDiscipline::kWfqSlQueues);
 
   auto make_flow = [&](FlowId id, NodeId src, NodeId dst) {
@@ -443,7 +514,7 @@ TEST(AllocationEngineStatsTest, UntouchedComponentsAreFrozen) {
 // star give a three-component solve; a follow-up event touching one pair is
 // a single-component batch, which always runs serially.
 TEST(AllocationEngineStatsTest, ParallelCountersAgreeAcrossSolveJobs) {
-  Network network(BuildSingleSwitchStar(6, Gbps(10)), /*default_queues=*/2);
+  Network network(BuildSingleSwitchStar(6, Gbps64(10)), /*default_queues=*/2);
   AllocationEngine serial(&network, AllocationDiscipline::kWfqSlQueues);
   AllocationEngine pooled(&network, AllocationDiscipline::kWfqSlQueues);
   pooled.SetSolveJobs(4);

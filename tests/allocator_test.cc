@@ -17,7 +17,7 @@ namespace {
 // Test fixture with a 4-host star at 10 Gb/s and hand-built flows.
 class AllocatorTest : public ::testing::Test {
  protected:
-  AllocatorTest() : network_(BuildSingleSwitchStar(4, Gbps(10)), /*default_queues=*/8) {}
+  AllocatorTest() : network_(BuildSingleSwitchStar(4, Gbps64(10)), /*default_queues=*/8) {}
 
   // Creates a flow and resolves its path; the returned pointer stays valid
   // for the fixture's lifetime.
@@ -258,10 +258,10 @@ TEST_P(MaxMinPropertyTest, EveryFlowHasABottleneckLink) {
                                .num_tor = 4,
                                .hosts_per_tor = 3,
                                .num_pods = 2,
-                               .host_link_bps = Gbps(10),
-                               .tor_leaf_bps = Gbps(10),
-                               .leaf_spine_bps = Gbps(10)})
-             : BuildSingleSwitchStar(6, Gbps(10));
+                               .host_link_bps = Gbps64(10),
+                               .tor_leaf_bps = Gbps64(10),
+                               .leaf_spine_bps = Gbps64(10)})
+             : BuildSingleSwitchStar(6, Gbps64(10));
   Network network(std::move(topo), 1);  // Single queue: pure per-flow max-min.
   const std::vector<NodeId> hosts = network.topology().Hosts();
 
@@ -294,7 +294,7 @@ TEST_P(MaxMinPropertyTest, EveryFlowHasABottleneckLink) {
     for (LinkId l : *flow->path) {
       load[static_cast<size_t>(l)] += flow->rate;
       max_rate_on_link[static_cast<size_t>(l)] =
-          std::max(max_rate_on_link[static_cast<size_t>(l)], flow->rate);
+          std::max(max_rate_on_link[static_cast<size_t>(l)], BpsToDouble(flow->rate));
     }
   }
   // Feasibility.
@@ -335,7 +335,7 @@ TEST_F(AllocatorTest, NestedRedistributionConvergesAcrossQueues) {
     port.queue_weights[2] = 1.0;
   }
   // Throttle host0's uplink so queue 0's flow cannot exceed 1 Gb/s.
-  network_.topology().SetLinkCapacity(network_.topology().FindLink(0, 4), Gbps(1));
+  network_.topology().SetLinkCapacity(network_.topology().FindLink(0, 4), Gbps64(1));
   MakeFlow(0, 0, 1, Gigabytes(1), /*sl=*/0);
   MakeFlow(1, 2, 1, Gigabytes(1), /*sl=*/1);
   MakeFlow(2, 3, 1, Gigabytes(1), /*sl=*/2);
@@ -364,7 +364,7 @@ TEST_F(AllocatorTest, IntraWeightsActPerQueueIndependently) {
 
 TEST_F(AllocatorTest, PerAppAllocatorAlsoWorkConserving) {
   // App 0's only flow is source-throttled; app 1 reclaims the ingress slack.
-  network_.topology().SetLinkCapacity(network_.topology().FindLink(0, 4), Gbps(2));
+  network_.topology().SetLinkCapacity(network_.topology().FindLink(0, 4), Gbps64(2));
   MakeFlow(0, 0, 1, Gigabytes(1), 0, 1);
   MakeFlow(1, 2, 1, Gigabytes(1), 0, 2);
   PerAppWfqAllocator alloc;

@@ -39,9 +39,9 @@ Network MakeNetwork() {
                                  .num_tor = 4,
                                  .hosts_per_tor = 3,
                                  .num_pods = 2,
-                                 .host_link_bps = Gbps(10),
-                                 .tor_leaf_bps = Gbps(10),
-                                 .leaf_spine_bps = Gbps(10)}),
+                                 .host_link_bps = Gbps64(10),
+                                 .tor_leaf_bps = Gbps64(10),
+                                 .leaf_spine_bps = Gbps64(10)}),
                  /*default_queues=*/4);
 }
 

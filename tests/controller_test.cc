@@ -16,7 +16,7 @@ SensitivityModel Flat() { return SensitivityModel{Polynomial({1.2, -0.2})}; }
 class ControllerTest : public ::testing::Test {
  protected:
   ControllerTest()
-      : network_(BuildSingleSwitchStar(4, Gbps(56)), /*default_queues=*/8),
+      : network_(BuildSingleSwitchStar(4, Gbps64(56)), /*default_queues=*/8),
         flow_sim_(&scheduler_, &network_, &allocator_) {
     SensitivityEntry steep;
     steep.model = Steep();

@@ -44,7 +44,7 @@ class CoRunTest : public ::testing::Test {
 SensitivityTable* CoRunTest::table_ = nullptr;
 
 TEST_F(CoRunTest, AllPoliciesCompleteAllJobs) {
-  const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(56));
   const std::vector<JobSpec> jobs = LrPrJobs();
   for (PolicyKind policy :
        {PolicyKind::kBaseline, PolicyKind::kSaba, PolicyKind::kSabaDistributed,
@@ -64,7 +64,7 @@ TEST_F(CoRunTest, AllPoliciesCompleteAllJobs) {
 TEST_F(CoRunTest, SabaFavoursTheSensitiveJob) {
   // §2.2 / Fig 1b: under skewed (sensitivity-aware) allocation LR improves a
   // lot while PR degrades a little, relative to equal sharing.
-  const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(56));
   const std::vector<JobSpec> jobs = LrPrJobs();
 
   CoRunOptions baseline_options;
@@ -83,7 +83,7 @@ TEST_F(CoRunTest, SabaFavoursTheSensitiveJob) {
 }
 
 TEST_F(CoRunTest, SabaBeatsBaselineOnRandomClusterSetup) {
-  const Topology topo = BuildSingleSwitchStar(32, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(32, Gbps64(56));
   Rng rng(123);
   ClusterSetupOptions setup_options;
   const std::vector<JobSpec> jobs =
@@ -105,7 +105,7 @@ TEST_F(CoRunTest, SabaBeatsBaselineOnRandomClusterSetup) {
 }
 
 TEST_F(CoRunTest, DeterministicAcrossRuns) {
-  const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(56));
   const std::vector<JobSpec> jobs = LrPrJobs();
   CoRunOptions options;
   options.policy = PolicyKind::kSaba;

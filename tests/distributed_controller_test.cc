@@ -77,9 +77,9 @@ class DistributedControllerTest : public ::testing::Test {
                                  .num_tor = 2,
                                  .hosts_per_tor = 2,
                                  .num_pods = 2,
-                                 .host_link_bps = Gbps(56),
-                                 .tor_leaf_bps = Gbps(56),
-                                 .leaf_spine_bps = Gbps(56)}),
+                                 .host_link_bps = Gbps64(56),
+                                 .tor_leaf_bps = Gbps64(56),
+                                 .leaf_spine_bps = Gbps64(56)}),
                  /*default_queues=*/8),
         flow_sim_(&scheduler_, &network_, &allocator_) {}
 

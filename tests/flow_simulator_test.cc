@@ -17,7 +17,7 @@ namespace {
 class FlowSimulatorTest : public ::testing::Test {
  protected:
   FlowSimulatorTest()
-      : network_(BuildSingleSwitchStar(4, Gbps(10)), 8),
+      : network_(BuildSingleSwitchStar(4, Gbps64(10)), 8),
         flow_sim_(&scheduler_, &network_, &allocator_) {}
 
   EventScheduler scheduler_;
@@ -184,7 +184,7 @@ TEST_F(FlowSimulatorTest, QuantizedCompletionsStayCloseToExact) {
   // nearly identical completion times (bounded by the quantum per flow).
   auto run = [&](double quantum) {
     EventScheduler scheduler;
-    Network network(BuildSingleSwitchStar(4, Gbps(10)), 8);
+    Network network(BuildSingleSwitchStar(4, Gbps64(10)), 8);
     WfqMaxMinAllocator allocator;
     FlowSimulator sim(&scheduler, &network, &allocator);
     sim.SetCompletionQuantum(quantum);

@@ -11,7 +11,7 @@ namespace {
 class HomaTest : public ::testing::Test {
  protected:
   HomaTest()
-      : network_(BuildSingleSwitchStar(4, Gbps(10)), 8),
+      : network_(BuildSingleSwitchStar(4, Gbps64(10)), 8),
         flow_sim_(&scheduler_, &network_, &allocator_) {}
 
   EventScheduler scheduler_;

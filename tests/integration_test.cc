@@ -24,9 +24,9 @@ class SpineLeafIntegrationTest : public ::testing::Test {
                                          .num_tor = 4,
                                          .hosts_per_tor = 6,
                                          .num_pods = 2,
-                                         .host_link_bps = Gbps(56),
-                                         .tor_leaf_bps = Gbps(56),
-                                         .leaf_spine_bps = Gbps(56)}));
+                                         .host_link_bps = Gbps64(56),
+                                         .tor_leaf_bps = Gbps64(56),
+                                         .leaf_spine_bps = Gbps64(56)}));
   }
   static void TearDownTestSuite() {
     delete table_;

@@ -19,7 +19,7 @@ TEST(PortConfigTest, DefaultsToSingleSharedQueue) {
 }
 
 TEST(NetworkTest, ConstructsPortPerLink) {
-  Network network(BuildSingleSwitchStar(4, Gbps(10)), /*default_queues=*/8);
+  Network network(BuildSingleSwitchStar(4, Gbps64(10)), /*default_queues=*/8);
   EXPECT_EQ(network.topology().num_links(), 8u);
   for (size_t l = 0; l < network.topology().num_links(); ++l) {
     const PortConfig& port = network.port(static_cast<LinkId>(l));
@@ -29,7 +29,7 @@ TEST(NetworkTest, ConstructsPortPerLink) {
 }
 
 TEST(NetworkTest, SetQueueCountEverywhereResetsWeightsAndClampsMap) {
-  Network network(BuildSingleSwitchStar(4, Gbps(10)), 8);
+  Network network(BuildSingleSwitchStar(4, Gbps64(10)), 8);
   network.MapSlToQueueEverywhere(5, 7);
   network.SetQueueCountEverywhere(2);
   for (size_t l = 0; l < network.topology().num_links(); ++l) {
@@ -42,7 +42,7 @@ TEST(NetworkTest, SetQueueCountEverywhereResetsWeightsAndClampsMap) {
 }
 
 TEST(NetworkTest, MapSlToQueueEverywhere) {
-  Network network(BuildSingleSwitchStar(4, Gbps(10)), 4);
+  Network network(BuildSingleSwitchStar(4, Gbps64(10)), 4);
   network.MapSlToQueueEverywhere(3, 2);
   for (size_t l = 0; l < network.topology().num_links(); ++l) {
     EXPECT_EQ(network.port(static_cast<LinkId>(l)).sl_to_queue[3], 2);
@@ -50,19 +50,19 @@ TEST(NetworkTest, MapSlToQueueEverywhere) {
 }
 
 TEST(NetworkTest, PortsAreIndependentlyMutable) {
-  Network network(BuildSingleSwitchStar(4, Gbps(10)), 4);
+  Network network(BuildSingleSwitchStar(4, Gbps64(10)), 4);
   network.port(0).queue_weights[0] = 9.0;
   EXPECT_DOUBLE_EQ(network.port(0).queue_weights[0], 9.0);
   EXPECT_DOUBLE_EQ(network.port(1).queue_weights[0], 1.0);
 }
 
 TEST(NetworkTest, DefaultCongestionModelIsIdeal) {
-  Network network(BuildSingleSwitchStar(4, Gbps(10)));
+  Network network(BuildSingleSwitchStar(4, Gbps64(10)));
   EXPECT_DOUBLE_EQ(network.congestion().QueueEfficiency(50), 1.0);
 }
 
 TEST(NetworkTest, CongestionModelSwappable) {
-  Network network(BuildSingleSwitchStar(4, Gbps(10)));
+  Network network(BuildSingleSwitchStar(4, Gbps64(10)));
   network.SetCongestionModel(std::make_unique<FecnCongestionModel>(0.3));
   EXPECT_LT(network.congestion().QueueEfficiency(8), 0.7);
 }

@@ -17,7 +17,7 @@ namespace {
 constexpr double kHorizon = 0.5;
 
 TEST(PacketSimTest, SingleFlowSaturatesPath) {
-  Network network(BuildSingleSwitchStar(4, Gbps(1)), 8);
+  Network network(BuildSingleSwitchStar(4, Gbps64(1)), 8);
   PacketSimConfig config;
   config.horizon_seconds = kHorizon;
   const PacketSimResult result = RunPacketSim(&network, {{0, 1, 0, 1.0, -1, 0}}, config);
@@ -26,7 +26,7 @@ TEST(PacketSimTest, SingleFlowSaturatesPath) {
 }
 
 TEST(PacketSimTest, FiniteFlowDeliversExactlyItsBits) {
-  Network network(BuildSingleSwitchStar(4, Gbps(1)), 8);
+  Network network(BuildSingleSwitchStar(4, Gbps64(1)), 8);
   PacketSimConfig config;
   config.horizon_seconds = kHorizon;
   const double bits = config.packet_bits * 100;
@@ -36,7 +36,7 @@ TEST(PacketSimTest, FiniteFlowDeliversExactlyItsBits) {
 }
 
 TEST(PacketSimTest, TwoFlowsShareABottleneckEqually) {
-  Network network(BuildSingleSwitchStar(4, Gbps(1)), 8);
+  Network network(BuildSingleSwitchStar(4, Gbps64(1)), 8);
   PacketSimConfig config;
   config.horizon_seconds = kHorizon;
   const PacketSimResult result =
@@ -47,7 +47,7 @@ TEST(PacketSimTest, TwoFlowsShareABottleneckEqually) {
 }
 
 TEST(PacketSimTest, QueueWeightsShapeSharing) {
-  Network network(BuildSingleSwitchStar(4, Gbps(1)), 8);
+  Network network(BuildSingleSwitchStar(4, Gbps64(1)), 8);
   network.MapSlToQueueEverywhere(1, 1);
   for (size_t l = 0; l < network.topology().num_links(); ++l) {
     network.port(static_cast<LinkId>(l)).queue_weights[0] = 3.0;
@@ -69,9 +69,9 @@ TEST(PacketSimTest, BackpressureDoesNotDeadlockOrOverflow) {
                                   .num_tor = 2,
                                   .hosts_per_tor = 2,
                                   .num_pods = 2,
-                                  .host_link_bps = Gbps(1),
-                                  .tor_leaf_bps = Gbps(1),
-                                  .leaf_spine_bps = Gbps(1)}),
+                                  .host_link_bps = Gbps64(1),
+                                  .tor_leaf_bps = Gbps64(1),
+                                  .leaf_spine_bps = Gbps64(1)}),
                   8);
   PacketSimConfig config;
   config.horizon_seconds = kHorizon;
@@ -97,9 +97,9 @@ TEST_P(FluidVsPacketMultiHopTest, ThroughputSharesAgree) {
                                   .num_tor = 2,
                                   .hosts_per_tor = 3,
                                   .num_pods = 2,
-                                  .host_link_bps = Gbps(1),
-                                  .tor_leaf_bps = Gbps(1),
-                                  .leaf_spine_bps = Gbps(1)}),
+                                  .host_link_bps = Gbps64(1),
+                                  .tor_leaf_bps = Gbps64(1),
+                                  .leaf_spine_bps = Gbps64(1)}),
                   2);
   network.MapSlToQueueEverywhere(1, 1);
   const double w0 = rng.Uniform(1.0, 3.0);

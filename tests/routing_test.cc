@@ -21,7 +21,7 @@ void ExpectValidPath(const Topology& topo, const std::vector<LinkId>& path, Node
 }
 
 TEST(RouterTest, StarPathsAreTwoHops) {
-  const Topology topo = BuildSingleSwitchStar(4, Gbps(10));
+  const Topology topo = BuildSingleSwitchStar(4, Gbps64(10));
   Router router(&topo);
   for (NodeId s = 0; s < 4; ++s) {
     for (NodeId d = 0; d < 4; ++d) {
@@ -36,7 +36,7 @@ TEST(RouterTest, StarPathsAreTwoHops) {
 }
 
 TEST(RouterTest, SelfRouteIsEmpty) {
-  const Topology topo = BuildSingleSwitchStar(4, Gbps(10));
+  const Topology topo = BuildSingleSwitchStar(4, Gbps64(10));
   Router router(&topo);
   EXPECT_TRUE(router.Route(2, 2, 0).empty());
 }
@@ -89,7 +89,7 @@ TEST(RouterTest, SpineLeafPathsAreValidAndShortest) {
 }
 
 TEST(RouterTest, PathCacheGrowsOncePerKey) {
-  const Topology topo = BuildSingleSwitchStar(4, Gbps(10));
+  const Topology topo = BuildSingleSwitchStar(4, Gbps64(10));
   Router router(&topo);
   router.Route(0, 1, 5);
   const size_t after_first = router.cached_paths();
@@ -100,7 +100,7 @@ TEST(RouterTest, PathCacheGrowsOncePerKey) {
 }
 
 TEST(RouterTest, CachedPathReferenceStable) {
-  const Topology topo = BuildSingleSwitchStar(8, Gbps(10));
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(10));
   Router router(&topo);
   const std::vector<LinkId>* first = &router.Route(0, 1, 0);
   // Force many insertions (potential rehash).

@@ -64,7 +64,7 @@ TEST(BssiOrderTest, EmptyDemandsHandled) {
 class SincroniaSchedulerTest : public ::testing::Test {
  protected:
   SincroniaSchedulerTest()
-      : network_(BuildSingleSwitchStar(4, Gbps(10)), 8),
+      : network_(BuildSingleSwitchStar(4, Gbps64(10)), 8),
         flow_sim_(&scheduler_, &network_, &allocator_) {}
 
   EventScheduler scheduler_;

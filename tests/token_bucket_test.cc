@@ -8,27 +8,27 @@ namespace saba {
 namespace {
 
 TEST(TokenBucketTest, StartsFull) {
-  TokenBucket bucket(Mbps(100), Kilobytes(64));
+  TokenBucket bucket(Mbps64(100), Kilobytes(64));
   EXPECT_DOUBLE_EQ(bucket.AvailableAt(0), Kilobytes(64));
   EXPECT_TRUE(bucket.TryConsume(Kilobytes(64), 0));
   EXPECT_FALSE(bucket.TryConsume(Bytes(1), 0));
 }
 
 TEST(TokenBucketTest, RefillsAtConfiguredRate) {
-  TokenBucket bucket(Bps(1000), Bits(500));
+  TokenBucket bucket(Bps64Of(1000), Bits(500));
   ASSERT_TRUE(bucket.TryConsume(Bits(500), 0));
   EXPECT_FALSE(bucket.TryConsume(Bits(100), 0.05));  // Only 50 bits refilled.
   EXPECT_TRUE(bucket.TryConsume(Bits(100), 0.1));    // 100 bits refilled.
 }
 
 TEST(TokenBucketTest, NeverExceedsDepth) {
-  TokenBucket bucket(Bps(1000), Bits(500));
+  TokenBucket bucket(Bps64Of(1000), Bits(500));
   ASSERT_TRUE(bucket.TryConsume(Bits(500), 0));
   EXPECT_DOUBLE_EQ(bucket.AvailableAt(100.0), Bits(500));  // Capped at depth.
 }
 
 TEST(TokenBucketTest, NextAdmissionTimeExact) {
-  TokenBucket bucket(Bps(1000), Bits(500));
+  TokenBucket bucket(Bps64Of(1000), Bits(500));
   ASSERT_TRUE(bucket.TryConsume(Bits(500), 0));
   // Needs 200 bits: refill rate 1000 b/s -> 0.2 s.
   EXPECT_NEAR(bucket.NextAdmissionTime(Bits(200), 0), 0.2, 1e-12);
@@ -37,14 +37,14 @@ TEST(TokenBucketTest, NextAdmissionTimeExact) {
 }
 
 TEST(TokenBucketTest, OversizedBurstNeverAdmits) {
-  TokenBucket bucket(Bps(1000), Bits(500));
+  TokenBucket bucket(Bps64Of(1000), Bits(500));
   EXPECT_EQ(bucket.NextAdmissionTime(Bits(501), 0), kNeverTime);
 }
 
 TEST(TokenBucketTest, LongRunRateConvergesToConfigured) {
   // Send fixed-size packets as fast as the bucket allows; the long-run
   // throughput must equal the token rate (the §7.1 throttling contract).
-  const double rate = Mbps(10);
+  const Bps64 rate = Mbps64(10);
   TokenBucket bucket(rate, Kilobytes(10));
   const double packet = Kilobytes(1.5);
   double now = 0;
@@ -59,20 +59,20 @@ TEST(TokenBucketTest, LongRunRateConvergesToConfigured) {
     ASSERT_TRUE(bucket.TryConsume(packet, now));
     sent += packet;
   }
-  EXPECT_NEAR(sent / 10.0, rate, rate * 0.02);
+  EXPECT_NEAR(sent / 10.0, BpsToDouble(rate), BpsToDouble(rate) * 0.02);
 }
 
 TEST(TokenBucketTest, SetRateTakesEffect) {
-  TokenBucket bucket(Bps(1000), Bits(1000));
+  TokenBucket bucket(Bps64Of(1000), Bits(1000));
   ASSERT_TRUE(bucket.TryConsume(Bits(1000), 0));
-  bucket.SetRate(Bps(2000));
+  bucket.SetRate(Bps64Of(2000));
   EXPECT_TRUE(bucket.TryConsume(Bits(200), 0.1));  // 2000*0.1 = 200 refilled.
 }
 
 TEST(TokenBucketTest, BurstAfterIdlePeriod) {
   // After idling, a full burst is admitted instantly — the behaviour that
   // motivates the profiler's throttle floor at very low nominal rates.
-  TokenBucket bucket(Bps(100), Bits(1000));
+  TokenBucket bucket(Bps64Of(100), Bits(1000));
   ASSERT_TRUE(bucket.TryConsume(Bits(1000), 0));
   EXPECT_TRUE(bucket.TryConsume(Bits(1000), 10.0));
 }

@@ -11,7 +11,7 @@ TEST(TopologyTest, AddNodesAndLinks) {
   Topology topo;
   const NodeId a = topo.AddNode(NodeKind::kHost, "a");
   const NodeId b = topo.AddNode(NodeKind::kSwitch, "b");
-  const LinkId l = topo.AddLink(a, b, Gbps(10));
+  const LinkId l = topo.AddLink(a, b, Gbps64(10));
   EXPECT_EQ(topo.num_nodes(), 2u);
   EXPECT_EQ(topo.num_links(), 1u);
   EXPECT_EQ(topo.link(l).src, a);
@@ -25,7 +25,7 @@ TEST(TopologyTest, DuplexLinkAddsBothDirections) {
   Topology topo;
   const NodeId a = topo.AddNode(NodeKind::kHost);
   const NodeId b = topo.AddNode(NodeKind::kSwitch);
-  const LinkId forward = topo.AddDuplexLink(a, b, Gbps(5));
+  const LinkId forward = topo.AddDuplexLink(a, b, Gbps64(5));
   EXPECT_EQ(topo.num_links(), 2u);
   EXPECT_EQ(topo.FindLink(a, b), forward);
   EXPECT_EQ(topo.FindLink(b, a), forward + 1);
@@ -36,8 +36,8 @@ TEST(TopologyTest, SetLinkCapacity) {
   Topology topo;
   const NodeId a = topo.AddNode(NodeKind::kHost);
   const NodeId b = topo.AddNode(NodeKind::kSwitch);
-  const LinkId l = topo.AddLink(a, b, Gbps(10));
-  topo.SetLinkCapacity(l, Gbps(2.5));
+  const LinkId l = topo.AddLink(a, b, Gbps64(10));
+  topo.SetLinkCapacity(l, Gbps64(2.5));
   EXPECT_DOUBLE_EQ(topo.link(l).capacity_bps, Gbps(2.5));
 }
 
@@ -46,14 +46,14 @@ TEST(TopologyTest, OutLinksInOrder) {
   const NodeId a = topo.AddNode(NodeKind::kSwitch);
   const NodeId b = topo.AddNode(NodeKind::kHost);
   const NodeId c = topo.AddNode(NodeKind::kHost);
-  const LinkId l1 = topo.AddLink(a, b, Gbps(1));
-  const LinkId l2 = topo.AddLink(a, c, Gbps(1));
+  const LinkId l1 = topo.AddLink(a, b, Gbps64(1));
+  const LinkId l2 = topo.AddLink(a, c, Gbps64(1));
   EXPECT_EQ(topo.OutLinks(a), (std::vector<LinkId>{l1, l2}));
   EXPECT_TRUE(topo.OutLinks(b).empty());
 }
 
 TEST(SingleSwitchStarTest, ShapeAndCapacities) {
-  const Topology topo = BuildSingleSwitchStar(8, Gbps(56));
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(56));
   EXPECT_EQ(topo.num_nodes(), 9u);
   EXPECT_EQ(topo.Hosts().size(), 8u);
   EXPECT_EQ(topo.Switches().size(), 1u);

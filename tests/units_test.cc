@@ -1,0 +1,104 @@
+#include "src/net/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace saba {
+namespace {
+
+// The fixed-point rate literals must round-trip the values every scenario in
+// the repo configures. One unit is one bit/s, so anything specified to sub-bps
+// precision or coarser converts exactly.
+TEST(UnitsTest, RateLiteralsRoundTrip) {
+  EXPECT_EQ(Gbps64(56), INT64_C(56'000'000'000));
+  EXPECT_EQ(Gbps64(1), INT64_C(1'000'000'000));
+  EXPECT_EQ(Gbps64(12.5), INT64_C(12'500'000'000));
+  EXPECT_EQ(Mbps64(100), INT64_C(100'000'000));
+  EXPECT_EQ(Mbps64(0.25), INT64_C(250'000));
+  EXPECT_EQ(Kbps64(8), INT64_C(8'000));
+  EXPECT_EQ(Bps64Of(1000), INT64_C(1000));
+  // Fixed-point and continuous literals agree wherever both are exact.
+  EXPECT_EQ(BpsToDouble(Gbps64(56)), Gbps(56));
+  EXPECT_EQ(BpsToDouble(Mbps64(10)), Mbps(10));
+}
+
+// Golden table pinning the rounding policy: nearest, ties away from zero.
+// Changing RoundBps changes every allocated rate in the repo; this table is
+// the tripwire.
+TEST(UnitsTest, RoundingGoldenTable) {
+  struct Case {
+    double in;
+    Bps64 out;
+  };
+  const Case kCases[] = {
+      {0.0, 0},
+      {0.49, 0},
+      {0.5, 1},        // Tie rounds away from zero.
+      {0.51, 1},
+      {1.49, 1},
+      {1.5, 2},
+      {2.5, 3},        // Away from zero, not to-even.
+      {-0.49, 0},
+      {-0.5, -1},      // Negative tie rounds away from zero.
+      {-2.5, -3},
+      {1e9 + 0.25, 1'000'000'000},
+      {1e9 + 0.75, 1'000'000'001},
+      {-1e9 - 0.75, -1'000'000'001},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(RoundBps(c.in), c.out) << "RoundBps(" << c.in << ")";
+  }
+}
+
+// Sub-bps remainders vanish: any magnitude below half a unit is zero, and a
+// rate a hair above n.5 lands on n+1.
+TEST(UnitsTest, SubBpsRemainders) {
+  EXPECT_EQ(RoundBps(1e-12), 0);
+  EXPECT_EQ(RoundBps(-1e-12), 0);
+  EXPECT_EQ(RoundBps(0.499999999), 0);
+  EXPECT_EQ(RoundBps(0.500000001), 1);
+}
+
+TEST(UnitsTest, SaturatesAtInt64Limits) {
+  EXPECT_EQ(RoundBps(1e300), kBps64Max);
+  EXPECT_EQ(RoundBps(-1e300), kBps64Min);
+  EXPECT_EQ(RoundBps(kBps64SaturationThreshold), kBps64Max);
+  EXPECT_EQ(RoundBps(-kBps64SaturationThreshold), kBps64Min);
+  // The largest double below the threshold converts without saturating.
+  const double below = 9223372036854774784.0 * (1.0 - 1e-16);
+  EXPECT_LT(RoundBps(below), kBps64Max);
+  EXPECT_GT(RoundBps(below), 0);
+  // Infinity saturates like any oversized magnitude.
+  EXPECT_EQ(RoundBps(std::numeric_limits<double>::infinity()), kBps64Max);
+  EXPECT_EQ(RoundBps(-std::numeric_limits<double>::infinity()), kBps64Min);
+}
+
+// Weight quantization: every weight configured anywhere in the repo must keep
+// its exact ratio structure on the 2^20 grid.
+TEST(UnitsTest, WeightUnitsGrid) {
+  EXPECT_EQ(WeightUnits(1.0), kWeightScale);
+  EXPECT_EQ(WeightUnits(2.0), 2 * kWeightScale);
+  EXPECT_EQ(WeightUnits(0.5), kWeightScale / 2);
+  EXPECT_EQ(WeightUnits(0.0625), kWeightScale / 16);  // Dyadic: exact.
+  EXPECT_EQ(WeightUnits(3.0), 3 * kWeightScale);
+  // Non-dyadic weights land within half a grid step (relative error < 1e-6).
+  EXPECT_NEAR(static_cast<double>(WeightUnits(0.15)),
+              0.15 * static_cast<double>(kWeightScale), 0.5);
+  // A positive weight never quantizes to zero.
+  EXPECT_EQ(WeightUnits(1e-12), 1);
+  // The largest admissible weight fits the documented 2^40 bound.
+  EXPECT_EQ(WeightUnits(static_cast<double>(kWeightScale)),
+            static_cast<int64_t>(kWeightScale) * kWeightScale);
+}
+
+TEST(UnitsTest, VolumeHelpers) {
+  EXPECT_DOUBLE_EQ(Bytes(1), 8.0);
+  EXPECT_DOUBLE_EQ(Kilobytes(64), 512'000.0);
+  EXPECT_DOUBLE_EQ(Megabytes(1), 8e6);
+  EXPECT_DOUBLE_EQ(Gigabytes(2), 1.6e10);
+}
+
+}  // namespace
+}  // namespace saba

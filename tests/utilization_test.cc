@@ -25,7 +25,7 @@ struct UtilizationProfile {
 
 UtilizationProfile Profile(const WorkloadSpec& spec, double bandwidth_fraction) {
   EventScheduler scheduler;
-  Network network(BuildSingleSwitchStar(8, Gbps(56) * bandwidth_fraction));
+  Network network(BuildSingleSwitchStar(8, RoundBps(Gbps(56) * bandwidth_fraction)));
   WfqMaxMinAllocator allocator;
   FlowSimulator flow_sim(&scheduler, &network, &allocator);
   NullNetworkPolicy policy;

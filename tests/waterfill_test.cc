@@ -1,0 +1,164 @@
+#include "src/net/waterfill.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/units.h"
+#include "src/sim/rng.h"
+
+namespace saba {
+namespace {
+
+Bps64 Sum(const std::vector<Bps64>& rates) {
+  Bps64 total = 0;
+  for (Bps64 r : rates) {
+    total += r;
+  }
+  return total;
+}
+
+WaterfillOptions FullSort() {
+  WaterfillOptions options;
+  options.mode = WaterfillMode::kFullSort;
+  return options;
+}
+
+TEST(WaterfillTest, AllElasticIsClosedFormFairShare) {
+  const std::vector<WaterfillEntry> entries(4);  // Unit weights, elastic.
+  std::vector<Bps64> rates;
+  const WaterLevel level = SolveWaterfill(Gbps64(1), entries, &rates);
+  ASSERT_EQ(rates.size(), 4u);
+  for (Bps64 r : rates) {
+    EXPECT_EQ(r, Gbps64(1) / 4);
+  }
+  EXPECT_FALSE(level.unbounded());
+}
+
+TEST(WaterfillTest, WeightedElasticSharesAreExactFloors) {
+  // Weights 1:3 on 1 Gb/s: grants are floor(w_i * cap / w_sum).
+  std::vector<WaterfillEntry> entries(2);
+  entries[0].weight = WeightUnits(1.0);
+  entries[1].weight = WeightUnits(3.0);
+  std::vector<Bps64> rates;
+  SolveWaterfill(Gbps64(1), entries, &rates);
+  EXPECT_EQ(rates[0], Gbps64(1) / 4);
+  EXPECT_EQ(rates[1], 3 * (Gbps64(1) / 4));
+}
+
+TEST(WaterfillTest, SmallDemandsGrantedOutrightRestSplitsRemainder) {
+  std::vector<WaterfillEntry> entries(3);
+  entries[0].demand = Mbps64(100);  // Below fair share: granted in full.
+  // entries[1], entries[2] elastic.
+  std::vector<Bps64> rates;
+  SolveWaterfill(Gbps64(1), entries, &rates);
+  EXPECT_EQ(rates[0], Mbps64(100));
+  EXPECT_EQ(rates[1], Mbps64(450));
+  EXPECT_EQ(rates[2], Mbps64(450));
+}
+
+TEST(WaterfillTest, UnboundedLevelWhenCapacityExceedsDemand) {
+  std::vector<WaterfillEntry> entries(2);
+  entries[0].demand = Mbps64(100);
+  entries[1].demand = Mbps64(200);
+  std::vector<Bps64> rates;
+  const WaterLevel level = SolveWaterfill(Gbps64(1), entries, &rates);
+  EXPECT_TRUE(level.unbounded());
+  EXPECT_EQ(rates[0], Mbps64(100));
+  EXPECT_EQ(rates[1], Mbps64(200));
+}
+
+TEST(WaterfillTest, ZeroCapacityGrantsNothing) {
+  std::vector<WaterfillEntry> entries(3);
+  std::vector<Bps64> rates;
+  SolveWaterfill(0, entries, &rates);
+  for (Bps64 r : rates) {
+    EXPECT_EQ(r, 0);
+  }
+}
+
+// Partial selection, full sort, and the tiny-flow fast path are three routes
+// to the same integer answer. Cross-validate them bit-for-bit on randomized
+// instances, and check exact conservation (sum of grants never exceeds
+// capacity; with any elastic entry present, the shortfall is only the
+// per-entry floor dust).
+TEST(WaterfillTest, StrategiesAgreeBitForBitUnderRandomInstances) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(1, 64));
+    std::vector<WaterfillEntry> entries(static_cast<size_t>(n));
+    int elastic = 0;
+    for (WaterfillEntry& e : entries) {
+      e.weight = WeightUnits(rng.Uniform(0.1, 2.0));
+      if (rng.Bernoulli(0.3)) {
+        ++elastic;  // Keep the elastic demand.
+      } else {
+        e.demand = RoundBps(rng.Uniform(0, Gbps(2)));
+      }
+    }
+    const Bps64 capacity = RoundBps(rng.Uniform(Mbps(1), Gbps(8)));
+
+    std::vector<Bps64> partial;
+    std::vector<Bps64> sorted;
+    std::vector<Bps64> no_tiny;
+    SolveWaterfill(capacity, entries, &partial);
+    SolveWaterfill(capacity, entries, &sorted, FullSort());
+    WaterfillOptions no_tiny_opt;
+    no_tiny_opt.enable_tiny_flow_opt = false;
+    SolveWaterfill(capacity, entries, &no_tiny, no_tiny_opt);
+    ASSERT_EQ(partial, sorted) << "trial " << trial;
+    ASSERT_EQ(partial, no_tiny) << "trial " << trial;
+
+    const Bps64 granted = Sum(partial);
+    ASSERT_LE(granted, capacity) << "trial " << trial;
+    if (elastic > 0) {
+      // Rate-limited entries lose < 1 unit each to the floor.
+      ASSERT_GE(granted, capacity - static_cast<Bps64>(n)) << "trial " << trial;
+    }
+    for (size_t i = 0; i < entries.size(); ++i) {
+      ASSERT_LE(partial[i], entries[i].demand) << "trial " << trial;
+      ASSERT_GE(partial[i], 0) << "trial " << trial;
+    }
+  }
+}
+
+// The grant is a function of the entry multiset: permuting the entries
+// permutes the rates identically.
+TEST(WaterfillTest, OrderIndependent) {
+  Rng rng(7);
+  std::vector<WaterfillEntry> entries(17);
+  for (WaterfillEntry& e : entries) {
+    e.weight = WeightUnits(rng.Uniform(0.1, 2.0));
+    if (!rng.Bernoulli(0.5)) {
+      e.demand = RoundBps(rng.Uniform(0, Gbps(1)));
+    }
+  }
+  const Bps64 capacity = Gbps64(3);
+  std::vector<Bps64> base;
+  SolveWaterfill(capacity, entries, &base);
+
+  std::vector<size_t> perm(entries.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = i;
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    for (size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[static_cast<size_t>(rng.UniformInt(
+                                 0, static_cast<int64_t>(i) - 1))]);
+    }
+    std::vector<WaterfillEntry> shuffled(entries.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      shuffled[i] = entries[perm[i]];
+    }
+    std::vector<Bps64> rates;
+    SolveWaterfill(capacity, shuffled, &rates);
+    for (size_t i = 0; i < perm.size(); ++i) {
+      ASSERT_EQ(rates[i], base[perm[i]]) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saba

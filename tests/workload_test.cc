@@ -31,7 +31,7 @@ WorkloadSpec TinySpec(int stages, double compute_s, double bits_per_peer, double
 // Runs `spec` alone on a 2..n-host star and returns completion seconds.
 double RunAlone(const WorkloadSpec& spec, int hosts, double link_bps) {
   EventScheduler scheduler;
-  Network network(BuildSingleSwitchStar(hosts, link_bps), 8);
+  Network network(BuildSingleSwitchStar(hosts, RoundBps(link_bps)), 8);
   WfqMaxMinAllocator allocator;
   FlowSimulator flow_sim(&scheduler, &network, &allocator);
   NullNetworkPolicy policy;
@@ -99,7 +99,7 @@ TEST(ApplicationTest, SimulatorTracksAnalyticModelInIsolation) {
 
 TEST(ApplicationTest, IsComputingReflectsStagePhase) {
   EventScheduler scheduler;
-  Network network(BuildSingleSwitchStar(2, Gbps(10)), 8);
+  Network network(BuildSingleSwitchStar(2, Gbps64(10)), 8);
   WfqMaxMinAllocator allocator;
   FlowSimulator flow_sim(&scheduler, &network, &allocator);
   NullNetworkPolicy policy;
@@ -121,7 +121,7 @@ TEST(ApplicationTest, ElasticPrefetchIsEmittedAndAbandonedAtBarriers) {
   // NIC the prefetcher cannot finish within a stage, so stage barriers must
   // cancel leftovers rather than stall.
   EventScheduler scheduler;
-  Network network(BuildSingleSwitchStar(8, Gbps(56) * 0.25), 8);
+  Network network(BuildSingleSwitchStar(8, RoundBps(Gbps(56) * 0.25)), 8);
   WfqMaxMinAllocator allocator;
   FlowSimulator flow_sim(&scheduler, &network, &allocator);
   NullNetworkPolicy policy;

@@ -19,20 +19,20 @@ namespace {
 constexpr double kHorizon = 2.0;  // Seconds of simulated service.
 
 TEST(WrrReferenceTest, SingleBackloggedFlowSaturatesPort) {
-  WrrPortSpec port{Gbps(1), {1.0}};
+  WrrPortSpec port{Gbps64(1), {1.0}};
   const WrrResult result = SimulateWrrPort(port, {{0, 1.0, -1}}, kHorizon);
   EXPECT_NEAR(result.total_bits, Gbps(1) * kHorizon, port.packet_bits * 2);
 }
 
 TEST(WrrReferenceTest, EqualWeightsSplitEqually) {
-  WrrPortSpec port{Gbps(1), {1.0, 1.0}};
+  WrrPortSpec port{Gbps64(1), {1.0, 1.0}};
   const WrrResult result =
       SimulateWrrPort(port, {{0, 1.0, -1}, {1, 1.0, -1}}, kHorizon);
   EXPECT_NEAR(result.queue_bits[0] / result.total_bits, 0.5, 0.01);
 }
 
 TEST(WrrReferenceTest, WeightsGiveProportionalService) {
-  WrrPortSpec port{Gbps(1), {3.0, 1.0}};
+  WrrPortSpec port{Gbps64(1), {3.0, 1.0}};
   const WrrResult result =
       SimulateWrrPort(port, {{0, 1.0, -1}, {1, 1.0, -1}}, kHorizon);
   EXPECT_NEAR(result.queue_bits[0] / result.total_bits, 0.75, 0.01);
@@ -41,14 +41,14 @@ TEST(WrrReferenceTest, WeightsGiveProportionalService) {
 
 TEST(WrrReferenceTest, IdleQueueYieldsBandwidth) {
   // Queue 1 has no flows: queue 0 takes the whole port (work conservation).
-  WrrPortSpec port{Gbps(1), {1.0, 9.0}};
+  WrrPortSpec port{Gbps64(1), {1.0, 9.0}};
   const WrrResult result = SimulateWrrPort(port, {{0, 1.0, -1}}, kHorizon);
   EXPECT_NEAR(result.total_bits, Gbps(1) * kHorizon, port.packet_bits * 2);
 }
 
 TEST(WrrReferenceTest, FiniteFlowStopsAndOthersReclaim) {
   // Flow 1 only has 10 Mb to send; flow 0 gets the rest of the horizon.
-  WrrPortSpec port{Gbps(1), {1.0, 1.0}};
+  WrrPortSpec port{Gbps64(1), {1.0, 1.0}};
   const WrrResult result =
       SimulateWrrPort(port, {{0, 1.0, -1}, {1, 1.0, Mbps(10) * 1.0}}, kHorizon);
   EXPECT_NEAR(result.flow_bits[1], Mbps(10), port.packet_bits * 2);
@@ -57,7 +57,7 @@ TEST(WrrReferenceTest, FiniteFlowStopsAndOthersReclaim) {
 
 TEST(WrrReferenceTest, IntraWeightSubordinatesPrefetchFlows) {
   // Two flows in one queue, intra weights 1.0 vs 0.15 (the prefetch value).
-  WrrPortSpec port{Gbps(1), {1.0}};
+  WrrPortSpec port{Gbps64(1), {1.0}};
   const WrrResult result =
       SimulateWrrPort(port, {{0, 1.0, -1}, {0, 0.15, -1}}, kHorizon);
   const double expected = 1.0 / 1.15;
@@ -77,11 +77,11 @@ TEST_P(FluidVsPacketTest, SharesAgreeOnASharedPort) {
   Topology topo;
   const NodeId a = topo.AddNode(NodeKind::kHost);
   const NodeId b = topo.AddNode(NodeKind::kHost);
-  topo.AddLink(a, b, Gbps(1));
+  topo.AddLink(a, b, Gbps64(1));
   Network network(std::move(topo), num_queues);
   PortConfig& config = network.port(0);
 
-  WrrPortSpec port{Gbps(1), {}};
+  WrrPortSpec port{Gbps64(1), {}};
   for (int q = 0; q < num_queues; ++q) {
     const double w = rng.Uniform(0.5, 4.0);
     config.queue_weights[static_cast<size_t>(q)] = w;

@@ -287,6 +287,7 @@ struct FileScope {
   bool pool_impl = false;       // src/sim/worker_pool.{h,cc}: R7 exempt.
   bool bench = false;           // bench/: R3 applies.
   bool header = false;          // *.h: guard check applies.
+  bool alloc_core = false;      // src/net/{allocation_engine,allocator}.*: R8 applies.
 };
 
 FileScope ScopeFor(const std::string& rel_path) {
@@ -298,6 +299,9 @@ FileScope ScopeFor(const std::string& rel_path) {
       rel_path == "src/sim/worker_pool.h" || rel_path == "src/sim/worker_pool.cc";
   scope.bench = StartsWith(rel_path, "bench/");
   scope.header = rel_path.size() >= 2 && rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
+  scope.alloc_core =
+      rel_path == "src/net/allocation_engine.h" || rel_path == "src/net/allocation_engine.cc" ||
+      rel_path == "src/net/allocator.h" || rel_path == "src/net/allocator.cc";
   return scope;
 }
 
@@ -488,6 +492,75 @@ void CheckIdentifierRules(const RuleContext& ctx) {
   }
 }
 
+// R8: the allocation core is fixed-point (units.h Bps64); its bit-exactness
+// contract (DESIGN.md §7.1) dies the moment a rate or capacity lives in a
+// double again. Two patterns are banned in src/net/{allocation_engine,
+// allocator}.{h,cc}:
+//  * a floating-point declaration whose name says it holds a rate/capacity
+//    ("double rate", "float capacity_bps", ...), and
+//  * ==/!= against a floating-point literal (exact float comparison — rate
+//    math compares integers; fluid-boundary code uses explicit tolerances).
+
+bool IsRateName(const std::string& ident) {
+  std::string lower;
+  lower.reserve(ident.size());
+  for (char c : ident) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (const char* needle : {"rate", "capacity", "goodput", "bandwidth", "bps"}) {
+    if (lower.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsFloatLiteral(const Token& tok) {
+  if (tok.is_ident || tok.text.empty() ||
+      std::isdigit(static_cast<unsigned char>(tok.text[0])) == 0) {
+    return false;
+  }
+  if (tok.text.size() >= 2 && tok.text[0] == '0' && (tok.text[1] == 'x' || tok.text[1] == 'X')) {
+    return false;  // Hex: the 'e'/'f' digits are not exponent/suffix.
+  }
+  const char back = tok.text.back();
+  return tok.text.find('.') != std::string::npos ||
+         tok.text.find('e') != std::string::npos || tok.text.find('E') != std::string::npos ||
+         back == 'f' || back == 'F';
+}
+
+void CheckAllocCoreFixedPointRule(const RuleContext& ctx) {
+  if (!ctx.scope.alloc_core) {
+    return;
+  }
+  const std::vector<Token>& tokens = *ctx.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    const Token* next = i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
+    if (tok.is_ident && (tok.text == "double" || tok.text == "float") && next != nullptr &&
+        next->is_ident && IsRateName(next->text)) {
+      Report(ctx, next->line, "R8",
+             "raw " + tok.text + " rate/capacity '" + next->text +
+                 "'; the allocation core is fixed-point — hold rates and capacities "
+                 "in Bps64 (src/net/units.h) and convert at the fluid boundary via "
+                 "RoundBps/BpsToDouble (DESIGN.md §7.1)");
+    }
+    // ==/!= tokenize as '='+'=' and '!'+'='.
+    const bool eq_op = next != nullptr && next->text == "=" &&
+                       (tok.text == "=" || tok.text == "!");
+    if (eq_op) {
+      const Token* lhs = i > 0 ? &tokens[i - 1] : nullptr;
+      const Token* rhs = i + 2 < tokens.size() ? &tokens[i + 2] : nullptr;
+      if ((lhs != nullptr && IsFloatLiteral(*lhs)) || (rhs != nullptr && IsFloatLiteral(*rhs))) {
+        Report(ctx, tok.line, "R8",
+               "exact floating-point comparison in the allocation core; rate math is "
+               "integer (Bps64) — compare the integers, or use an explicit tolerance "
+               "at the fluid boundary (DESIGN.md §7.1)");
+      }
+    }
+  }
+}
+
 // R3: in bench/ code, a statement that writes to stdout must not also touch a
 // timing/thread-count source; `printf`/`puts` (stdout writers that bypass the
 // report helpers) are flagged outright.
@@ -632,6 +705,8 @@ std::vector<std::pair<std::string, std::string>> RuleTable() {
       {"R5", "environment access only through src/exp/knobs.h"},
       {"R6", "repo-rooted quote-includes and canonical path-derived header guards"},
       {"R7", "threads and locks constructed only inside saba::WorkerPool (src/sim/worker_pool.h)"},
+      {"R8", "allocation-core rates stay fixed-point Bps64: no double rate/capacity fields, "
+             "no float ==/!="},
   };
 }
 
@@ -642,6 +717,7 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& di
   std::vector<Finding> findings;
   RuleContext ctx{&rel_path, &display_path, &scanned, &tokens, ScopeFor(rel_path), &findings};
   CheckIdentifierRules(ctx);
+  CheckAllocCoreFixedPointRule(ctx);
   CheckBenchStdoutRule(ctx);
   CheckIncludeAndGuardRule(ctx);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {

@@ -131,14 +131,34 @@ TEST(SabaLintTest, R7ExemptInsideWorkerPool) {
       << "the .h path additionally fails the guard check on this fixture, which is fine";
 }
 
+TEST(SabaLintTest, R8FiresOnDoubleRatesInAllocationCore) {
+  const auto findings = LintFixture("r8_double_rates.cc", "src/net/allocation_engine.cc");
+  EXPECT_EQ(CountRule(findings, "R8"), 3);
+  EXPECT_TRUE(HasFindingAt(findings, "R8", 8)) << "double rate field";
+  EXPECT_TRUE(HasFindingAt(findings, "R8", 13)) << "double capacity_bps local";
+  EXPECT_TRUE(HasFindingAt(findings, "R8", 15)) << "exact float == comparison";
+  EXPECT_EQ(findings.size(), 3u) << "weights, integer comparisons and the allow(R8)-"
+                                    "annotated goodput stay legal";
+}
+
+TEST(SabaLintTest, R8ScopedToAllocationCoreFiles) {
+  const std::string content = ReadFixture("r8_double_rates.cc");
+  EXPECT_EQ(CountRule(LintFile("src/net/allocator.h", content), "R8"), 3)
+      << "allocator.h is in scope (the guard check also fires on this guard-less "
+         "fixture, which is fine)";
+  EXPECT_TRUE(LintFile("src/net/flow_simulator.cc", content).empty())
+      << "fluid-boundary code may hold double rates";
+  EXPECT_TRUE(LintFile("src/fixture/r8.cc", content).empty());
+}
+
 TEST(SabaLintTest, CleanFilePasses) {
   EXPECT_TRUE(LintFixture("clean.cc", "src/fixture/clean.cc").empty());
 }
 
 TEST(SabaLintTest, RuleTableNamesEveryRule) {
   const auto table = RuleTable();
-  ASSERT_EQ(table.size(), 7u);
-  for (int i = 0; i < 7; ++i) {
+  ASSERT_EQ(table.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(table[static_cast<size_t>(i)].first, "R" + std::to_string(i + 1));
   }
 }
