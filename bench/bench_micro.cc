@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/core/controller.h"
+#include "src/core/distributed_controller.h"
 #include "src/core/pl_mapper.h"
 #include "src/core/queue_mapper.h"
 #include "src/core/weight_solver.h"
@@ -223,10 +224,11 @@ void BM_ChurnFullRebuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ChurnFullRebuild)->Unit(benchmark::kMicrosecond);
 
-// The churn event with the component batch fanned across a worker pool
-// (DESIGN.md §7.3). The arrival dirties ONE component, so this measures the
-// parallel path's fixed cost on single-component batches (it must stay
-// serial — compare against BM_ChurnIncremental: the numbers should match).
+// The churn event with a worker pool configured (DESIGN.md §7.3). The
+// arrival dirties one component and the departure two tiny ones — both far
+// below kMinParallelBatchFlows, so the adaptive serial fallback must keep
+// every batch inline and the numbers should match BM_ChurnIncremental
+// (before the fallback, pool dispatch made this ~4x slower).
 void BM_ChurnIncrementalParallel(benchmark::State& state) {
   ChurnFixture fixture;
   WfqMaxMinAllocator allocator;
@@ -445,6 +447,87 @@ BENCHMARK(BM_ControllerFlushCold)->Unit(benchmark::kMicrosecond);
 
 void BM_ControllerFlushCached(benchmark::State& state) { ControllerFlushBench(state, true); }
 BENCHMARK(BM_ControllerFlushCached)->Unit(benchmark::kMicrosecond);
+
+// --- Distributed sharded flush (DESIGN.md §7.3) ------------------------------
+
+// The same fig12-style scenario on a mid-size fabric (96 hosts, 384 ports) so
+// eight shards still carry dozens of ports each; num_shards == shard_jobs ==
+// the bench argument. Programmed state and merged counters are bit-identical
+// at every argument (tests/sharded_flush_test.cc); this curve tracks how
+// flush latency scales with the shard count, so the /1 row is the serial
+// baseline and /8 over /1 is the control-plane speedup on a multicore host.
+struct DistributedFlushFixture {
+  explicit DistributedFlushFixture(int shards)
+      : network(BuildSpineLeaf({.num_spine = 4,
+                                .num_leaf = 8,
+                                .num_tor = 16,
+                                .hosts_per_tor = 6,
+                                .num_pods = 2,
+                                .host_link_bps = Gbps64(10),
+                                .tor_leaf_bps = Gbps64(10),
+                                .leaf_spine_bps = Gbps64(10)}),
+                /*default_queues=*/8),
+        flow_sim(&scheduler, &network, &allocator) {
+    Rng rng(7);
+    constexpr int kApps = 48;
+    for (int a = 0; a < kApps; ++a) {
+      SensitivityEntry entry;
+      entry.model = RandomConvexModel(&rng);
+      table.Put("app" + std::to_string(a), entry);
+    }
+    ControllerOptions base;
+    DistributedControllerOptions options;
+    options.base = base;
+    options.num_shards = shards;
+    options.shard_jobs = shards;
+    controller.emplace(&network, &flow_sim, &table, MappingDatabase::Build(table, base.num_pls, 11),
+                       options);
+    const std::vector<NodeId> hosts = network.topology().Hosts();
+    for (int a = 0; a < kApps; ++a) {
+      controller->AppRegister(a, "app" + std::to_string(a));
+      std::vector<NodeId> placement;
+      for (int i = 0; i < 32; ++i) {
+        placement.push_back(rng.Choice(hosts));
+      }
+      for (int i = 0; i < 32; ++i) {
+        for (int k = 1; k <= 4; ++k) {
+          const NodeId src = placement[static_cast<size_t>(i)];
+          const NodeId dst = placement[static_cast<size_t>((i + k) % 32)];
+          if (src != dst) {
+            controller->ConnCreate(a, src, dst, static_cast<uint64_t>(a * 1000 + i * 8 + k));
+          }
+        }
+      }
+    }
+  }
+
+  EventScheduler scheduler;
+  Network network;
+  WfqMaxMinAllocator allocator;
+  FlowSimulator flow_sim;
+  SensitivityTable table;
+  std::optional<DistributedController> controller;
+};
+
+void BM_DistributedFlush(benchmark::State& state) {
+  DistributedFlushFixture fixture(static_cast<int>(state.range(0)));
+  const uint64_t before = fixture.controller->stats().port_reconfigurations;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.controller->RecomputeAllPortsTimed());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(fixture.controller->stats().port_reconfigurations - before));
+}
+// Real time, not CPU time: google-benchmark's CPU clock only meters the
+// calling thread, which would credit the pooled flush for work it moved to
+// workers. Wall time is what a controller flush latency curve means.
+BENCHMARK(BM_DistributedFlush)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 // --- Sweep engine --------------------------------------------------------------
 

@@ -37,6 +37,14 @@ def main():
     base = load_rates(args.baseline)
     cand = load_rates(args.candidate)
     shared = sorted(set(base) & set(cand))
+
+    # A benchmark present only in the candidate is a freshly added one, not a
+    # regression: note it so the author remembers to re-capture the committed
+    # baseline, but do not fail the gate.
+    for name in sorted(set(cand) - set(base)):
+        print(f"  new  {name}: {cand[name]:,.0f} items/s (not in baseline; "
+              f"re-capture BENCH_micro.json to track it)", file=sys.stderr)
+
     if not shared:
         print("check_bench_regression: no comparable benchmarks", file=sys.stderr)
         return 1

@@ -19,7 +19,7 @@ CentralizedController::CentralizedController(Network* network, FlowSimulator* fl
                .min_weight = options.min_weight,
                .relative_min_weight = options.relative_min_weight}),
       rng_(options.seed),
-      solve_cache_(options.solve_cache) {
+      solve_ctx_(options.solve_cache) {
   assert(network_ != nullptr);
   assert(table_ != nullptr);
   assert(options_.num_pls >= 1 && options_.num_pls <= kNumServiceLevels);
@@ -110,7 +110,7 @@ void CentralizedController::RegisterAppStatic(AppId app, const std::string& work
 }
 
 void CentralizedController::InstallPlModels(const std::vector<SensitivityModel>& pl_models) {
-  queue_mapper_.emplace(pl_models, options_.solve_cache);
+  solve_ctx_.mapper.emplace(pl_models, options_.solve_cache);
 }
 
 void CentralizedController::ReclusterPls() {
@@ -137,7 +137,7 @@ void CentralizedController::ReclusterPls() {
   // geometry its keys refer to is gone. The Eq-2 solve cache survives — its
   // entries are keyed by the full solver input (the model multiset), which
   // re-clustering does not change.
-  queue_mapper_.emplace(mapping.pl_models, options_.solve_cache);
+  solve_ctx_.mapper.emplace(mapping.pl_models, options_.solve_cache);
 
   // PL geometry changed; every active port needs a fresh mapping.
   std::vector<LinkId> dirty;
@@ -163,6 +163,23 @@ void CentralizedController::MarkPortsDirty(const std::vector<LinkId>& links) {
   }
 }
 
+void CentralizedController::DrainContextStats(PortSolveContext* ctx) {
+  stats_.port_reconfigurations += ctx->reconfigurations;
+  stats_.eq2_cache_hits += ctx->cache_hits;
+  stats_.eq2_cache_misses += ctx->cache_misses;
+  ctx->reconfigurations = 0;
+  ctx->cache_hits = 0;
+  ctx->cache_misses = 0;
+}
+
+void CentralizedController::FinishFlush(double elapsed_seconds) {
+  stats_.last_calc_wall_seconds = elapsed_seconds;
+  stats_.total_calc_wall_seconds += elapsed_seconds;
+  if (flow_sim_ != nullptr) {
+    flow_sim_->RequestReallocate();
+  }
+}
+
 void CentralizedController::FlushDirtyPorts() {
   if (dirty_ports_.empty()) {
     return;
@@ -171,40 +188,35 @@ void CentralizedController::FlushDirtyPorts() {
   // Ascending link order: deterministic across platforms (unordered_set
   // iteration order is implementation-defined) and cache-friendly. Results
   // do not depend on it — solves are keyed by signature, not history.
-  static thread_local std::vector<LinkId> order;
-  order.assign(dirty_ports_.begin(), dirty_ports_.end());
-  std::sort(order.begin(), order.end());
-  for (LinkId link : order) {
-    ReallocatePort(link);
+  flush_order_.assign(dirty_ports_.begin(), dirty_ports_.end());
+  std::sort(flush_order_.begin(), flush_order_.end());
+  for (LinkId link : flush_order_) {
+    ReallocatePort(link, &solve_ctx_);
   }
   dirty_ports_.clear();
-  stats_.last_calc_wall_seconds = watch.ElapsedSeconds();
-  stats_.total_calc_wall_seconds += stats_.last_calc_wall_seconds;
-
-  if (flow_sim_ != nullptr) {
-    flow_sim_->RequestReallocate();
-  }
+  DrainContextStats(&solve_ctx_);
+  FinishFlush(watch.ElapsedSeconds());
 }
 
-void CentralizedController::ReallocatePort(LinkId link) {
+void CentralizedController::ReallocatePort(LinkId link, PortSolveContext* ctx) {
   auto port_it = port_apps_.find(link);
   if (port_it == port_apps_.end() || port_it->second.empty()) {
     return;
   }
-  assert(queue_mapper_.has_value());
-  ++stats_.port_reconfigurations;
+  assert(ctx->mapper.has_value());
+  ++ctx->reconfigurations;
 
   // Hot path: one call per dirty port per flush, and a ReclusterPls marks
-  // every active port dirty. All per-call containers are thread_local
-  // scratch arenas in the style of allocation_engine.cc.
-  static thread_local std::vector<AppId> ids;
-  static thread_local std::vector<const SensitivityModel*> models;
-  static thread_local std::vector<int> app_pls;
-  static thread_local PortSignature sig;
-  static thread_local std::vector<SensitivityModel> canonical_models;
-  static thread_local std::vector<double> uncached_weights;
-  static thread_local std::vector<int> present_pls;
-  static thread_local std::vector<double> queue_weights;
+  // every active port dirty. All per-call containers are scratch arenas on
+  // the context, in the style of allocation_engine.cc.
+  std::vector<AppId>& ids = ctx->ids;
+  std::vector<const SensitivityModel*>& models = ctx->models;
+  std::vector<int>& app_pls = ctx->app_pls;
+  PortSignature& sig = ctx->sig;
+  std::vector<SensitivityModel>& canonical_models = ctx->canonical_models;
+  std::vector<double>& uncached_weights = ctx->uncached_weights;
+  std::vector<int>& present_pls = ctx->present_pls;
+  std::vector<double>& queue_weights = ctx->queue_weights;
 
   ids.clear();
   models.clear();
@@ -224,11 +236,11 @@ void CentralizedController::ReallocatePort(LinkId link) {
   // other port carrying the same mix (DESIGN.md §7.2).
   BuildPortSignature(models, &sig);
   const std::vector<double>* canonical_weights;
-  if (const Eq2SolveCache::Entry* entry = solve_cache_.Find(sig); entry != nullptr) {
-    ++stats_.eq2_cache_hits;
+  if (const Eq2SolveCache::Entry* entry = ctx->cache.Find(sig); entry != nullptr) {
+    ++ctx->cache_hits;
     canonical_weights = &entry->weights;
   } else {
-    ++stats_.eq2_cache_misses;
+    ++ctx->cache_misses;
     canonical_models.clear();
     canonical_models.reserve(n);
     for (uint32_t idx : sig.order) {
@@ -236,9 +248,9 @@ void CentralizedController::ReallocatePort(LinkId link) {
     }
     Rng solve_rng = Rng::ForStream(options_.seed, sig.hash);
     WeightSolverResult solved = solver_.Solve(canonical_models, &solve_rng);
-    if (solve_cache_.enabled()) {
+    if (ctx->cache.enabled()) {
       canonical_weights =
-          &solve_cache_.Insert(sig, std::move(solved.weights), solved.objective)->weights;
+          &ctx->cache.Insert(sig, std::move(solved.weights), solved.objective)->weights;
     } else {  // Cache disabled: same float program, minus the memo.
       uncached_weights = std::move(solved.weights);
       canonical_weights = &uncached_weights;
@@ -246,6 +258,9 @@ void CentralizedController::ReallocatePort(LinkId link) {
   }
 
   // Un-permute the canonical weights back to port (ascending AppId) order.
+  // Under a parallel flush the map slot was pre-created serially, so this
+  // operator[] is a pure lookup and workers only rewrite their own ports'
+  // vectors — the map structure itself is never mutated concurrently.
   assert(sig.order.size() == n);
   assert(canonical_weights->size() == n);
   std::vector<std::pair<AppId, double>>& weights = port_weights_[link];
@@ -274,7 +289,7 @@ void CentralizedController::ReallocatePort(LinkId link) {
   // are never remapped; Saba distributes its PLs over the rest.
   const int saba_queues = port.num_queues - options_.reserved_queues;
   assert(saba_queues >= 1 && "reservation leaves no queues for Saba traffic");
-  const QueueMapper::PortMapping& mapping = queue_mapper_->MapPortMemo(present_pls, saba_queues);
+  const QueueMapper::PortMapping& mapping = ctx->mapper->MapPortMemo(present_pls, saba_queues);
 
   // Program the SL->queue table (SL == PL for Saba traffic; SLs outside the
   // Saba PL range route to the first reserved queue when one exists) and the
@@ -300,23 +315,19 @@ void CentralizedController::ReallocatePort(LinkId link) {
 }
 
 double CentralizedController::RecomputeAllPortsTimed() {
-  std::vector<LinkId> links;
-  links.reserve(port_apps_.size());
   for (const auto& [link, counts] : port_apps_) {
-    links.push_back(link);
+    dirty_ports_.insert(link);
   }
-  std::sort(links.begin(), links.end());  // Deterministic recompute order.
-  Stopwatch watch;
-  for (LinkId link : links) {
-    ReallocatePort(link);
+  if (dirty_ports_.empty()) {
+    stats_.last_calc_wall_seconds = 0;
+    return 0;
   }
-  const double elapsed = watch.ElapsedSeconds();
-  stats_.last_calc_wall_seconds = elapsed;
-  stats_.total_calc_wall_seconds += elapsed;
-  if (flow_sim_ != nullptr && !links.empty()) {
-    flow_sim_->RequestReallocate();
-  }
-  return elapsed;
+  // The virtual flush, so the distributed controller's sharded fan-out is
+  // what gets timed (the Fig 12 "calculation time" and the scale bench both
+  // land here). Any flush already pending for these ports is absorbed: the
+  // scheduled callback later finds an empty dirty set and no-ops.
+  FlushDirtyPorts();
+  return stats_.last_calc_wall_seconds;
 }
 
 double CentralizedController::AppWeightAtPort(LinkId link, AppId app) const {

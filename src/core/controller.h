@@ -77,6 +77,39 @@ struct ControllerOptions {
   uint64_t seed = 7;
 };
 
+// Everything one flush worker needs to reallocate ports independently: the
+// shard's Eq-2 solve cache and queue-map memo plus the per-call scratch
+// arenas (allocation_engine.cc style) and flush-local stat counters. The
+// centralized controller owns exactly one; DistributedController owns one per
+// shard, each touched by at most one WorkerPool task per flush (DESIGN.md
+// §7.3) — contexts are never shared between concurrent workers.
+struct PortSolveContext {
+  explicit PortSolveContext(bool cache_enabled) : cache(cache_enabled) {}
+
+  // Memoized Eq-2 solves keyed by app-mix signature (DESIGN.md §7.2).
+  // Persists across re-clusterings: entries are keyed by the full solver
+  // input, so they can never go stale.
+  Eq2SolveCache cache;
+  std::optional<QueueMapper> mapper;
+
+  // Stat deltas local to the current flush; the owning controller drains
+  // them into its ControllerStats in canonical shard order after workers
+  // join, so the totals never depend on scheduling.
+  uint64_t reconfigurations = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  // ReallocatePort scratch, reused across calls to avoid reallocation.
+  std::vector<AppId> ids;
+  std::vector<const SensitivityModel*> models;
+  std::vector<int> app_pls;
+  PortSignature sig;
+  std::vector<SensitivityModel> canonical_models;
+  std::vector<double> uncached_weights;
+  std::vector<int> present_pls;
+  std::vector<double> queue_weights;
+};
+
 struct ControllerStats {
   uint64_t registrations = 0;
   uint64_t deregistrations = 0;
@@ -137,15 +170,30 @@ class CentralizedController : public ControllerInterface {
   // live flows; refreshes every active port.
   void ReclusterPls();
 
-  // Solves Eq 2 for the applications at `link` and programs the port.
-  void ReallocatePort(LinkId link);
+  // Solves Eq 2 for the applications at `link` and programs the port, using
+  // `ctx`'s cache, mapper, and scratch. Thread-compatible as long as each
+  // concurrent caller owns a distinct ctx and a disjoint set of links, reads
+  // apps_/port_apps_ only, and finds its port_weights_ slot pre-created (see
+  // DistributedController::FlushDirtyPorts).
+  void ReallocatePort(LinkId link, PortSolveContext* ctx);
 
   // Marks ports for recomputation. With a live flow simulator the flush is
   // coalesced to the end of the current simulated instant (a burst of
   // conn_create calls — e.g. a whole job starting — costs one recompute per
   // port); offline it is synchronous.
   void MarkPortsDirty(const std::vector<LinkId>& links);
-  void FlushDirtyPorts();
+  // Reallocates every dirty port and clears the dirty set. Virtual so the
+  // distributed controller can fan the batch across its shard workers; every
+  // override must program byte-identical state to this serial walk.
+  virtual void FlushDirtyPorts();
+
+  // Folds ctx's flush-local counters into stats_ and resets them. Called
+  // after a flush in canonical (ascending shard) order.
+  void DrainContextStats(PortSolveContext* ctx);
+
+  // Records the wall-clock cost of one flush in stats_ and pokes the flow
+  // simulator for a re-allocation pass.
+  void FinishFlush(double elapsed_seconds);
 
   Network* network_;
   FlowSimulator* flow_sim_;
@@ -166,15 +214,14 @@ class CentralizedController : public ControllerInterface {
   // node-based storage would be pure overhead on the hot path).
   // saba-lint: unordered-iter-ok(lookup-only: find/erase/rebuild, never iterated)
   std::unordered_map<LinkId, std::vector<std::pair<AppId, double>>> port_weights_;
-  std::optional<QueueMapper> queue_mapper_;
-  // Memoized Eq-2 solves keyed by app-mix signature (DESIGN.md §7.2).
-  // Persists across re-clusterings: entries are keyed by the full solver
-  // input, so they can never go stale.
-  Eq2SolveCache solve_cache_;
+  // The centralized controller's (only) solve context: cache, mapper, and
+  // ReallocatePort scratch. Shard contexts live in DistributedController.
+  PortSolveContext solve_ctx_;
   // FlushDirtyPorts copies into a vector and sorts ascending before
   // reallocating (see the comment there), so set order never leaks out.
   // saba-lint: unordered-iter-ok(flush sorts the links before reallocating)
   std::unordered_set<LinkId> dirty_ports_;
+  std::vector<LinkId> flush_order_;  // Scratch for the serial flush walk.
   bool flush_scheduled_ = false;
 };
 

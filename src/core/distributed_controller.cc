@@ -2,12 +2,48 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
 #include "src/numerics/linalg.h"
+#include "src/sim/wallclock.h"
 
 namespace saba {
+namespace {
+
+// Strict numeric field parsers for FromCsv: the whole field must be the
+// number. Corrupt replication payloads must surface as nullopt, never as an
+// exception (std::stoi throws) or a silently truncated value.
+std::optional<long long> ParseIntField(const std::string& text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front()))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::optional<double> ParseDoubleField(const std::string& text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front()))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace
 
 MappingDatabase MappingDatabase::Build(const SensitivityTable& table, int num_pls,
                                        uint64_t seed) {
@@ -88,13 +124,18 @@ std::optional<MappingDatabase> MappingDatabase::FromCsv(const std::string& csv) 
       if (!std::getline(row, field, ',')) {
         return std::nullopt;
       }
-      const size_t id = static_cast<size_t>(std::stoul(field));
-      if (id != db.pl_models.size()) {
-        return std::nullopt;  // PL rows must be dense and in order.
+      const std::optional<long long> id = ParseIntField(field);
+      if (!id.has_value() || *id < 0 ||
+          static_cast<size_t>(*id) != db.pl_models.size()) {
+        return std::nullopt;  // PL ids must be numeric, dense, and in order.
       }
       std::vector<double> coeffs;
       while (std::getline(row, field, ',')) {
-        coeffs.push_back(std::stod(field));
+        const std::optional<double> coeff = ParseDoubleField(field);
+        if (!coeff.has_value()) {
+          return std::nullopt;
+        }
+        coeffs.push_back(*coeff);
       }
       if (coeffs.empty()) {
         return std::nullopt;
@@ -106,11 +147,12 @@ std::optional<MappingDatabase> MappingDatabase::FromCsv(const std::string& csv) 
       if (!std::getline(row, workload, ',') || !std::getline(row, pl, ',')) {
         return std::nullopt;
       }
-      const int pl_id = std::stoi(pl);
-      if (pl_id < 0 || static_cast<size_t>(pl_id) >= db.pl_models.size()) {
+      const std::optional<long long> pl_id = ParseIntField(pl);
+      if (!pl_id.has_value() || *pl_id < 0 ||
+          static_cast<size_t>(*pl_id) >= db.pl_models.size()) {
         return std::nullopt;  // Assignments must reference declared PLs.
       }
-      db.workload_to_pl[workload] = pl_id;
+      db.workload_to_pl[workload] = static_cast<int>(*pl_id);
     } else {
       return std::nullopt;
     }
@@ -127,11 +169,31 @@ DistributedController::DistributedController(Network* network, FlowSimulator* fl
                                              DistributedControllerOptions options)
     : CentralizedController(network, flow_sim, table, options.base),
       database_(std::move(database)),
-      num_shards_(options.num_shards) {
+      num_shards_(options.num_shards),
+      shard_jobs_(options.shard_jobs) {
   assert(num_shards_ >= 1);
+  assert(shard_jobs_ >= 1);
   assert(!database_.pl_models.empty());
   InstallPlModels(database_.pl_models);
+  // One solve context per shard, each with its own Eq-2 cache and queue-map
+  // memo over the (static, §5.4) database geometry. The contexts never need
+  // rebuilding: the distributed controller does not re-cluster at runtime.
+  shard_ctxs_.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    shard_ctxs_.emplace_back(options.base.solve_cache);
+    shard_ctxs_.back().mapper.emplace(database_.pl_models, options.base.solve_cache);
+  }
+  shard_ports_.resize(static_cast<size_t>(num_shards_));
   dist_stats_.conn_setups_per_shard.assign(static_cast<size_t>(num_shards_), 0);
+}
+
+void DistributedController::SetShardJobs(int jobs) {
+  assert(jobs >= 1);
+  if (jobs == shard_jobs_) {
+    return;
+  }
+  shard_jobs_ = jobs;
+  pool_.reset();
 }
 
 int DistributedController::AppRegister(AppId app, const std::string& workload_name) {
@@ -150,6 +212,84 @@ void DistributedController::AppDeregister(AppId app) {
   ++stats_.deregistrations;
   apps_.erase(it);
   // No re-clustering: the PL geometry is fixed by the offline database.
+}
+
+void DistributedController::FlushDirtyPorts() {
+  if (dirty_ports_.empty()) {
+    return;
+  }
+  Stopwatch watch;
+
+  // Batch the delta stream per owning shard. The dirty set is unordered
+  // (annotated at its declaration); each shard's batch is sorted ascending
+  // below, and results cannot depend on visit order anyway — solves are
+  // keyed by signature, ports are disjoint across shards.
+  for (std::vector<LinkId>& batch : shard_ports_) {
+    batch.clear();
+  }
+  for (LinkId link : dirty_ports_) {
+    shard_ports_[static_cast<size_t>(ShardOfPort(link))].push_back(link);
+  }
+  dirty_ports_.clear();
+
+  dirty_shards_.clear();
+  size_t dirty_count = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    std::vector<LinkId>& batch = shard_ports_[static_cast<size_t>(s)];
+    if (batch.empty()) {
+      continue;
+    }
+    std::sort(batch.begin(), batch.end());
+    dirty_shards_.push_back(s);
+    dirty_count += batch.size();
+  }
+
+  // Pre-create each active port's weight slot serially: the workers then
+  // only rewrite per-port vectors, never the shared map's structure.
+  for (const int s : dirty_shards_) {
+    for (const LinkId link : shard_ports_[static_cast<size_t>(s)]) {
+      if (port_apps_.find(link) != port_apps_.end()) {
+        (void)port_weights_[link];
+      }
+    }
+  }
+
+  ++dist_stats_.flushes;
+  dist_stats_.ports_flushed += dirty_count;
+
+  // Adaptive dispatch (DESIGN.md §7.3): one pool task per dirty shard, or
+  // the caller thread when the batch is too small to amortize the dispatch.
+  // The decision is a pure function of the delta stream, num_shards, and
+  // shard_jobs — never of thread timing.
+  const bool fan_out =
+      shard_jobs_ > 1 && dirty_shards_.size() > 1 && dirty_count >= kMinParallelFlushPorts;
+  if (fan_out) {
+    ++dist_stats_.parallel_flushes;
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<WorkerPool>(shard_jobs_);
+    }
+    pool_->Run(dirty_shards_.size(), [this](size_t index, int /*slot*/) {
+      const int shard = dirty_shards_[index];
+      PortSolveContext* ctx = &shard_ctxs_[static_cast<size_t>(shard)];
+      for (const LinkId link : shard_ports_[static_cast<size_t>(shard)]) {
+        ReallocatePort(link, ctx);
+      }
+    });
+  } else {
+    for (const int shard : dirty_shards_) {
+      PortSolveContext* ctx = &shard_ctxs_[static_cast<size_t>(shard)];
+      for (const LinkId link : shard_ports_[static_cast<size_t>(shard)]) {
+        ReallocatePort(link, ctx);
+      }
+    }
+  }
+
+  // Deterministic merge: drain per-shard counters in ascending shard order
+  // after the workers have joined.
+  for (const int shard : dirty_shards_) {
+    DrainContextStats(&shard_ctxs_[static_cast<size_t>(shard)]);
+  }
+  FinishFlush(watch.ElapsedSeconds());
 }
 
 int DistributedController::ShardOfPort(LinkId link) const {

@@ -51,10 +51,15 @@ struct PortSignature {
 void BuildPortSignature(const std::vector<const SensitivityModel*>& models, PortSignature* sig);
 
 // The memo itself: signature -> solved weights in canonical order. One
-// instance per controller, so the (fixed) solver options need not be part of
-// the key. Entries never go stale — the signature encodes the entire solver
-// input — so the cache persists across re-clusterings and is only cleared to
-// bound memory.
+// instance per PortSolveContext — a CentralizedController owns one, a
+// DistributedController owns one per shard — and solver options are fixed
+// per controller, so they need not be part of the key. Per-shard instances
+// need no coherence protocol: exactness (below) means a miss on one shard
+// re-derives bit-for-bit what a hit on another returns, so sharding only
+// shifts the hit/miss split, never the programmed state (DESIGN.md §7.3).
+// Entries never go stale — the signature encodes the entire solver input —
+// so the cache persists across re-clusterings and is only cleared to bound
+// memory.
 class Eq2SolveCache {
  public:
   struct Entry {

@@ -123,6 +123,16 @@ int EnvSolveJobs() {
   return hardware > 0 ? static_cast<int>(hardware) : 1;
 }
 
+int EnvShards() {
+  const int shards = EnvInt("SABA_SHARDS", 0);
+  if (shards < 0) {
+    std::cerr << "fatal: SABA_SHARDS='" << shards
+              << "' must be >= 0 (0 means the bench's default shard sweep)\n";
+    std::exit(2);
+  }
+  return shards;
+}
+
 std::string EnvString(const char* name, const std::string& fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) {
@@ -138,7 +148,7 @@ std::string KnobSummary() {
   std::string out;
   for (const Knob& knob : Registry()) {
     if (knob.name == "SABA_SEED" || knob.name == "SABA_JOBS" ||
-        knob.name == "SABA_SOLVE_JOBS") {
+        knob.name == "SABA_SOLVE_JOBS" || knob.name == "SABA_SHARDS") {
       continue;
     }
     if (!out.empty()) {

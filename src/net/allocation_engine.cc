@@ -751,9 +751,10 @@ void SolveComponent(const std::vector<ActiveFlow*>& flows, const Network& net,
   }
 }
 
-// Solves components[0..num) under the discipline. With jobs > 1 and at least
-// two components the batch is fanned across the worker pool, each slot
-// solving into its own arena; otherwise it runs serially on the calling
+// Solves components[0..num) under the discipline. With jobs > 1, at least
+// two components, and enough total flows to amortize the dispatch
+// (kMinParallelBatchFlows) the batch is fanned across the worker pool, each
+// slot solving into its own arena; otherwise it runs serially on the calling
 // thread with arena 0. Either way every component's arithmetic is identical —
 // the choice is pure scheduling (DESIGN.md §7.3). Each component writes only
 // its own flows' rates, so "merging" is the identity.
@@ -761,7 +762,12 @@ void SolveComponentBatch(const std::vector<std::vector<ActiveFlow*>>& components
                          const Network& net, AllocationDiscipline discipline,
                          const PerAppWeightFn& per_app_weights, EngineSolveState* state,
                          AllocationEngineStats* stats) {
-  const bool fan_out = state->jobs > 1 && num > 1;
+  size_t batch_flows = 0;
+  for (size_t i = 0; i < num; ++i) {
+    batch_flows += components[i].size();
+  }
+  const bool fan_out = state->jobs > 1 && num > 1 &&
+                       batch_flows >= AllocationEngine::kMinParallelBatchFlows;
   const size_t arenas_needed = fan_out ? static_cast<size_t>(state->jobs) : 1;
   while (state->arenas.size() < arenas_needed) {
     state->arenas.push_back(std::make_unique<ComponentScratch>());

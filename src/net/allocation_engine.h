@@ -60,7 +60,8 @@ struct EngineSolveState;
 // flow_events shows how much work the dirty-component expansion saved. The
 // parallel_* counters are deterministic functions of (delta stream,
 // solve_jobs): both are 0 when solve_jobs == 1, and identical for every
-// solve_jobs > 1 (the dispatch decision depends only on the component count).
+// solve_jobs > 1 (the dispatch decision depends only on the component count
+// and the batch's flow count — see kMinParallelBatchFlows).
 struct AllocationEngineStats {
   uint64_t recomputes = 0;        // Recompute() calls that had dirty state.
   uint64_t full_recomputes = 0;   // ... of which took the full fallback path.
@@ -82,6 +83,15 @@ class AllocationEngine {
 
   AllocationEngine(const AllocationEngine&) = delete;
   AllocationEngine& operator=(const AllocationEngine&) = delete;
+
+  // Adaptive serial fallback: a multi-component batch is fanned across the
+  // pool only when it re-rates at least this many flows in total. Pool
+  // dispatch costs a few microseconds — ~4x the whole solve on the one- and
+  // two-component batches typical of steady-state churn (BENCH_micro.json's
+  // BM_ChurnIncrementalParallel rows) — while batches past this size (full
+  // recomputes, re-clusterings) amortize it easily. The threshold keeps the
+  // dispatch decision a pure function of the delta stream and solve_jobs.
+  static constexpr size_t kMinParallelBatchFlows = 64;
 
   // Component-parallel solving (DESIGN.md §7.3): when a solve touches more
   // than one dirty component, fan the component solves across `jobs` worker

@@ -414,10 +414,60 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
     }
   }
 
+  // Random churn on this small fabric tends to knot every flow into one
+  // component, which the adaptive fallback keeps inline. Drain the fabric
+  // and start two disjoint intra-pod blobs in one burst: a guaranteed
+  // multi-component batch above kMinParallelBatchFlows, so the dispatched
+  // path is exercised (and must still be bit-identical) regardless of how
+  // the churn clustered.
+  for (const FlowId id : live_ids) {
+    for (Universe& u : universes) {
+      u.engine->FlowRemoved(u.live.at(id).get());
+      u.live.erase(id);
+    }
+  }
+  live_ids.clear();
+  for (Universe& u : universes) {
+    u.engine->Recompute();
+  }
+  const size_t hosts_per_pod = hosts.size() / 2;
+  for (size_t k = 0; k < AllocationEngine::kMinParallelBatchFlows; ++k) {
+    const size_t pod = k % 2;
+    const size_t base = pod * hosts_per_pod;
+    const int64_t span = static_cast<int64_t>(hosts_per_pod) - 1;
+    const NodeId src = hosts[base + static_cast<size_t>(rng.UniformInt(0, span))];
+    NodeId dst = src;
+    while (dst == src) {
+      dst = hosts[base + static_cast<size_t>(rng.UniformInt(0, span))];
+    }
+    ActiveFlow proto;
+    proto.id = next_id++;
+    proto.app = static_cast<AppId>(rng.UniformInt(0, 9));
+    proto.sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
+    proto.remaining_bits = rng.Uniform(1e6, 1e9);
+    proto.path = &network.router().Route(src, dst, rng.Next());
+    for (Universe& u : universes) {
+      auto flow = std::make_unique<ActiveFlow>(proto);
+      u.engine->FlowAdded(flow.get());
+      u.live.emplace(proto.id, std::move(flow));
+    }
+    live_ids.push_back(proto.id);
+  }
+  for (Universe& u : universes) {
+    u.engine->Recompute();
+  }
+  for (const FlowId id : live_ids) {
+    const double serial = universes[0].live.at(id)->rate;
+    for (size_t u = 1; u < kUniverses; ++u) {
+      ASSERT_EQ(serial, universes[u].live.at(id)->rate)
+          << "burst flow " << id << " diverged at solve_jobs=" << kJobs[u];
+    }
+  }
+
   // The accounting must be scheduling-independent too: every counter that
   // describes WHAT was solved agrees across solve_jobs; the parallel_*
   // counters are 0 serially and identical for every parallel setting (the
-  // dispatch decision depends only on the component count).
+  // dispatch decision depends only on the component count and batch size).
   const AllocationEngineStats& s1 = universes[0].engine->stats();
   const AllocationEngineStats& s2 = universes[1].engine->stats();
   const AllocationEngineStats& s4 = universes[2].engine->stats();
@@ -509,12 +559,15 @@ TEST(AllocationEngineStatsTest, UntouchedComponentsAreFrozen) {
 }
 
 // Exact values for the parallel counters (DESIGN.md §7.3): they count
-// dispatch DECISIONS, which depend only on solve_jobs and the per-recompute
-// component count — never on thread timing. Three disjoint host pairs on a
-// star give a three-component solve; a follow-up event touching one pair is
-// a single-component batch, which always runs serially.
+// dispatch DECISIONS, which depend only on solve_jobs, the per-recompute
+// component count, and the batch's flow total (the adaptive serial fallback,
+// kMinParallelBatchFlows) — never on thread timing. Disjoint host pairs on a
+// star give single-flow components, so the flow total is controlled exactly.
 TEST(AllocationEngineStatsTest, ParallelCountersAgreeAcrossSolveJobs) {
-  Network network(BuildSingleSwitchStar(6, Gbps64(10)), /*default_queues=*/2);
+  constexpr size_t kThreshold = AllocationEngine::kMinParallelBatchFlows;
+  // Hosts for 3 warm-up pairs plus one over-threshold burst of pairs.
+  const int num_hosts = static_cast<int>(2 * (3 + kThreshold));
+  Network network(BuildSingleSwitchStar(num_hosts, Gbps64(10)), /*default_queues=*/2);
   AllocationEngine serial(&network, AllocationDiscipline::kWfqSlQueues);
   AllocationEngine pooled(&network, AllocationDiscipline::kWfqSlQueues);
   pooled.SetSolveJobs(4);
@@ -546,21 +599,40 @@ TEST(AllocationEngineStatsTest, ParallelCountersAgreeAcrossSolveJobs) {
   for (size_t i = 0; i + 1 < flows.size(); i += 2) {
     EXPECT_EQ(flows[i]->rate, flows[i + 1]->rate) << "flow " << flows[i]->id;
   }
-  // ...but only the pooled engine dispatched: one batch of three components.
+  // ...but neither dispatched: three single-flow components are far below
+  // the flow threshold, so the adaptive fallback keeps the batch inline.
   EXPECT_EQ(serial.stats().parallel_solves, 0u);
   EXPECT_EQ(serial.stats().parallel_components, 0u);
-  EXPECT_EQ(pooled.stats().parallel_solves, 1u);
-  EXPECT_EQ(pooled.stats().parallel_components, 3u);
+  EXPECT_EQ(pooled.stats().parallel_solves, 0u);
+  EXPECT_EQ(pooled.stats().parallel_components, 0u);
 
-  // A single-component batch runs serially even at solve_jobs=4: the
-  // parallel counters must not move.
-  add_pair(4, 0, 1);
+  // A burst of kMinParallelBatchFlows fresh pairs in one recompute crosses
+  // the threshold: exactly one dispatched batch of that many components.
+  FlowId next_id = 4;
+  for (size_t p = 0; p < kThreshold; ++p) {
+    const NodeId src = static_cast<NodeId>(6 + 2 * p);
+    add_pair(next_id++, src, src + 1);
+  }
   serial.Recompute();
   pooled.Recompute();
-  EXPECT_EQ(serial.stats().components_solved, 4u);
-  EXPECT_EQ(pooled.stats().components_solved, 4u);
+  EXPECT_EQ(serial.stats().components_solved, 3u + kThreshold);
+  EXPECT_EQ(pooled.stats().components_solved, 3u + kThreshold);
+  EXPECT_EQ(serial.stats().parallel_solves, 0u);
   EXPECT_EQ(pooled.stats().parallel_solves, 1u);
-  EXPECT_EQ(pooled.stats().parallel_components, 3u);
+  EXPECT_EQ(pooled.stats().parallel_components, kThreshold);
+  for (size_t i = 0; i + 1 < flows.size(); i += 2) {
+    EXPECT_EQ(flows[i]->rate, flows[i + 1]->rate) << "flow " << flows[i]->id;
+  }
+
+  // A single-component follow-up runs serially even at solve_jobs=4: the
+  // parallel counters must not move.
+  add_pair(next_id++, 0, 1);
+  serial.Recompute();
+  pooled.Recompute();
+  EXPECT_EQ(serial.stats().components_solved, 4u + kThreshold);
+  EXPECT_EQ(pooled.stats().components_solved, 4u + kThreshold);
+  EXPECT_EQ(pooled.stats().parallel_solves, 1u);
+  EXPECT_EQ(pooled.stats().parallel_components, kThreshold);
   for (size_t i = 0; i + 1 < flows.size(); i += 2) {
     EXPECT_EQ(flows[i]->rate, flows[i + 1]->rate) << "flow " << flows[i]->id;
   }

@@ -29,7 +29,7 @@ class CacheProbeController : public CentralizedController {
     return port_weights_;
   }
   const QueueMapper* queue_mapper() const {
-    return queue_mapper_.has_value() ? &*queue_mapper_ : nullptr;
+    return solve_ctx_.mapper.has_value() ? &*solve_ctx_.mapper : nullptr;
   }
 };
 

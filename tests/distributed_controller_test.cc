@@ -68,6 +68,32 @@ TEST(MappingDatabaseTest, FromCsvRejectsMalformedInput) {
   EXPECT_TRUE(MappingDatabase::FromCsv("pl,0,1.0,-0.5\napp,LR,0").has_value());
 }
 
+TEST(MappingDatabaseTest, FromCsvRejectsCorruptFieldsWithoutThrowing) {
+  // A corrupt replication payload must come back as nullopt — these used to
+  // escape as std::stoul/stod/stoi exceptions.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,x,1.0").has_value());    // Non-numeric PL id.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,0,abc").has_value());    // Non-numeric coefficient.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,0,1.0\napp,LR,x").has_value());  // Non-numeric app PL.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,-1,1.0").has_value());   // Negative PL id.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,0").has_value());        // Truncated: no coefficients.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,0,1.0\napp,LR").has_value());  // Truncated app row.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,0,1.0\napp").has_value());     // Tag-only row.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl, 0,1.0").has_value());   // Padded field.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,0,1.0\napp,LR,0junk").has_value());  // Trailing junk.
+  EXPECT_FALSE(MappingDatabase::FromCsv("pl,0,1e999").has_value());  // Coefficient overflow.
+}
+
+TEST(MappingDatabaseTest, CsvRoundTripIsByteStable) {
+  // ToCsv -> FromCsv -> ToCsv must be a fixed point: precision-17 doubles
+  // round-trip exactly, and both sections are emitted in canonical order.
+  const SensitivityTable table = MakeTable();
+  const MappingDatabase db = MappingDatabase::Build(table, 3, 1);
+  const std::string csv = db.ToCsv();
+  const auto parsed = MappingDatabase::FromCsv(csv);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ToCsv(), csv);
+}
+
 class DistributedControllerTest : public ::testing::Test {
  protected:
   DistributedControllerTest()
