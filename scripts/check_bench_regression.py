@@ -9,10 +9,18 @@ baseline. Benchmarks without an items_per_second field (pure-latency rows)
 and benchmarks missing from either side are skipped — the gate is a smoke
 check for the allocation hot paths, not a full perf suite. All output goes
 to stderr (R3: stdout belongs to diffable reports).
+
+With --write, the candidate file replaces the baseline after the report is
+printed (regardless of verdict), re-capturing BENCH_micro.json in one step:
+
+    SABA_BENCH_JSON=/tmp/bench_micro.json ./build/bench/bench_micro
+    python3 scripts/check_bench_regression.py BENCH_micro.json \
+        /tmp/bench_micro.json --write
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -32,6 +40,9 @@ def main():
     parser.add_argument("candidate")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="max fractional regression allowed (default 0.30)")
+    parser.add_argument("--write", action="store_true",
+                        help="after reporting, copy the candidate over the "
+                             "baseline (re-capture the committed baseline)")
     args = parser.parse_args()
 
     base = load_rates(args.baseline)
@@ -47,7 +58,7 @@ def main():
 
     if not shared:
         print("check_bench_regression: no comparable benchmarks", file=sys.stderr)
-        return 1
+        return write_baseline(args) if args.write else 1
 
     failures = []
     for name in shared:
@@ -61,9 +72,19 @@ def main():
     if failures:
         print(f"check_bench_regression: {len(failures)} benchmark(s) regressed "
               f">{args.threshold:.0%}: {', '.join(failures)}", file=sys.stderr)
-        return 1
+        # A deliberate re-capture may record a slower baseline (e.g. after a
+        # correctness fix): --write still proceeds, the report above is the
+        # record of what changed.
+        return write_baseline(args) if args.write else 1
     print(f"check_bench_regression: {len(shared)} benchmark(s) within "
           f"{args.threshold:.0%} of baseline", file=sys.stderr)
+    return write_baseline(args) if args.write else 0
+
+
+def write_baseline(args):
+    shutil.copyfile(args.candidate, args.baseline)
+    print(f"check_bench_regression: wrote {args.candidate} over {args.baseline}",
+          file=sys.stderr)
     return 0
 
 

@@ -19,10 +19,14 @@ struct Knob {
   bool from_env = false;
 };
 
+// saba-lint: shared-state-ok(the mutex IS the synchronization: every registry access below
+// locks it, and it is never held across user code, so no ordering leaks out)
 // saba-lint: allow(R7): guards only the knob registry, never held across user code.
 std::mutex registry_mutex;
 std::vector<Knob>& Registry() {
-  static std::vector<Knob>* knobs = new std::vector<Knob>();
+  // Leaked-singleton: the pointer is set once (const), only the pointee
+  // mutates, and every mutation happens under registry_mutex.
+  static std::vector<Knob>* const knobs = new std::vector<Knob>();
   return *knobs;
 }
 

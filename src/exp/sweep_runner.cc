@@ -68,6 +68,9 @@ void SweepRunner::RunIndexed(size_t num_tasks, const std::function<void(size_t)>
   std::atomic<bool> failed{false};
   std::vector<double> worker_seconds(static_cast<size_t>(pool_->jobs()), 0.0);
 
+  // saba-lint: pool-capture-ok(every write is index- or slot-owned: errors[index] and the
+  // task's result slot belong to exactly one task, worker_seconds[slot] to one worker, and
+  // `failed` is an atomic flag — no captured reference is written from two workers, §7.3)
   pool_->Run(num_tasks, [&](size_t index, int slot) {
     if (failed.load(std::memory_order_acquire)) {
       return;  // Abort the sweep: claim (to terminate) but skip the body.

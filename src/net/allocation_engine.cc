@@ -781,6 +781,9 @@ void SolveComponentBatch(const std::vector<std::vector<ActiveFlow*>>& components
   if (state->pool == nullptr || state->pool->jobs() != state->jobs) {
     state->pool = std::make_unique<WorkerPool>(state->jobs);
   }
+  // saba-lint: pool-capture-ok(task i reads only components[i] and writes only the rates of
+  // that component's flows — components partition the flow set, so writes never alias across
+  // tasks; scratch lives in the slot-confined arena, §7.3)
   state->pool->Run(num, [&](size_t i, int slot) {
     SolveComponent(components[i], net, discipline, per_app_weights,
                    state->arenas[static_cast<size_t>(slot)].get());
@@ -855,6 +858,8 @@ void AllocateFromScratch(const std::vector<ActiveFlow*>& flows, const Network& n
   // on many threads at once, so the state is thread-confined here (and stays
   // serial — jobs is never raised, so no nested pool is ever created). No
   // canonical sort: the integer solve is order-independent by arithmetic.
+  // saba-lint: shared-state-ok(thread_local: each thread owns a private solve state, nothing
+  // is shared across workers, and the solve it feeds is order-independent integer math)
   static thread_local EngineSolveState state;
   SolvePartitioned(flows, net, discipline, per_app_weights, &state, nullptr);
 }

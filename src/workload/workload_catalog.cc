@@ -142,7 +142,8 @@ std::vector<WorkloadSpec> BuildCatalog() {
 }  // namespace
 
 const std::vector<WorkloadSpec>& HiBenchCatalog() {
-  static const std::vector<WorkloadSpec>* catalog = new std::vector<WorkloadSpec>(BuildCatalog());
+  static const std::vector<WorkloadSpec>* const catalog =
+      new std::vector<WorkloadSpec>(BuildCatalog());
   return *catalog;
 }
 

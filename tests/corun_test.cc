@@ -41,6 +41,8 @@ class CoRunTest : public ::testing::Test {
   static SensitivityTable* table_;
 };
 
+// saba-lint: shared-state-ok(gtest fixture static: written once in SetUpTestSuite before any
+// test body runs; test bodies run serially on one thread)
 SensitivityTable* CoRunTest::table_ = nullptr;
 
 TEST_F(CoRunTest, AllPoliciesCompleteAllJobs) {

@@ -55,7 +55,11 @@ class SpineLeafIntegrationTest : public ::testing::Test {
   static Topology* topo_;
 };
 
+// saba-lint: shared-state-ok(gtest fixture statics: written once in SetUpTestSuite before any
+// test body runs; test bodies run serially on one thread)
 SensitivityTable* SpineLeafIntegrationTest::table_ = nullptr;
+// saba-lint: shared-state-ok(gtest fixture statics: written once in SetUpTestSuite before any
+// test body runs; test bodies run serially on one thread)
 Topology* SpineLeafIntegrationTest::topo_ = nullptr;
 
 TEST_F(SpineLeafIntegrationTest, SabaPipelineRunsCleanOnFabric) {

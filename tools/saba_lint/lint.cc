@@ -7,270 +7,16 @@
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
+
+#include "tools/saba_lint/model.h"
+#include "tools/saba_lint/project.h"
+#include "tools/saba_lint/scanner.h"
 
 namespace saba {
 namespace lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Scanner: split a translation unit into per-line code text (comments and
-// string/char-literal contents blanked with spaces, so columns and line
-// numbers survive) and per-line comment text (for annotations/suppressions).
-// ---------------------------------------------------------------------------
-
-struct ScannedFile {
-  std::vector<std::string> raw;       // raw[i] = line i+1 verbatim (for R6)
-  std::vector<std::string> code;      // code[i] = line i+1, literals blanked
-  std::vector<std::string> comments;  // comments[i] = comment text on line i+1
-};
-
-std::vector<std::string> SplitLines(std::string_view content) {
-  std::vector<std::string> lines;
-  size_t start = 0;
-  while (start <= content.size()) {
-    const size_t nl = content.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.emplace_back(content.substr(start));
-      break;
-    }
-    lines.emplace_back(content.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-// True if `c` can end an expression — used to tell a char literal from a
-// C++14 digit separator (1'000'000) or a user-defined-literal quote.
-bool EndsExpression(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ')' || c == ']';
-}
-
-ScannedFile Scan(std::string_view content) {
-  ScannedFile out;
-  out.raw = SplitLines(content);
-  out.code.emplace_back();
-  out.comments.emplace_back();
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_terminator;  // For kRawString: )delim" that ends it.
-  char last_code_char = '\0';  // Last significant code char (for ' disambiguation).
-
-  size_t i = 0;
-  const size_t n = content.size();
-  auto code_put = [&](char c) { out.code.back().push_back(c); };
-  auto comment_put = [&](char c) { out.comments.back().push_back(c); };
-  auto newline = [&] {
-    out.code.emplace_back();
-    out.comments.emplace_back();
-  };
-
-  while (i < n) {
-    const char c = content[i];
-    const char next = i + 1 < n ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          i += 2;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_put(' ');
-          code_put(' ');
-          i += 2;
-        } else if (c == '"') {
-          // R"..."( opens a raw string; scan back over an optional prefix.
-          bool raw = false;
-          const std::string& line = out.code.back();
-          if (!line.empty() && line.back() == 'R') {
-            const size_t len = line.size();
-            // Reject identifiers ending in R (e.g. FooR"..." is not raw
-            // unless R starts the identifier or follows a prefix u8/u/U/L).
-            if (len == 1 || !(std::isalnum(static_cast<unsigned char>(line[len - 2])) ||
-                              line[len - 2] == '_')) {
-              raw = true;
-            }
-          }
-          if (raw) {
-            std::string delim;
-            size_t j = i + 1;
-            while (j < n && content[j] != '(' && content[j] != '\n' && delim.size() <= 16) {
-              delim.push_back(content[j]);
-              ++j;
-            }
-            if (j < n && content[j] == '(') {
-              raw_terminator = ")" + delim + "\"";
-              state = State::kRawString;
-              code_put('"');
-              i = j + 1;
-              break;
-            }
-          }
-          state = State::kString;
-          code_put('"');
-          ++i;
-        } else if (c == '\'' && !EndsExpression(last_code_char)) {
-          state = State::kChar;
-          code_put('\'');
-          ++i;
-        } else if (c == '\n') {
-          newline();
-          ++i;
-        } else {
-          code_put(c);
-          if (!std::isspace(static_cast<unsigned char>(c))) {
-            last_code_char = c;
-          }
-          ++i;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          newline();
-        } else {
-          comment_put(c);
-        }
-        ++i;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          i += 2;
-        } else if (c == '\n') {
-          newline();
-          ++i;
-        } else {
-          comment_put(c);
-          ++i;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < n) {
-          code_put(' ');
-          code_put(' ');
-          i += 2;
-        } else if (c == '"') {
-          state = State::kCode;
-          code_put('"');
-          last_code_char = '"';
-          ++i;
-        } else if (c == '\n') {  // Unterminated; recover at the newline.
-          state = State::kCode;
-          newline();
-          ++i;
-        } else {
-          code_put(' ');
-          ++i;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < n) {
-          code_put(' ');
-          code_put(' ');
-          i += 2;
-        } else if (c == '\'') {
-          state = State::kCode;
-          code_put('\'');
-          last_code_char = '\'';
-          ++i;
-        } else if (c == '\n') {
-          state = State::kCode;
-          newline();
-          ++i;
-        } else {
-          code_put(' ');
-          ++i;
-        }
-        break;
-      case State::kRawString:
-        if (c == '\n') {
-          newline();
-          ++i;
-        } else if (content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
-          state = State::kCode;
-          code_put('"');
-          last_code_char = '"';
-          i += raw_terminator.size();
-        } else {
-          code_put(' ');
-          ++i;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Token stream over the blanked code (identifiers + the punctuation the
-// rules care about), skipping preprocessor lines (handled separately).
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;  // 1-based.
-  bool is_ident = false;
-};
-
-bool IsPreprocessorLine(const std::string& code_line) {
-  for (char c : code_line) {
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      continue;
-    }
-    return c == '#';
-  }
-  return false;
-}
-
-std::vector<Token> Tokenize(const ScannedFile& scanned) {
-  std::vector<Token> tokens;
-  bool continuation = false;  // Previous line ended in backslash (pp-continuation).
-  for (size_t li = 0; li < scanned.code.size(); ++li) {
-    const std::string& line = scanned.code[li];
-    const bool pp = continuation || IsPreprocessorLine(line);
-    continuation = pp && !line.empty() && line.back() == '\\';
-    if (pp) {
-      continue;
-    }
-    const int line_no = static_cast<int>(li) + 1;
-    size_t i = 0;
-    while (i < line.size()) {
-      const char c = line[i];
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        size_t j = i + 1;
-        while (j < line.size() &&
-               (std::isalnum(static_cast<unsigned char>(line[j])) || line[j] == '_')) {
-          ++j;
-        }
-        tokens.push_back({line.substr(i, j - i), line_no, true});
-        i = j;
-      } else if (std::isdigit(static_cast<unsigned char>(c))) {
-        size_t j = i + 1;  // Numbers (incl. 1'000 separators and suffixes).
-        while (j < line.size() &&
-               (std::isalnum(static_cast<unsigned char>(line[j])) || line[j] == '\'' ||
-                line[j] == '.')) {
-          ++j;
-        }
-        tokens.push_back({line.substr(i, j - i), line_no, false});
-        i = j;
-      } else if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
-        tokens.push_back({"::", line_no, false});
-        i += 2;
-      } else if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
-        tokens.push_back({"->", line_no, false});
-        i += 2;
-      } else if (!std::isspace(static_cast<unsigned char>(c))) {
-        tokens.push_back({std::string(1, c), line_no, false});
-        ++i;
-      } else {
-        ++i;
-      }
-    }
-  }
-  return tokens;
-}
 
 // ---------------------------------------------------------------------------
 // Rule scoping and suppression.
@@ -305,33 +51,10 @@ FileScope ScopeFor(const std::string& rel_path) {
   return scope;
 }
 
-// "// saba-lint: allow(R2): reason" on the finding's line or the line above.
-bool IsSuppressed(const ScannedFile& scanned, int line, const std::string& rule) {
-  const std::string needle = "saba-lint: allow(" + rule + ")";
-  for (int l = line - 1; l >= std::max(0, line - 2); --l) {
-    if (static_cast<size_t>(l) < scanned.comments.size() &&
-        scanned.comments[static_cast<size_t>(l)].find(needle) != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
 // R4's dedicated annotation doubles as its suppression: the reason inside the
 // parentheses is the audit record. Same line or the line above.
 bool HasUnorderedAnnotation(const ScannedFile& scanned, int line) {
-  const std::string_view needle = "saba-lint: unordered-iter-ok(";
-  for (int l = line - 1; l >= std::max(0, line - 2); --l) {
-    const std::string& comment = scanned.comments[static_cast<size_t>(l)];
-    const size_t pos = comment.find(needle);
-    if (pos == std::string::npos) {
-      continue;
-    }
-    // Require a non-empty reason: "unordered-iter-ok()" is not an audit.
-    const size_t open = pos + needle.size();
-    return open < comment.size() && comment[open] != ')';
-  }
-  return false;
+  return HasAuditAnnotation(scanned, line, line, "unordered-iter-ok");
 }
 
 // ---------------------------------------------------------------------------
@@ -403,23 +126,20 @@ const std::set<std::string>& R7BannedThreadCalls() {
 }
 
 struct RuleContext {
-  const std::string* rel_path;
-  const std::string* display_path;
-  const ScannedFile* scanned;
-  const std::vector<Token>* tokens;
+  const ScannedTu* tu;
   FileScope scope;
   std::vector<Finding>* findings;
 };
 
 void Report(const RuleContext& ctx, int line, const char* rule, std::string message) {
-  if (IsSuppressed(*ctx.scanned, line, rule)) {
+  if (IsSuppressed(ctx.tu->scanned, line, rule)) {
     return;
   }
-  ctx.findings->push_back({*ctx.display_path, line, rule, std::move(message)});
+  ctx.findings->push_back({ctx.tu->display_path, line, rule, std::move(message)});
 }
 
 void CheckIdentifierRules(const RuleContext& ctx) {
-  const std::vector<Token>& tokens = *ctx.tokens;
+  const std::vector<Token>& tokens = ctx.tu->tokens;
   for (size_t i = 0; i < tokens.size(); ++i) {
     const Token& tok = tokens[i];
     if (!tok.is_ident) {
@@ -454,12 +174,12 @@ void CheckIdentifierRules(const RuleContext& ctx) {
       }
     }
     if (R4UnorderedContainers().count(tok.text) != 0 &&
-        !HasUnorderedAnnotation(*ctx.scanned, tok.line)) {
+        !HasUnorderedAnnotation(ctx.tu->scanned, tok.line)) {
       // One finding per line: a single annotation covers e.g. a nested
       // unordered_map<K, unordered_set<V>> declaration.
       if (ctx.findings->empty() || ctx.findings->back().rule != "R4" ||
           ctx.findings->back().line != tok.line ||
-          ctx.findings->back().file != *ctx.display_path) {
+          ctx.findings->back().file != ctx.tu->display_path) {
         Report(ctx, tok.line, "R4",
                "'" + tok.text +
                    "' has implementation-defined iteration order; audit every "
@@ -533,7 +253,7 @@ void CheckAllocCoreFixedPointRule(const RuleContext& ctx) {
   if (!ctx.scope.alloc_core) {
     return;
   }
-  const std::vector<Token>& tokens = *ctx.tokens;
+  const std::vector<Token>& tokens = ctx.tu->tokens;
   for (size_t i = 0; i < tokens.size(); ++i) {
     const Token& tok = tokens[i];
     const Token* next = i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
@@ -568,7 +288,7 @@ void CheckBenchStdoutRule(const RuleContext& ctx) {
   if (!ctx.scope.bench) {
     return;
   }
-  const std::vector<Token>& tokens = *ctx.tokens;
+  const std::vector<Token>& tokens = ctx.tu->tokens;
   size_t stmt_begin = 0;
   for (size_t i = 0; i <= tokens.size(); ++i) {
     const bool boundary = i == tokens.size() || tokens[i].text == ";" || tokens[i].text == "{" ||
@@ -638,7 +358,7 @@ std::string Trimmed(const std::string& s) {
 void CheckIncludeAndGuardRule(const RuleContext& ctx) {
   // Operates on raw lines: include paths are string literals, which the
   // scanner blanks out of the code view.
-  const std::vector<std::string>& code = ctx.scanned->raw;
+  const std::vector<std::string>& code = ctx.tu->scanned.raw;
   const char* kRoots[] = {"src/", "bench/", "tests/", "examples/", "tools/"};
 
   std::string first_ifndef;
@@ -670,7 +390,7 @@ void CheckIncludeAndGuardRule(const RuleContext& ctx) {
                StartsWith(Trimmed(directive.substr(6)), "once") && ctx.scope.header) {
       Report(ctx, line_no, "R6",
              "#pragma once; this repository uses canonical include guards "
-             "(" + ExpectedGuard(*ctx.rel_path) + ")");
+             "(" + ExpectedGuard(ctx.tu->rel_path) + ")");
     } else if (first_ifndef.empty() && StartsWith(directive, "ifndef")) {
       std::istringstream iss(Trimmed(directive.substr(6)));
       iss >> first_ifndef;  // First token only: a trailing comment is legal.
@@ -682,7 +402,7 @@ void CheckIncludeAndGuardRule(const RuleContext& ctx) {
   }
 
   if (ctx.scope.header) {
-    const std::string expected = ExpectedGuard(*ctx.rel_path);
+    const std::string expected = ExpectedGuard(ctx.tu->rel_path);
     if (first_ifndef.empty()) {
       Report(ctx, 1, "R6", "header has no include guard; expected " + expected);
     } else if (first_ifndef != expected || first_define != expected) {
@@ -692,6 +412,84 @@ void CheckIncludeAndGuardRule(const RuleContext& ctx) {
                  " does not match the canonical path-derived guard " + expected);
     }
   }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// GitHub workflow commands use %-encoding for their own delimiters.
+std::string GithubEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Walks up from `start` looking for the checked-in layer map; returns ""
+// when no enclosing directory carries one.
+std::string DiscoverLayersFile(const std::string& start) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path p = fs::absolute(fs::path(start), ec);
+  if (ec) {
+    return "";
+  }
+  if (fs::is_regular_file(p, ec)) {
+    p = p.parent_path();
+  }
+  while (!p.empty()) {
+    const fs::path candidate = p / "tools" / "saba_lint" / "layers.txt";
+    if (fs::is_regular_file(candidate, ec)) {
+      return candidate.generic_string();
+    }
+    const fs::path parent = p.parent_path();
+    if (parent == p) {
+      break;
+    }
+    p = parent;
+  }
+  return "";
 }
 
 }  // namespace
@@ -707,15 +505,18 @@ std::vector<std::pair<std::string, std::string>> RuleTable() {
       {"R7", "threads and locks constructed only inside saba::WorkerPool (src/sim/worker_pool.h)"},
       {"R8", "allocation-core rates stay fixed-point Bps64: no double rate/capacity fields, "
              "no float ==/!="},
+      {"R9", "includes respect the layer DAG (tools/saba_lint/layers.txt, DESIGN.md §9): "
+             "no upward, lateral, or cyclic includes"},
+      {"R10", "mutable namespace-scope / static-local state outside src/sim/ carries "
+              "// saba-lint: shared-state-ok(<reason>)"},
+      {"R11", "lambdas dispatched to saba::WorkerPool capture by reference only under "
+              "// saba-lint: pool-capture-ok(<reason>)"},
   };
 }
 
-std::vector<Finding> LintFile(const std::string& rel_path, const std::string& display_path,
-                              std::string_view content) {
-  const ScannedFile scanned = Scan(content);
-  const std::vector<Token> tokens = Tokenize(scanned);
+std::vector<Finding> LintTu(const ScannedTu& tu) {
   std::vector<Finding> findings;
-  RuleContext ctx{&rel_path, &display_path, &scanned, &tokens, ScopeFor(rel_path), &findings};
+  RuleContext ctx{&tu, ScopeFor(tu.rel_path), &findings};
   CheckIdentifierRules(ctx);
   CheckAllocCoreFixedPointRule(ctx);
   CheckBenchStdoutRule(ctx);
@@ -724,6 +525,11 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& di
     return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
   });
   return findings;
+}
+
+std::vector<Finding> LintFile(const std::string& rel_path, const std::string& display_path,
+                              std::string_view content) {
+  return LintTu(MakeScannedTu(rel_path, display_path, content));
 }
 
 std::vector<Finding> LintFile(const std::string& rel_path, std::string_view content) {
@@ -748,10 +554,10 @@ std::string RelativizePath(const std::string& path) {
   return best == std::string::npos ? normalized : normalized.substr(best + 1);
 }
 
-std::vector<Finding> LintPaths(const std::vector<std::string>& paths, std::ostream& out) {
+TreeLintResult LintTree(const std::vector<std::string>& paths, const TreeLintOptions& options) {
   namespace fs = std::filesystem;
+  TreeLintResult result;
   std::vector<std::string> files;
-  std::vector<Finding> all;
   auto want = [](const fs::path& p) {
     const std::string ext = p.extension().string();
     return ext == ".cc" || ext == ".h" || ext == ".cpp";
@@ -776,26 +582,115 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths, std::ostre
     } else if (fs::is_regular_file(p)) {
       files.push_back(p.generic_string());
     } else {
-      out << path << ":0: [R0] path does not exist\n";
-      all.push_back({path, 0, "R0", "path does not exist"});
+      result.findings.push_back({path, 0, "R0", "path does not exist"});
     }
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  // The layer map: explicit path, or auto-discovered by walking up from the
+  // inputs. R9 is a build gate — a missing or malformed map is a finding,
+  // never a silent skip.
+  LayerMap layers;
+  bool have_layers = false;
+  std::string layers_path = options.layers_path;
+  if (layers_path.empty()) {
+    for (const std::string& path : paths) {
+      layers_path = DiscoverLayersFile(path);
+      if (!layers_path.empty()) {
+        break;
+      }
+    }
+  }
+  if (layers_path.empty()) {
+    result.findings.push_back({"tools/saba_lint/layers.txt", 0, "R0",
+                               "layer map not found from the input paths; pass "
+                               "--layers=<path> so the R9 DAG check can run"});
+  } else {
+    std::ifstream in(layers_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (!in.good() && buffer.str().empty()) {
+      result.findings.push_back({layers_path, 0, "R0", "layer map is unreadable"});
+    } else if (!ParseLayerMap(buffer.str(), &layers, &error)) {
+      result.findings.push_back({layers_path, 0, "R0", error});
+    } else {
+      have_layers = true;
+    }
+  }
+
+  // Phase 1: one read + scan per file, shared by the per-file rules and the
+  // TU models (the tokenizer cache — no rule re-reads the tree).
+  std::vector<ScannedTu> tus;
+  std::vector<TuModel> models;
+  tus.reserve(files.size());
+  models.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const std::string rel = RelativizePath(file);
-    std::vector<Finding> findings = LintFile(rel, rel, buffer.str());
-    for (const Finding& f : findings) {
-      out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
-    }
-    all.insert(all.end(), std::make_move_iterator(findings.begin()),
-               std::make_move_iterator(findings.end()));
+    tus.push_back(MakeScannedTu(rel, rel, buffer.str()));
+    std::vector<Finding> findings = LintTu(tus.back());
+    result.findings.insert(result.findings.end(), std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+    models.push_back(BuildTuModel(tus.back()));
   }
-  return all;
+  result.files_scanned = files.size();
+
+  // Phase 2: whole-program rules over the merged models.
+  std::vector<Finding> project =
+      CheckProjectRules(tus, models, have_layers ? &layers : nullptr);
+  result.findings.insert(result.findings.end(), std::make_move_iterator(project.begin()),
+                         std::make_move_iterator(project.end()));
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  if (have_layers) {
+    result.graph_edges = LayerGraphEdges(models, layers);
+  }
+  return result;
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths, std::ostream& out) {
+  TreeLintResult result = LintTree(paths, TreeLintOptions{});
+  PrintFindings(result.findings, OutputFormat::kText, result.files_scanned, out);
+  return std::move(result.findings);
+}
+
+void PrintFindings(const std::vector<Finding>& findings, OutputFormat format,
+                   size_t files_scanned, std::ostream& out) {
+  switch (format) {
+    case OutputFormat::kText:
+      for (const Finding& f : findings) {
+        out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+      }
+      break;
+    case OutputFormat::kJson: {
+      out << "{\n  \"tool\": \"saba_lint\",\n  \"schema\": 1,\n  \"files_scanned\": "
+          << files_scanned << ",\n  \"findings\": [";
+      for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out << (i == 0 ? "\n" : ",\n") << "    {\"file\": \"" << JsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"rule\": \"" << JsonEscape(f.rule)
+            << "\", \"message\": \"" << JsonEscape(f.message) << "\"}";
+      }
+      out << (findings.empty() ? "]" : "\n  ]") << ",\n  \"count\": " << findings.size()
+          << "\n}\n";
+      break;
+    }
+    case OutputFormat::kGithub:
+      for (const Finding& f : findings) {
+        out << "::error file=" << GithubEscape(f.file) << ",line=" << f.line
+            << ",title=saba-lint " << GithubEscape(f.rule) << "::" << GithubEscape(f.message)
+            << "\n";
+      }
+      break;
+  }
 }
 
 }  // namespace lint

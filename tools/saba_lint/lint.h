@@ -3,9 +3,15 @@
 // A token-aware (comment/string/preprocessor-stripping) checker — deliberately
 // not a libclang front-end, so it builds everywhere the simulator builds and
 // runs in milliseconds over the whole tree. It enforces the invariants that
-// DESIGN.md §7 ("Determinism & threading model") and §8 ("Static analysis")
-// codify; runtime tests catch violations only on exercised paths, this pass
-// catches the whole class at diff time.
+// DESIGN.md §7 ("Determinism & threading model"), §8 ("Static analysis") and
+// §9 (the layer DAG) codify; runtime tests catch violations only on exercised
+// paths, this pass catches the whole class at diff time.
+//
+// The analyzer runs in two phases over one shared scan of the tree (each
+// file is read and tokenized exactly once, tools/saba_lint/scanner.h):
+// phase 1 lints each translation unit in isolation (R1–R8) and extracts a
+// lightweight TU model (tools/saba_lint/model.h); phase 2 merges the models
+// and checks the whole-program rules (R9–R11, tools/saba_lint/project.h).
 //
 // Rules (each finding prints as "file:line: [R#] message"):
 //   R1  randomness only through saba::Rng        (no std::rand / mt19937 / …)
@@ -17,11 +23,18 @@
 //   R6  src/-rooted quote-includes and canonical header guards
 //   R7  threads/locks (std::thread, std::async, std::mutex, …) constructed
 //       only inside the blessed pool primitive, src/sim/worker_pool.{h,cc}
+//   R8  allocation-core rates stay fixed-point Bps64
+//   R9  includes respect the §9 layer DAG (tools/saba_lint/layers.txt) and
+//       form no cycle
+//   R10 mutable namespace-scope / static-local state outside src/sim/ must
+//       carry // saba-lint: shared-state-ok(<reason>)
+//   R11 lambdas handed to WorkerPool dispatches must not capture by
+//       reference without // saba-lint: pool-capture-ok(<reason>)
 //
 // Suppression: a finding on line N is suppressed by a comment on line N or
-// N-1 of the form  // saba-lint: allow(R2): <reason>.  R4 uses its dedicated
-// annotation (unordered-iter-ok) instead, so every suppression doubles as an
-// audit record.
+// N-1 of the form  // saba-lint: allow(R2): <reason>.  R4/R10/R11 use their
+// dedicated annotations (unordered-iter-ok / shared-state-ok /
+// pool-capture-ok) instead, so every suppression doubles as an audit record.
 
 #ifndef TOOLS_SABA_LINT_LINT_H_
 #define TOOLS_SABA_LINT_LINT_H_
@@ -31,35 +44,70 @@
 #include <string_view>
 #include <vector>
 
+#include "tools/saba_lint/scanner.h"
+
 namespace saba {
 namespace lint {
 
 struct Finding {
   std::string file;     // Path as reported to the user.
   int line = 0;         // 1-based.
-  std::string rule;     // "R1".."R7".
+  std::string rule;     // "R1".."R11".
   std::string message;  // Human-readable explanation.
 };
 
 // One rule id + summary per entry, for --list-rules and the docs self-test.
 std::vector<std::pair<std::string, std::string>> RuleTable();
 
+// Phase-1 per-file rules (R1–R8) over an already-scanned unit.
+std::vector<Finding> LintTu(const ScannedTu& tu);
+
 // Lints one translation unit. `rel_path` is the repository-relative path
 // ("src/sim/rng.cc") — rule scoping (per-directory applicability and the
 // rng/wallclock/knobs exemptions) keys off it; `display_path` is what
 // findings report (often the path the user passed). `content` is the file
-// body.
+// body. Runs the per-file rules only; the project rules need the whole tree
+// (LintTree below).
 std::vector<Finding> LintFile(const std::string& rel_path, const std::string& display_path,
                               std::string_view content);
 
 // Convenience: rel_path doubles as display path.
 std::vector<Finding> LintFile(const std::string& rel_path, std::string_view content);
 
-// Expands files/directories (recursively; *.cc, *.h, *.cpp; skips testdata/
-// and hidden directories), lints each file, writes findings to `out` and
-// returns them. Paths may be absolute or repo-relative; scoping uses the
+// Machine-readable output for tooling: kText is the classic
+// "file:line: [R#] message" stream, kJson a stable JSON document (sorted
+// findings, no timestamps — byte-identical across runs on the same tree),
+// kGithub GitHub Actions "::error file=..,line=.." workflow annotations.
+enum class OutputFormat { kText, kJson, kGithub };
+
+struct TreeLintOptions {
+  // Path to the layer map. Empty = auto-discover tools/saba_lint/layers.txt
+  // by walking up from the first input path; failure to find it is an [R0]
+  // finding (the DAG check must never silently vanish).
+  std::string layers_path;
+};
+
+struct TreeLintResult {
+  std::vector<Finding> findings;         // Both phases, sorted (file, line, rule).
+  std::vector<std::string> graph_edges;  // Layer DAG edges for --graph.
+  size_t files_scanned = 0;
+};
+
+// The full two-phase pipeline: expands files/directories (recursively; *.cc,
+// *.h, *.cpp; skips testdata/, build/ and hidden directories), reads and
+// scans each file once, runs R1–R8 per file and R9–R11 over the merged
+// models. Paths may be absolute or repo-relative; scoping uses the
 // top-level-directory suffix (src/, bench/, tests/, examples/, tools/).
+TreeLintResult LintTree(const std::vector<std::string>& paths, const TreeLintOptions& options);
+
+// Convenience wrapper kept for the build-target/test gate: runs LintTree
+// with auto-discovered layers and prints text findings to `out`.
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths, std::ostream& out);
+
+// Writes findings in the requested format. For kJson, `files_scanned` is
+// embedded in the report header.
+void PrintFindings(const std::vector<Finding>& findings, OutputFormat format,
+                   size_t files_scanned, std::ostream& out);
 
 // Maps an on-disk path to the repository-relative path used for scoping:
 // the suffix starting at the last top-level marker (src/, bench/, tests/,

@@ -1,0 +1,473 @@
+#include "tools/saba_lint/model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+namespace saba {
+namespace lint {
+namespace {
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Quote-includes come from the raw lines: include paths are string literals,
+// which the scanner blanks out of the code view.
+void ExtractIncludes(const ScannedTu& tu, TuModel* model) {
+  for (size_t li = 0; li < tu.scanned.raw.size(); ++li) {
+    const std::string line = Trimmed(tu.scanned.raw[li]);
+    if (line.empty() || line[0] != '#') {
+      continue;
+    }
+    const std::string directive = Trimmed(line.substr(1));
+    if (!StartsWith(directive, "include")) {
+      continue;
+    }
+    const std::string rest = Trimmed(directive.substr(7));
+    if (rest.size() < 2 || rest.front() != '"') {
+      continue;
+    }
+    const size_t close = rest.find('"', 1);
+    if (close == std::string::npos) {
+      continue;
+    }
+    model->includes.push_back({rest.substr(1, close - 1), static_cast<int>(li) + 1});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scope machine for R10: walk the token stream classifying every brace as
+// namespace / class / block / brace-initializer scope, and analyze statements
+// that end at namespace scope (potential globals) or block scope (potential
+// static locals). Deliberately heuristic — the worst failure mode is a missed
+// declaration or a spurious finding that an audit annotation resolves, never
+// a wrong build.
+// ---------------------------------------------------------------------------
+
+enum class ScopeKind { kNamespace, kClass, kBlock, kInit };
+
+bool SegmentContains(const std::vector<Token>& tokens, size_t begin, size_t end,
+                     std::string_view ident) {
+  for (size_t j = begin; j < end; ++j) {
+    if (tokens[j].is_ident && tokens[j].text == ident) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ScopeKind ClassifyBrace(const std::vector<Token>& tokens, size_t stmt_start, size_t brace) {
+  if (SegmentContains(tokens, stmt_start, brace, "namespace")) {
+    return ScopeKind::kNamespace;
+  }
+  if (brace > stmt_start && tokens[stmt_start].is_ident && tokens[stmt_start].text == "extern") {
+    return ScopeKind::kNamespace;  // extern "C" { ... } is transparent.
+  }
+  const Token* prev = brace > stmt_start ? &tokens[brace - 1] : nullptr;
+  if (prev == nullptr) {
+    return ScopeKind::kInit;  // `{` opening a nested initializer list.
+  }
+  if (prev->text == ")") {
+    return ScopeKind::kBlock;  // Function, lambda, or control-flow body.
+  }
+  if (prev->text == "=" || prev->text == "," || prev->text == "(" || prev->text == "{" ||
+      prev->text == "[" || prev->text == "return") {
+    return ScopeKind::kInit;
+  }
+  if ((prev->is_ident || prev->text == ">") &&
+      (SegmentContains(tokens, stmt_start, brace, "class") ||
+       SegmentContains(tokens, stmt_start, brace, "struct") ||
+       SegmentContains(tokens, stmt_start, brace, "union") ||
+       SegmentContains(tokens, stmt_start, brace, "enum"))) {
+    return ScopeKind::kClass;
+  }
+  return ScopeKind::kBlock;  // else / do / try / trailing-return bodies.
+}
+
+bool IsOpenBracket(const std::string& t) { return t == "(" || t == "[" || t == "{"; }
+bool IsCloseBracket(const std::string& t) { return t == ")" || t == "]" || t == "}"; }
+
+// Index of the first top-level assignment `=` in [begin, end), or npos.
+// Skips == / != / <= / >= and compound assignments, which tokenize as two
+// single-char tokens.
+size_t TopLevelAssign(const std::vector<Token>& tokens, size_t begin, size_t end) {
+  int depth = 0;
+  for (size_t j = begin; j < end; ++j) {
+    const std::string& t = tokens[j].text;
+    if (IsOpenBracket(t)) {
+      ++depth;
+    } else if (IsCloseBracket(t)) {
+      --depth;
+    } else if (depth == 0 && t == "=") {
+      const bool next_eq = j + 1 < end && tokens[j + 1].text == "=";
+      static const std::string kOps = "!<>+-*/%&|^=";
+      const bool prev_op =
+          j > begin && tokens[j - 1].text.size() == 1 &&
+          kOps.find(tokens[j - 1].text[0]) != std::string::npos;
+      if (!next_eq && !prev_op) {
+        return j;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// Index of the first top-level '(' in [begin, end), or npos.
+size_t TopLevelParen(const std::vector<Token>& tokens, size_t begin, size_t end) {
+  int depth = 0;
+  for (size_t j = begin; j < end; ++j) {
+    const std::string& t = tokens[j].text;
+    if (t == "(") {
+      if (depth == 0) {
+        return j;
+      }
+      ++depth;
+    } else if (t == "[" || t == "{") {
+      ++depth;
+    } else if (IsCloseBracket(t)) {
+      --depth;
+    }
+  }
+  return std::string::npos;
+}
+
+// The declared name in [begin, bound): the identifier closest to `bound`,
+// skipping over a trailing array extent (`int a[3]`).
+size_t DeclaredNameIndex(const std::vector<Token>& tokens, size_t begin, size_t bound) {
+  size_t j = bound;
+  int depth = 0;
+  while (j > begin) {
+    --j;
+    const std::string& t = tokens[j].text;
+    if (t == "]") {
+      ++depth;
+    } else if (t == "[") {
+      --depth;
+    } else if (depth == 0 && tokens[j].is_ident) {
+      return j;
+    }
+  }
+  return std::string::npos;
+}
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "const",    "constexpr", "constinit", "static",  "thread_local", "inline",
+      "volatile", "mutable",   "unsigned",  "signed",  "long",         "short",
+      "int",      "char",      "bool",      "float",   "double",       "void",
+      "auto",     "nullptr",   "true",      "false",   "new",          "delete",
+      "sizeof",   "noexcept",  "final",     "override"};
+  return kKeywords;
+}
+
+// True if the declaration in [begin, bound) is immutable: constexpr, or a
+// top-level const. With a pointer declarator, only a `const` *after* the last
+// `*` makes the pointer itself const (`const char* p` is a mutable pointer).
+bool IsConstDecl(const std::vector<Token>& tokens, size_t begin, size_t bound) {
+  size_t last_star = std::string::npos;
+  for (size_t j = begin; j < bound; ++j) {
+    if (tokens[j].is_ident && tokens[j].text == "constexpr") {
+      return true;  // constexpr implies top-level const.
+    }
+    if (tokens[j].text == "*") {
+      last_star = j;
+    }
+  }
+  const size_t const_from = last_star == std::string::npos ? begin : last_star + 1;
+  for (size_t j = const_from; j < bound; ++j) {
+    if (tokens[j].is_ident && tokens[j].text == "const") {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Analyzes one statement segment [begin, end) (exclusive of the trailing
+// ';'). `static_only` is set at block scope, where only static/thread_local
+// locals are in scope for R10; at namespace scope every variable is.
+void AnalyzeDeclStatement(const ScannedTu& tu, const std::vector<Token>& tokens, size_t begin,
+                          size_t end, bool static_only, TuModel* model) {
+  if (begin >= end) {
+    return;
+  }
+  const Token& first = tokens[begin];
+  if (!first.is_ident) {
+    return;
+  }
+  static const std::set<std::string> kSkipLeads = {
+      "using",  "typedef",   "static_assert", "template", "friend", "public",
+      "private", "protected", "namespace",     "class",    "struct", "union",
+      "enum",   "extern",    "return",        "if",       "for",    "while",
+      "do",     "switch",    "case",          "goto",     "break",  "continue",
+      "delete", "throw",     "co_return",     "asm"};
+  if (kSkipLeads.count(first.text) != 0) {
+    return;
+  }
+  if (SegmentContains(tokens, begin, end, "operator")) {
+    return;
+  }
+  if (static_only) {
+    const bool leads_static =
+        first.text == "static" || first.text == "thread_local" ||
+        (begin + 1 < end && tokens[begin + 1].is_ident &&
+         (tokens[begin + 1].text == "static" || tokens[begin + 1].text == "thread_local"));
+    if (!leads_static) {
+      return;
+    }
+  }
+
+  const size_t eq = TopLevelAssign(tokens, begin, end);
+  const size_t paren = TopLevelParen(tokens, begin, end);
+  const size_t bound = eq == std::string::npos ? end : eq;
+  if (paren != std::string::npos && paren < bound) {
+    // `ident(` before any initializer: a function declaration (or a macro
+    // invocation), not a variable. `void (*fp)()` declarators are missed —
+    // acceptable for a heuristic whose escape hatch is an audit annotation.
+    if (paren > begin && tokens[paren - 1].is_ident) {
+      return;
+    }
+  }
+  const size_t name_idx = DeclaredNameIndex(tokens, begin, bound);
+  if (name_idx == std::string::npos || name_idx == begin) {
+    return;  // No `type name` pair — an expression statement, not a decl.
+  }
+  const Token& name = tokens[name_idx];
+  if (Keywords().count(name.text) != 0) {
+    return;
+  }
+  if (IsConstDecl(tokens, begin, bound)) {
+    return;
+  }
+  MutableStateDecl decl;
+  decl.name = name.text;
+  decl.line = name.line;
+  decl.static_local = static_only;
+  decl.annotated = HasAuditAnnotation(tu.scanned, first.line, name.line, "shared-state-ok");
+  model->mutable_state.push_back(decl);
+}
+
+void ExtractMutableState(const ScannedTu& tu, TuModel* model) {
+  const std::vector<Token>& tokens = tu.tokens;
+  std::vector<ScopeKind> stack;
+  size_t stmt_start = 0;
+
+  auto effective_scope = [&]() -> ScopeKind {
+    for (size_t j = stack.size(); j > 0; --j) {
+      if (stack[j - 1] != ScopeKind::kInit) {
+        return stack[j - 1];
+      }
+    }
+    return ScopeKind::kNamespace;
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "{") {
+      const ScopeKind kind = ClassifyBrace(tokens, stmt_start, i);
+      stack.push_back(kind);
+      if (kind != ScopeKind::kInit) {
+        stmt_start = i + 1;
+      }
+    } else if (t == "}") {
+      ScopeKind kind = ScopeKind::kBlock;
+      if (!stack.empty()) {
+        kind = stack.back();
+        stack.pop_back();
+      }
+      if (kind != ScopeKind::kInit) {
+        stmt_start = i + 1;
+      }
+    } else if (t == ";") {
+      const ScopeKind scope = effective_scope();
+      if (scope == ScopeKind::kNamespace) {
+        AnalyzeDeclStatement(tu, tokens, stmt_start, i, /*static_only=*/false, model);
+      } else if (scope == ScopeKind::kBlock) {
+        AnalyzeDeclStatement(tu, tokens, stmt_start, i, /*static_only=*/true, model);
+      }
+      stmt_start = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lambdas and WorkerPool dispatch sites for R11.
+// ---------------------------------------------------------------------------
+
+bool CanBeSubscripted(const Token& tok) {
+  if (tok.is_ident) {
+    return true;  // a[i]
+  }
+  const char c = tok.text.empty() ? '\0' : tok.text[0];
+  return tok.text == "]" || tok.text == ")" || tok.text == "\"" ||
+         std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+void ExtractLambdasAndDispatches(const ScannedTu& tu, TuModel* model) {
+  const std::vector<Token>& tokens = tu.tokens;
+  std::map<size_t, int> lambda_at;  // token index of '[' -> index into model->lambdas
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text != "[") {
+      continue;
+    }
+    if (i > 0 && CanBeSubscripted(tokens[i - 1])) {
+      continue;  // Subscript or array declarator, not a capture list.
+    }
+    if (i + 1 < tokens.size() && tokens[i + 1].text == "[") {
+      ++i;  // [[attribute]]; skip the inner '[' too.
+      continue;
+    }
+    // Parse the capture list up to the matching ']'.
+    int depth = 1;
+    bool by_ref = false;
+    size_t j = i + 1;
+    while (j < tokens.size() && depth > 0) {
+      const std::string& t = tokens[j].text;
+      if (t == "[") {
+        ++depth;
+      } else if (t == "]") {
+        --depth;
+      } else if (depth == 1 && t == "&") {
+        const std::string& p = tokens[j - 1].text;
+        if (p == "[" || p == ",") {
+          by_ref = true;  // [&] default capture or explicit [&x].
+        }
+      }
+      ++j;
+    }
+    if (j >= tokens.size()) {
+      break;
+    }
+    const std::string& after = tokens[j].text;
+    if (after != "(" && after != "{" && after != "<") {
+      continue;  // Not followed by parameters or a body: not a lambda.
+    }
+    LambdaExpr lambda;
+    lambda.line = tokens[i].line;
+    lambda.captures_by_ref = by_ref;
+    if (i >= 2 && tokens[i - 1].text == "=" && tokens[i - 2].is_ident &&
+        !(i >= 3 && tokens[i - 3].text == "=")) {
+      lambda.assigned_name = tokens[i - 2].text;
+    }
+    lambda.annotated = HasAuditAnnotation(tu.scanned, lambda.line, lambda.line, "pool-capture-ok");
+    lambda_at[i] = static_cast<int>(model->lambdas.size());
+    model->lambdas.push_back(lambda);
+  }
+
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    if (!tokens[i].is_ident || tokens[i].text != "Run") {
+      continue;
+    }
+    const Token& access = tokens[i - 1];
+    if (access.text != "." && access.text != "->") {
+      continue;
+    }
+    const Token& recv = tokens[i - 2];
+    if (!recv.is_ident) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") {
+      continue;
+    }
+    PoolDispatch dispatch;
+    dispatch.receiver = recv.text;
+    dispatch.line = tokens[i].line;
+    dispatch.annotated =
+        HasAuditAnnotation(tu.scanned, dispatch.line, dispatch.line, "pool-capture-ok");
+    // Walk the argument list: top-level commas separate arguments.
+    int depth = 1;
+    size_t arg_first = i + 2;
+    size_t arg_tokens = 0;
+    auto flush_arg = [&](size_t arg_end) {
+      if (arg_first >= arg_end) {
+        return;
+      }
+      DispatchArg arg;
+      const auto it = lambda_at.find(arg_first);
+      if (it != lambda_at.end()) {
+        arg.lambda_index = it->second;
+      } else if (arg_tokens == 1 && tokens[arg_first].is_ident) {
+        arg.name = tokens[arg_first].text;
+      }
+      dispatch.args.push_back(arg);
+    };
+    size_t j = i + 2;
+    while (j < tokens.size() && depth > 0) {
+      const std::string& t = tokens[j].text;
+      if (IsOpenBracket(t)) {
+        ++depth;
+      } else if (IsCloseBracket(t)) {
+        --depth;
+        if (depth == 0) {
+          flush_arg(j);
+          break;
+        }
+      } else if (depth == 1 && t == ",") {
+        flush_arg(j);
+        arg_first = j + 1;
+        arg_tokens = 0;
+        ++j;
+        continue;
+      }
+      ++arg_tokens;
+      ++j;
+    }
+    model->dispatches.push_back(std::move(dispatch));
+  }
+}
+
+// Identifiers declared with type WorkerPool, by value, pointer, reference or
+// smart pointer: `WorkerPool pool`, `WorkerPool* p`,
+// `std::unique_ptr<WorkerPool> pool_`.
+void ExtractPoolTypedNames(const ScannedTu& tu, TuModel* model) {
+  const std::vector<Token>& tokens = tu.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].is_ident || tokens[i].text != "WorkerPool") {
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < tokens.size() &&
+           (tokens[j].text == ">" || tokens[j].text == "*" || tokens[j].text == "&")) {
+      ++j;
+    }
+    if (j < tokens.size() && tokens[j].is_ident && Keywords().count(tokens[j].text) == 0 &&
+        tokens[j].text != "operator" && tokens[j].text != "WorkerPool") {
+      model->pool_typed_names.push_back(tokens[j].text);
+    }
+  }
+  std::sort(model->pool_typed_names.begin(), model->pool_typed_names.end());
+  model->pool_typed_names.erase(
+      std::unique(model->pool_typed_names.begin(), model->pool_typed_names.end()),
+      model->pool_typed_names.end());
+}
+
+}  // namespace
+
+TuModel BuildTuModel(const ScannedTu& tu) {
+  TuModel model;
+  model.rel_path = tu.rel_path;
+  model.display_path = tu.display_path;
+  ExtractIncludes(tu, &model);
+  ExtractMutableState(tu, &model);
+  ExtractLambdasAndDispatches(tu, &model);
+  ExtractPoolTypedNames(tu, &model);
+  return model;
+}
+
+}  // namespace lint
+}  // namespace saba

@@ -1,0 +1,85 @@
+// Phase 1 of the project-wide analysis (DESIGN.md §8): each translation unit
+// is parsed — token-heuristically, never with a full C++ front end — into a
+// lightweight TuModel that phase 2 (tools/saba_lint/project.h) merges and
+// checks whole-program rules against. The model records exactly what R9–R11
+// need: resolved src/-rooted quote-includes, mutable namespace-scope and
+// static-local declarations with their audit state, lambda expressions with
+// their capture lists, and call sites into the saba::WorkerPool API.
+
+#ifndef TOOLS_SABA_LINT_MODEL_H_
+#define TOOLS_SABA_LINT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/saba_lint/scanner.h"
+
+namespace saba {
+namespace lint {
+
+// A quote-include directive. `target` is the include string verbatim; R6
+// guarantees it is repo-rooted, which is what lets phase 2 resolve it
+// against other TUs by plain string match.
+struct IncludeEdge {
+  std::string target;
+  int line = 0;
+};
+
+// A mutable (non-const, non-constexpr) variable at namespace scope, or a
+// mutable `static`/`thread_local` local in a function body. Const-qualified
+// declarations are not recorded: R10 is about shared *mutable* state.
+struct MutableStateDecl {
+  std::string name;
+  int line = 0;              // Line of the declared name.
+  bool static_local = false; // Block-scope static, as opposed to a global.
+  bool annotated = false;    // Carries // saba-lint: shared-state-ok(<reason>).
+};
+
+// A lambda expression. `assigned_name` is non-empty when the lambda
+// initializes a named local (`auto task = [...]`), which is how R11 follows
+// lambdas handed to a pool dispatch indirectly.
+struct LambdaExpr {
+  int line = 0;
+  bool captures_by_ref = false;  // [&] default or an explicit &x capture.
+  std::string assigned_name;
+  bool annotated = false;  // Carries // saba-lint: pool-capture-ok(<reason>).
+};
+
+// One argument at a WorkerPool dispatch site: either a lambda written in
+// place (lambda_index >= 0, into TuModel::lambdas) or a bare identifier
+// (name non-empty) that may refer to a named lambda local.
+struct DispatchArg {
+  int lambda_index = -1;
+  std::string name;
+};
+
+// A call of the form `<receiver>.Run(...)` / `<receiver>->Run(...)`. Whether
+// the receiver is actually a WorkerPool is decided in phase 2, against the
+// pool-typed names merged across every TU (the declaration may live in a
+// different file than the call).
+struct PoolDispatch {
+  std::string receiver;
+  int line = 0;
+  std::vector<DispatchArg> args;
+  bool annotated = false;  // pool-capture-ok at the dispatch site itself.
+};
+
+struct TuModel {
+  std::string rel_path;
+  std::string display_path;
+  std::vector<IncludeEdge> includes;
+  std::vector<MutableStateDecl> mutable_state;
+  std::vector<LambdaExpr> lambdas;
+  std::vector<PoolDispatch> dispatches;
+  // Identifiers declared in this TU with type WorkerPool (value, pointer,
+  // reference, or smart pointer): `WorkerPool pool`, `WorkerPool* p`,
+  // `std::unique_ptr<WorkerPool> pool_`.
+  std::vector<std::string> pool_typed_names;
+};
+
+TuModel BuildTuModel(const ScannedTu& tu);
+
+}  // namespace lint
+}  // namespace saba
+
+#endif  // TOOLS_SABA_LINT_MODEL_H_

@@ -1,0 +1,63 @@
+// Phase 2 of the project-wide analysis (DESIGN.md §8): whole-program rules
+// over the merged per-TU models from tools/saba_lint/model.h.
+//
+//   R9   the §9 layer DAG, read from tools/saba_lint/layers.txt (the single
+//        source of truth): any upward or lateral include between layers, any
+//        include of a harness directory from a layered file, and any include
+//        cycle is a finding.
+//   R10  every mutable namespace-scope or static-local variable outside
+//        src/sim/ carries // saba-lint: shared-state-ok(<reason>).
+//   R11  a lambda passed (directly or via a named local) to a WorkerPool
+//        dispatch site must not capture by reference without
+//        // saba-lint: pool-capture-ok(<reason>).
+
+#ifndef TOOLS_SABA_LINT_PROJECT_H_
+#define TOOLS_SABA_LINT_PROJECT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/saba_lint/lint.h"
+#include "tools/saba_lint/model.h"
+#include "tools/saba_lint/scanner.h"
+
+namespace saba {
+namespace lint {
+
+// The checked-in layer DAG: one rank per line, lowest (most foundational)
+// first; directories on one line share a rank and are peers that may not
+// include each other. '#' starts a comment.
+struct LayerMap {
+  struct Dir {
+    std::string prefix;  // "src/net" — matched against rel paths.
+    int rank = 0;        // 0 = bottom.
+  };
+  std::vector<Dir> dirs;
+
+  // Rank of the layer dir containing `rel_path`, or -1 if unlayered.
+  int RankOf(const std::string& rel_path) const;
+  // The layer dir containing `rel_path`, or "" if unlayered.
+  std::string DirOf(const std::string& rel_path) const;
+};
+
+// Strict parse: a malformed map is an error, never a silently empty DAG
+// (knobs.h discipline). Returns false and fills `error` on failure.
+bool ParseLayerMap(std::string_view content, LayerMap* map, std::string* error);
+
+// Runs R9–R11 over the merged models. `tus` and `models` are parallel
+// arrays; `layers` may be null, which skips the R9 layer/cycle checks (used
+// when no layers.txt applies, e.g. single-fixture tests for R10/R11).
+std::vector<Finding> CheckProjectRules(const std::vector<ScannedTu>& tus,
+                                       const std::vector<TuModel>& models,
+                                       const LayerMap* layers);
+
+// Layer-granularity include DAG for --graph and the DESIGN.md §9 table:
+// sorted "src/core -> src/net (6)" lines, counts = #include directives.
+std::vector<std::string> LayerGraphEdges(const std::vector<TuModel>& models,
+                                         const LayerMap& layers);
+
+}  // namespace lint
+}  // namespace saba
+
+#endif  // TOOLS_SABA_LINT_PROJECT_H_

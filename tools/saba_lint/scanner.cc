@@ -1,0 +1,315 @@
+#include "tools/saba_lint/scanner.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace saba {
+namespace lint {
+namespace {
+
+std::vector<std::string> SplitLines(std::string_view content) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= content.size()) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(content.substr(start));
+      break;
+    }
+    lines.emplace_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// True if `c` can end an expression — used to tell a char literal from a
+// C++14 digit separator (1'000'000) or a user-defined-literal quote.
+bool EndsExpression(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ')' || c == ']';
+}
+
+}  // namespace
+
+ScannedFile Scan(std::string_view content) {
+  ScannedFile out;
+  out.raw = SplitLines(content);
+  out.code.emplace_back();
+  out.comments.emplace_back();
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // For kRawString: )delim" that ends it.
+  char last_code_char = '\0';  // Last significant code char (for ' disambiguation).
+
+  size_t i = 0;
+  const size_t n = content.size();
+  auto code_put = [&](char c) { out.code.back().push_back(c); };
+  auto comment_put = [&](char c) { out.comments.back().push_back(c); };
+  auto newline = [&] {
+    out.code.emplace_back();
+    out.comments.emplace_back();
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_put(' ');
+          code_put(' ');
+          i += 2;
+        } else if (c == '"') {
+          // R"..."( opens a raw string; scan back over an optional prefix.
+          bool raw = false;
+          const std::string& line = out.code.back();
+          if (!line.empty() && line.back() == 'R') {
+            const size_t len = line.size();
+            // Reject identifiers ending in R (e.g. FooR"..." is not raw
+            // unless R starts the identifier or follows a prefix u8/u/U/L).
+            if (len == 1 || !(std::isalnum(static_cast<unsigned char>(line[len - 2])) ||
+                              line[len - 2] == '_')) {
+              raw = true;
+            }
+          }
+          if (raw) {
+            std::string delim;
+            size_t j = i + 1;
+            while (j < n && content[j] != '(' && content[j] != '\n' && delim.size() <= 16) {
+              delim.push_back(content[j]);
+              ++j;
+            }
+            if (j < n && content[j] == '(') {
+              raw_terminator = ")" + delim + "\"";
+              state = State::kRawString;
+              code_put('"');
+              i = j + 1;
+              break;
+            }
+          }
+          state = State::kString;
+          code_put('"');
+          ++i;
+        } else if (c == '\'' && !EndsExpression(last_code_char)) {
+          state = State::kChar;
+          code_put('\'');
+          ++i;
+        } else if (c == '\n') {
+          newline();
+          ++i;
+        } else {
+          code_put(c);
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            last_code_char = c;
+          }
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          newline();
+        } else {
+          comment_put(c);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          i += 2;
+        } else if (c == '\n') {
+          newline();
+          ++i;
+        } else {
+          comment_put(c);
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          code_put(' ');
+          code_put(' ');
+          i += 2;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_put('"');
+          last_code_char = '"';
+          ++i;
+        } else if (c == '\n') {  // Unterminated; recover at the newline.
+          state = State::kCode;
+          newline();
+          ++i;
+        } else {
+          code_put(' ');
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          code_put(' ');
+          code_put(' ');
+          i += 2;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_put('\'');
+          last_code_char = '\'';
+          ++i;
+        } else if (c == '\n') {
+          state = State::kCode;
+          newline();
+          ++i;
+        } else {
+          code_put(' ');
+          ++i;
+        }
+        break;
+      case State::kRawString:
+        if (c == '\n') {
+          newline();
+          ++i;
+        } else if (content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          state = State::kCode;
+          code_put('"');
+          last_code_char = '"';
+          i += raw_terminator.size();
+        } else {
+          code_put(' ');
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsPreprocessorLine(const std::string& code_line) {
+  for (char c : code_line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    }
+    return c == '#';
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const ScannedFile& scanned) {
+  std::vector<Token> tokens;
+  bool continuation = false;  // Previous line ended in backslash (pp-continuation).
+  for (size_t li = 0; li < scanned.code.size(); ++li) {
+    const std::string& line = scanned.code[li];
+    const bool pp = continuation || IsPreprocessorLine(line);
+    continuation = pp && !line.empty() && line.back() == '\\';
+    if (pp) {
+      continue;
+    }
+    const int line_no = static_cast<int>(li) + 1;
+    size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i + 1;
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) || line[j] == '_')) {
+          ++j;
+        }
+        tokens.push_back({line.substr(i, j - i), line_no, true});
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i + 1;  // Numbers (incl. 1'000 separators and suffixes).
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) || line[j] == '\'' ||
+                line[j] == '.')) {
+          ++j;
+        }
+        tokens.push_back({line.substr(i, j - i), line_no, false});
+        i = j;
+      } else if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        tokens.push_back({"::", line_no, false});
+        i += 2;
+      } else if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        tokens.push_back({"->", line_no, false});
+        i += 2;
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        tokens.push_back({std::string(1, c), line_no, false});
+        ++i;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
+ScannedTu MakeScannedTu(const std::string& rel_path, const std::string& display_path,
+                        std::string_view content) {
+  ScannedTu tu;
+  tu.rel_path = rel_path;
+  tu.display_path = display_path;
+  tu.scanned = Scan(content);
+  tu.tokens = Tokenize(tu.scanned);
+  return tu;
+}
+
+bool IsSuppressed(const ScannedFile& scanned, int line, const std::string& rule) {
+  const std::string needle = "saba-lint: allow(" + rule + ")";
+  for (int l = line - 1; l >= std::max(0, line - 2); --l) {
+    if (static_cast<size_t>(l) < scanned.comments.size() &&
+        scanned.comments[static_cast<size_t>(l)].find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasAuditAnnotation(const ScannedFile& scanned, int first_line, int last_line,
+                        std::string_view form) {
+  const std::string needle = std::string("saba-lint: ") + std::string(form) + "(";
+  auto annotated = [&](int idx) {
+    if (idx < 0 || static_cast<size_t>(idx) >= scanned.comments.size()) {
+      return false;
+    }
+    const std::string& comment = scanned.comments[static_cast<size_t>(idx)];
+    const size_t pos = comment.find(needle);
+    if (pos == std::string::npos) {
+      return false;
+    }
+    // Require a non-empty reason: "shared-state-ok()" is not an audit.
+    const size_t open = pos + needle.size();
+    return open < comment.size() && comment[open] != ')';
+  };
+  // A line carrying only a comment (no code) — annotations may wrap over
+  // several such lines, so the whole contiguous block above counts.
+  auto comment_only = [&](int idx) {
+    if (idx < 0 || static_cast<size_t>(idx) >= scanned.code.size()) {
+      return false;
+    }
+    const std::string& code = scanned.code[static_cast<size_t>(idx)];
+    const bool blank_code = std::all_of(code.begin(), code.end(), [](char c) {
+      return std::isspace(static_cast<unsigned char>(c)) != 0;
+    });
+    return blank_code && !scanned.comments[static_cast<size_t>(idx)].empty();
+  };
+  for (int l = first_line - 1; l <= last_line - 1; ++l) {
+    if (annotated(l)) {
+      return true;
+    }
+  }
+  for (int l = first_line - 2; comment_only(l); --l) {
+    if (annotated(l)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lint
+}  // namespace saba

@@ -1,0 +1,62 @@
+// Shared lexical layer for saba-lint: one scan + tokenize per translation
+// unit, cached in a ScannedTu and reused by every rule (the per-file R1–R8
+// pass and the project-wide R9–R11 model build both read the same tokens, so
+// the tree is read exactly once per lint run).
+
+#ifndef TOOLS_SABA_LINT_SCANNER_H_
+#define TOOLS_SABA_LINT_SCANNER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saba {
+namespace lint {
+
+// A translation unit split into per-line code text (comments and string/char
+// literal contents blanked with spaces, so columns and line numbers survive)
+// and per-line comment text (for annotations/suppressions).
+struct ScannedFile {
+  std::vector<std::string> raw;       // raw[i] = line i+1 verbatim (for R6/R9)
+  std::vector<std::string> code;      // code[i] = line i+1, literals blanked
+  std::vector<std::string> comments;  // comments[i] = comment text on line i+1
+};
+
+ScannedFile Scan(std::string_view content);
+
+// Identifiers + the punctuation the rules care about, skipping preprocessor
+// lines (those are handled from the raw text).
+struct Token {
+  std::string text;
+  int line = 0;  // 1-based.
+  bool is_ident = false;
+};
+
+std::vector<Token> Tokenize(const ScannedFile& scanned);
+
+// The cached unit of work: every rule phase consumes this, nothing re-reads
+// or re-scans the file.
+struct ScannedTu {
+  std::string rel_path;      // Repository-relative path used for rule scoping.
+  std::string display_path;  // Path reported in findings.
+  ScannedFile scanned;
+  std::vector<Token> tokens;
+};
+
+ScannedTu MakeScannedTu(const std::string& rel_path, const std::string& display_path,
+                        std::string_view content);
+
+// "// saba-lint: allow(R2): reason" on the finding's line or the line above.
+bool IsSuppressed(const ScannedFile& scanned, int line, const std::string& rule);
+
+// True if a comment of the form "saba-lint: <form>(<non-empty reason>)"
+// appears on any line in [first_line, last_line] or the line above
+// first_line. The reason inside the parentheses is the audit record; an
+// empty reason does not count (R4/R10/R11 contract).
+bool HasAuditAnnotation(const ScannedFile& scanned, int first_line, int last_line,
+                        std::string_view form);
+
+}  // namespace lint
+}  // namespace saba
+
+#endif  // TOOLS_SABA_LINT_SCANNER_H_

@@ -1,0 +1,27 @@
+// R10 fixture: mutable namespace-scope / static-local state. The tests lint
+// this as a src/core file, outside the src/sim exemption.
+namespace saba {
+
+int mutable_counter = 0;
+const int kConstant = 7;
+constexpr double kRatio = 0.5;
+static const char* mutable_ptr = "x";
+static const char* const kName = "y";
+
+// saba-lint: shared-state-ok(fixture: written once before any worker starts)
+int audited_counter = 0;
+
+// saba-lint: shared-state-ok()
+int empty_reason_counter = 0;
+
+int Accumulate(int x) {
+  static int calls = 0;
+  // saba-lint: shared-state-ok(fixture: monotonic cache, value independent of write order)
+  static int audited_calls = 0;
+  int local = x;
+  calls += local;
+  audited_calls = calls;
+  return calls;
+}
+
+}  // namespace saba

@@ -1,0 +1,30 @@
+// R11 fixture: by-reference captures flowing into WorkerPool dispatches,
+// directly and via named locals. Linted by the tests as src/exp code.
+#include "src/sim/worker_pool.h"
+
+namespace saba {
+
+void Fan(WorkerPool& pool, int n) {
+  int sum = 0;
+  pool.Run(n, [&](size_t index, int slot) { sum += slot; });
+  pool.Run(n, [](size_t index, int slot) {});
+  pool.Run(n, [sum](size_t index, int slot) {});
+  // saba-lint: pool-capture-ok(fixture: slot-confined writes only)
+  pool.Run(n, [&](size_t index, int slot) { sum += slot; });
+
+  auto task = [&](size_t index, int slot) { sum += slot; };
+  pool.Run(n, task);
+
+  // saba-lint: pool-capture-ok(fixture: index-owned writes)
+  auto audited = [&](size_t index, int slot) { sum += slot; };
+  pool.Run(n, audited);
+}
+
+void NotAPool(int n) {
+  struct Runner {
+    void Run(int, int) {}
+  } runner;
+  runner.Run(n, 0);
+}
+
+}  // namespace saba

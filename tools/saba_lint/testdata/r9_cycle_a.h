@@ -1,0 +1,6 @@
+// R9 fixture: half of an include cycle with r9_cycle_b.h (same layer, so
+// only the cycle check fires, not the rank check).
+#ifndef SRC_NET_R9_CYCLE_A_H_
+#define SRC_NET_R9_CYCLE_A_H_
+#include "src/net/r9_cycle_b.h"
+#endif  // SRC_NET_R9_CYCLE_A_H_

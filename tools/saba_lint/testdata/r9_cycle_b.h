@@ -1,0 +1,5 @@
+// R9 fixture: the other half of the include cycle with r9_cycle_a.h.
+#ifndef SRC_NET_R9_CYCLE_B_H_
+#define SRC_NET_R9_CYCLE_B_H_
+#include "src/net/r9_cycle_a.h"
+#endif  // SRC_NET_R9_CYCLE_B_H_

@@ -1,0 +1,11 @@
+// R9 fixture: one include per layering edge class. The tests lint this as
+// src/net/r9_layering.cc against the map {src/sim | src/net src/peer | src/exp}.
+#include "src/sim/r9_layering.h"
+#include "src/exp/top.h"
+#include "src/peer/widget.h"
+#include "tests/test_util.h"
+#include "src/newdir/widget.h"
+// saba-lint: allow(R9): fixture-blessed upward edge to test the suppression path.
+#include "src/exp/allowed.h"
+
+int R9Fixture() { return 0; }

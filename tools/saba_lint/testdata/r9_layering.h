@@ -1,0 +1,6 @@
+// R9 fixture header: linted as src/sim/r9_layering.h — the bottom layer, so
+// any cross-layer include from here is upward.
+#ifndef SRC_SIM_R9_LAYERING_H_
+#define SRC_SIM_R9_LAYERING_H_
+#include "src/net/r9_helper.h"
+#endif  // SRC_SIM_R9_LAYERING_H_
