@@ -1,0 +1,201 @@
+// Figure 13 (beyond the paper): allocation under routing diversity and
+// fabric failures on a k-ary fat-tree.
+//
+// Every paper figure runs a healthy fabric with static shortest paths; this
+// sweep asks whether Saba's sensitivity-proportional allocation keeps its win
+// when the bottleneck *moves*. Five scenarios on BuildFatTree(k):
+//
+//   no-failure      healthy fabric (reference; also used for the static ECMP
+//                   spread table below)
+//   link-failure    one edge-agg link fails mid-run and is restored later;
+//                   pinned flows crossing it re-route deterministically
+//   switch-failure  one aggregation switch fails permanently, removing a
+//                   quarter of the pod's uplink capacity
+//   degrade         one agg-core link runs at 40% capacity for a window
+//                   (asymmetric post-degradation bandwidth, no reroute)
+//   oversubscribed  core links at half the edge capacity (persistent
+//                   contention above the pods)
+//
+// Each scenario co-runs SABA_FIG13_JOBS catalog workloads under baseline,
+// Saba, and ideal max-min; the table reports Saba's and ideal max-min's
+// geometric-mean speedup over the baseline plus the flows Saba re-pinned.
+// The ECMP table reports how the deterministic salt spreads one inter-pod
+// pair across equal-cost paths and how a permutation traffic pattern loads
+// the agg-core links.
+//
+// SABA_FIG13_K (default 4) sets the fat-tree arity (even, >= 4 so failures
+// leave redundancy); SABA_FIG13_JOBS (default 6) the co-running job count.
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/exp/report.h"
+#include "src/exp/scenario.h"
+#include "src/net/routing.h"
+#include "src/numerics/stats.h"
+
+namespace saba {
+namespace {
+
+struct Fig13Scenario {
+  std::string name;
+  std::string text;  // Scenario body without the policy line.
+};
+
+// Static ECMP diversity report on the healthy fabric: path spread for one
+// inter-pod pair across salts, and agg-core link load under a permutation
+// pattern (host i -> host (i + n/2) mod n, salt i).
+void PrintEcmpTable(const FatTreeParams& params) {
+  const Topology topo = BuildFatTree(params);
+  Router router(&topo);
+  const std::vector<NodeId> hosts = topo.Hosts();
+  const int num_hosts = static_cast<int>(hosts.size());
+
+  constexpr int kSalts = 64;
+  std::set<std::vector<LinkId>> distinct_paths;
+  for (uint64_t salt = 0; salt < kSalts; ++salt) {
+    distinct_paths.insert(router.Route(hosts.front(), hosts.back(), salt));
+  }
+
+  std::vector<int> core_link_flows(topo.num_links(), 0);
+  for (int i = 0; i < num_hosts; ++i) {
+    const NodeId src = hosts[static_cast<size_t>(i)];
+    const NodeId dst = hosts[static_cast<size_t>((i + num_hosts / 2) % num_hosts)];
+    for (LinkId l : router.Route(src, dst, static_cast<uint64_t>(i))) {
+      if (topo.node(topo.link(l).src).kind == NodeKind::kLeafSwitch &&
+          topo.node(topo.link(l).dst).kind == NodeKind::kSpineSwitch) {
+        core_link_flows[static_cast<size_t>(l)] += 1;
+      }
+    }
+  }
+  int up_links = 0;
+  int max_load = 0;
+  int total = 0;
+  for (size_t l = 0; l < topo.num_links(); ++l) {
+    if (topo.node(topo.link(static_cast<LinkId>(l)).src).kind == NodeKind::kLeafSwitch &&
+        topo.node(topo.link(static_cast<LinkId>(l)).dst).kind == NodeKind::kSpineSwitch) {
+      ++up_links;
+      max_load = std::max(max_load, core_link_flows[l]);
+      total += core_link_flows[l];
+    }
+  }
+  const double mean_load = static_cast<double>(total) / up_links;
+
+  TablePrinter table({"ECMP metric", "Value"});
+  table.AddRow({"Distinct paths, one inter-pod pair (64 salts)",
+                std::to_string(distinct_paths.size())});
+  table.AddRow({"Agg-core links (up direction)", std::to_string(up_links)});
+  table.AddRow({"Permutation flows per up-link (mean)", Fmt(mean_load)});
+  table.AddRow({"Permutation flows per up-link (max)", std::to_string(max_load)});
+  table.AddRow({"Hash imbalance (max / mean)",
+                Fmt(mean_load > 0 ? max_load / mean_load : 0.0)});
+  table.Print(std::cout);
+}
+
+void Run() {
+  const uint64_t seed = EnvSeed();
+  const int k = EnvInt("SABA_FIG13_K", 4);
+  if (k < 4 || k % 2 != 0) {
+    std::cerr << "SABA_FIG13_K must be even and >= 4 (failures need redundant paths)\n";
+    std::exit(1);
+  }
+  const int num_jobs = EnvInt("SABA_FIG13_JOBS", 6);
+  PrintBanner(std::cout, "Figure 13",
+              "Saba vs ideal max-min speedup over the baseline on a k=" + std::to_string(k) +
+                  " fat-tree under ECMP imbalance, link/switch failures, degradation, and an "
+                  "oversubscribed core (" +
+                  std::to_string(num_jobs) + " co-running jobs; SABA_FIG13_K/SABA_FIG13_JOBS).",
+              seed);
+
+  // Node-id layout of BuildFatTree: hosts first, then edge, agg, core tiers.
+  const int num_hosts = k * k * k / 4;
+  const NodeId edge0 = static_cast<NodeId>(num_hosts);
+  const NodeId agg0 = static_cast<NodeId>(num_hosts + k * k / 2);
+  const NodeId core0 = static_cast<NodeId>(num_hosts + k * k);
+
+  const std::vector<std::string> kJobNames = {"LR", "PR", "Sort", "SQL",
+                                              "WC", "NW", "RF",   "GBT"};
+  const int nodes_per_job = std::max(2, num_hosts / 4);
+  std::string job_lines;
+  for (int j = 0; j < num_jobs; ++j) {
+    job_lines += "job " + kJobNames[static_cast<size_t>(j) % kJobNames.size()] +
+                 " nodes=" + std::to_string(nodes_per_job) +
+                 " start=" + Fmt(0.5 * j, 1) + "\n";
+  }
+  const std::string fabric_line = "topology fattree k=" + std::to_string(k) + "\n";
+  const std::string base = fabric_line + "queues 8\n" + job_lines;
+
+  std::vector<Fig13Scenario> scenarios;
+  scenarios.push_back({"no-failure", base});
+  // Jobs run for minutes; the repairable faults hold for a few hundred
+  // seconds so a meaningful fraction of each job sees the degraded fabric.
+  scenarios.push_back({"link-failure",
+                       base + "fail link a=" + std::to_string(edge0) +
+                           " b=" + std::to_string(agg0) + " at=2.0 until=400.0\n"});
+  scenarios.push_back(
+      {"switch-failure", base + "fail switch id=" + std::to_string(agg0) + " at=2.0\n"});
+  scenarios.push_back({"degrade", base + "degrade link a=" + std::to_string(agg0) +
+                                      " b=" + std::to_string(core0) +
+                                      " at=2.0 factor=0.4 until=600.0\n"});
+  scenarios.push_back(
+      {"oversubscribed",
+       "topology fattree k=" + std::to_string(k) + " core_gbps=28\nqueues 8\n" + job_lines});
+
+  // Profile the referenced workloads once (shared, read-only across cells).
+  std::vector<WorkloadSpec> used;
+  for (int j = 0; j < std::min<int>(num_jobs, static_cast<int>(kJobNames.size())); ++j) {
+    const WorkloadSpec* spec = FindWorkload(kJobNames[static_cast<size_t>(j)]);
+    assert(spec != nullptr);
+    used.push_back(*spec);
+  }
+  ProfilerOptions profiler_options;
+  profiler_options.seed = seed;
+  const SensitivityTable table = OfflineProfiler(profiler_options).ProfileAll(used);
+
+  const std::vector<PolicyKind> policies = {PolicyKind::kBaseline, PolicyKind::kSaba,
+                                            PolicyKind::kIdealMaxMin};
+  const size_t cells = scenarios.size() * policies.size();
+  const std::vector<CoRunResult> runs =
+      RunSweep<CoRunResult>("fig13 cells", cells, [&](size_t cell) {
+        const Fig13Scenario& sc = scenarios[cell / policies.size()];
+        std::string error;
+        std::optional<Scenario> parsed = ParseScenario(sc.text, &error);
+        if (!parsed.has_value()) {
+          std::cerr << "fig13 scenario '" << sc.name << "': " << error << "\n";
+          std::abort();
+        }
+        parsed->seed = seed;
+        parsed->options.seed = seed;
+        parsed->options.policy = policies[cell % policies.size()];
+        return RunScenario(*parsed, table);
+      });
+
+  std::cout << "\nECMP diversity on the healthy k=" << k << " fat-tree:\n";
+  PrintEcmpTable(FatTreeParams{k});
+
+  std::cout << "\nSpeedup over the baseline (geometric mean across jobs):\n";
+  TablePrinter table_out({"Scenario", "Saba", "Ideal max-min", "Saba rerouted flows"});
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const CoRunResult& baseline = runs[s * policies.size()];
+    const CoRunResult& with_saba = runs[s * policies.size() + 1];
+    const CoRunResult& with_ideal = runs[s * policies.size() + 2];
+    table_out.AddRow({scenarios[s].name, Fmt(GeometricMean(Speedups(baseline, with_saba))),
+                      Fmt(GeometricMean(Speedups(baseline, with_ideal))),
+                      std::to_string(with_saba.rerouted_flows)});
+    std::cerr << "[fig13] " << scenarios[s].name << " done (baseline makespan "
+              << Fmt(baseline.makespan, 1) << " s)\n";
+  }
+  table_out.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace saba
+
+int main() {
+  saba::Run();
+  return 0;
+}

@@ -575,8 +575,15 @@ void BM_RouterColdPath(benchmark::State& state) {
   const std::vector<NodeId> hosts = topo.Hosts();
   uint64_t salt = 0;
   for (auto _ : state) {
-    // Fresh salt each time: exercises path computation, not the cache.
-    benchmark::DoNotOptimize(router.Route(rng.Choice(hosts), rng.Choice(hosts) / 2, ++salt));
+    // Fresh salt each time: exercises path computation, not the cache. Draw
+    // src and dst independently from the full host set, deterministically
+    // rejecting src == dst (the empty path would measure nothing).
+    const NodeId src = rng.Choice(hosts);
+    NodeId dst = rng.Choice(hosts);
+    while (dst == src) {
+      dst = rng.Choice(hosts);
+    }
+    benchmark::DoNotOptimize(router.Route(src, dst, ++salt));
   }
 }
 BENCHMARK(BM_RouterColdPath);

@@ -24,6 +24,7 @@ BENCHES=(
   bench_fig1_motivation
   bench_fig2_utilization
   bench_fig5_model_fit
+  bench_fig13_failures
   bench_validation
 )
 

@@ -67,6 +67,9 @@ void CentralizedController::ConnCreate(AppId app, NodeId src, NodeId dst, uint64
     port_apps_[link][app] += 1;
     dirty.push_back(link);
   }
+  // Snapshot the accounted path: a later failure may reroute this pair, and
+  // ConnDestroy must release exactly these ports (see conn_paths_).
+  conn_paths_[std::make_tuple(app, src, dst, path_salt)].push_back(path);
   MarkPortsDirty(dirty);
 }
 
@@ -77,7 +80,15 @@ void CentralizedController::ConnDestroy(AppId app, NodeId src, NodeId dst, uint6
   --it->second.connections;
   assert(it->second.connections >= 0);
 
-  const std::vector<LinkId>& path = network_->router().Route(src, dst, path_salt);
+  // Unwind the ports charged at create time — not today's route, which may
+  // differ after a failure (see conn_paths_).
+  const auto conn_it = conn_paths_.find(std::make_tuple(app, src, dst, path_salt));
+  assert(conn_it != conn_paths_.end() && "destroying a connection that was never created");
+  const std::vector<LinkId> path = std::move(conn_it->second.back());
+  conn_it->second.pop_back();
+  if (conn_it->second.empty()) {
+    conn_paths_.erase(conn_it);
+  }
   std::vector<LinkId> dirty;
   for (LinkId link : path) {
     auto port_it = port_apps_.find(link);

@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -209,6 +210,15 @@ class CentralizedController : public ControllerInterface {
   // order-sensitive use; solves are keyed by signature, not visit order.
   // saba-lint: unordered-iter-ok(keys sorted before every order-sensitive use)
   std::unordered_map<LinkId, std::map<AppId, int>> port_apps_;
+  // Path each live connection was accounted under, keyed by the connection
+  // tuple (LIFO per tuple for duplicates). ConnDestroy must unwind exactly
+  // the ports ConnCreate charged: re-resolving at destroy time would corrupt
+  // port_apps_ whenever a failure rerouted the pair in between. Connections
+  // rerouted mid-life stay accounted at their create-time ports until they
+  // close — the real controller polls forwarding state periodically (§7.2),
+  // so bounded staleness is faithful.
+  std::map<std::tuple<AppId, NodeId, NodeId, uint64_t>, std::vector<std::vector<LinkId>>>
+      conn_paths_;
   // Per port: last solved per-application weights, sorted by AppId (a flat
   // vector rather than a map — rebuilt wholesale on every reallocation, so
   // node-based storage would be pure overhead on the hot path).

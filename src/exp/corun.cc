@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <memory>
+#include <utility>
 
 #include "src/baselines/homa_policy.h"
 #include "src/baselines/pfabric_policy.h"
@@ -173,6 +174,75 @@ CoRunResult RunCoRun(const Topology& topology, const std::vector<JobSpec>& jobs,
     });
   }
 
+  // --- Failure schedule -----------------------------------------------------
+  Topology& live_topo = network.topology();
+  for (const FailureEvent& event : options.failures) {
+    assert(event.a >= 0 && static_cast<size_t>(event.a) < live_topo.num_nodes());
+    switch (event.kind) {
+      case FailureEvent::Kind::kLinkDown: {
+        const LinkId forward = live_topo.FindLink(event.a, event.b);
+        const LinkId reverse = live_topo.FindLink(event.b, event.a);
+        assert(forward != kInvalidLink && reverse != kInvalidLink);
+        scheduler.ScheduleAt(event.at, [&live_topo, &flow_sim, forward, reverse] {
+          live_topo.SetLinkUp(forward, false);
+          live_topo.SetLinkUp(reverse, false);
+          flow_sim.HandleTopologyChange();
+        });
+        if (event.until >= 0) {
+          scheduler.ScheduleAt(event.until, [&live_topo, &flow_sim, forward, reverse] {
+            live_topo.SetLinkUp(forward, true);
+            live_topo.SetLinkUp(reverse, true);
+            flow_sim.HandleTopologyChange();
+          });
+        }
+        break;
+      }
+      case FailureEvent::Kind::kNodeDown: {
+        const NodeId node = event.a;
+        assert(IsSwitch(live_topo.node(node).kind) && "only switches fail; hosts run jobs");
+        scheduler.ScheduleAt(event.at, [&live_topo, &flow_sim, node] {
+          live_topo.SetNodeUp(node, false);
+          flow_sim.HandleTopologyChange();
+        });
+        if (event.until >= 0) {
+          scheduler.ScheduleAt(event.until, [&live_topo, &flow_sim, node] {
+            live_topo.SetNodeUp(node, true);
+            flow_sim.HandleTopologyChange();
+          });
+        }
+        break;
+      }
+      case FailureEvent::Kind::kLinkDegrade: {
+        assert(event.capacity_factor > 0 && event.capacity_factor <= 1.0);
+        const LinkId forward = live_topo.FindLink(event.a, event.b);
+        const LinkId reverse = live_topo.FindLink(event.b, event.a);
+        assert(forward != kInvalidLink && reverse != kInvalidLink);
+        // Originals are captured at apply time (not schedule time) and handed
+        // to the restore lambda, so back-to-back degrades restore exactly.
+        auto originals = std::make_shared<std::pair<Bps64, Bps64>>();
+        const double factor = event.capacity_factor;
+        scheduler.ScheduleAt(event.at, [&live_topo, &flow_sim, forward, reverse, factor,
+                                        originals] {
+          originals->first = live_topo.link(forward).capacity_bps;
+          originals->second = live_topo.link(reverse).capacity_bps;
+          live_topo.SetLinkCapacity(forward, RoundBps(BpsToDouble(originals->first) * factor));
+          live_topo.SetLinkCapacity(reverse, RoundBps(BpsToDouble(originals->second) * factor));
+          flow_sim.NotifyLinkChanged(forward);
+          flow_sim.NotifyLinkChanged(reverse);
+        });
+        if (event.until >= 0) {
+          scheduler.ScheduleAt(event.until, [&live_topo, &flow_sim, forward, reverse, originals] {
+            live_topo.SetLinkCapacity(forward, originals->first);
+            live_topo.SetLinkCapacity(reverse, originals->second);
+            flow_sim.NotifyLinkChanged(forward);
+            flow_sim.NotifyLinkChanged(reverse);
+          });
+        }
+        break;
+      }
+    }
+  }
+
   scheduler.Run();
 
   for (double t : result.completion_seconds) {
@@ -184,6 +254,7 @@ CoRunResult RunCoRun(const Topology& topology, const std::vector<JobSpec>& jobs,
   }
   result.allocator_runs = flow_sim.allocator_runs();
   result.engine_stats = flow_sim.engine_stats();
+  result.rerouted_flows = flow_sim.rerouted_flow_count();
   result.makespan = scheduler.Now();
   return result;
 }

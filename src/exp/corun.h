@@ -51,6 +51,26 @@ struct JobSpec {
   SimTime start_at = 0;
 };
 
+// A scheduled fabric fault injected mid-run. Link events name the duplex pair
+// (a, b) — both directions change together; node events take a switch out
+// entirely. Down/degraded state is applied at `at` and restored at `until`
+// (`until < 0` = never, the event is permanent). Live flows crossing a failed
+// link are re-pinned via FlowSimulator::HandleTopologyChange; degradation
+// scales capacity in place without moving any flow.
+struct FailureEvent {
+  enum class Kind {
+    kLinkDown,     // Both directions of (a, b) go down, capacities preserved.
+    kNodeDown,     // Node `a` goes down (all incident links unusable).
+    kLinkDegrade,  // Both directions of (a, b) scale to capacity_factor x.
+  };
+  Kind kind = Kind::kLinkDown;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;  // Unused for kNodeDown.
+  SimTime at = 0;
+  SimTime until = -1;
+  double capacity_factor = 1.0;  // kLinkDegrade only; in (0, 1].
+};
+
 struct CoRunOptions {
   PolicyKind policy = PolicyKind::kBaseline;
   // Queues per port available to the policy (Saba's Fig 11b knob; also the
@@ -81,6 +101,9 @@ struct CoRunOptions {
   // defaults to 1 (serial). Rates — and therefore every report byte — are
   // identical at every setting.
   int solve_jobs = 0;
+  // Faults to inject while the jobs run (applied in the order given for
+  // events at the same instant).
+  std::vector<FailureEvent> failures;
   uint64_t seed = 1;
 };
 
@@ -94,6 +117,8 @@ struct CoRunResult {
   // AllocationEngineStats; flows_frozen / (flows_rerated + flows_frozen) is
   // the saved fraction).
   AllocationEngineStats engine_stats;
+  // Flows re-pinned around failures (FlowSimulator::rerouted_flow_count).
+  uint64_t rerouted_flows = 0;
   SimTime makespan = 0;
 };
 

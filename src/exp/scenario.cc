@@ -4,6 +4,7 @@
 #include <cassert>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "src/net/units.h"
 #include "src/sim/rng.h"
@@ -62,6 +63,9 @@ void Fail(std::string* error, int line_number, const std::string& message) {
 std::optional<Scenario> ParseScenario(const std::string& text, std::string* error) {
   Scenario scenario;
   bool have_topology = false;
+  // Failure lines may precede the topology line, so node-id and link
+  // validation is deferred until the topology is resolved (end of parse).
+  std::vector<std::pair<int, FailureEvent>> pending_failures;
 
   std::istringstream lines(text);
   std::string line;
@@ -118,6 +122,20 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
           return std::nullopt;
         }
         scenario.topology = BuildSpineLeaf(params);
+      } else if (rest[0] == "fattree") {
+        FatTreeParams params;
+        params.k = static_cast<int>(kv.count("k") ? kv["k"] : 4);
+        if (params.k < 2 || params.k % 2 != 0) {
+          Fail(error, line_number, "fattree needs an even k >= 2");
+          return std::nullopt;
+        }
+        params.host_link_bps = params.edge_agg_bps = capacity;
+        params.agg_core_bps = kv.count("core_gbps") ? Gbps64(kv["core_gbps"]) : capacity;
+        if (params.agg_core_bps <= 0) {
+          Fail(error, line_number, "fattree core_gbps must be positive");
+          return std::nullopt;
+        }
+        scenario.topology = BuildFatTree(params);
       } else {
         Fail(error, line_number, "unknown topology kind '" + rest[0] + "'");
         return std::nullopt;
@@ -202,6 +220,77 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
         }
       }
       scenario.jobs.push_back(std::move(job));
+    } else if (directive == "fail" || directive == "degrade") {
+      // fail link a=.. b=.. at=.. [until=..]
+      // fail switch id=.. at=.. [until=..]
+      // degrade link a=.. b=.. at=.. factor=.. [until=..]
+      if (rest.empty()) {
+        Fail(error, line_number, directive + " needs a target kind (link | switch)");
+        return std::nullopt;
+      }
+      FailureEvent event;
+      bool have_a = false;
+      bool have_b = false;
+      bool have_at = false;
+      bool have_factor = false;
+      if (directive == "fail" && rest[0] == "link") {
+        event.kind = FailureEvent::Kind::kLinkDown;
+      } else if (directive == "fail" && rest[0] == "switch") {
+        event.kind = FailureEvent::Kind::kNodeDown;
+      } else if (directive == "degrade" && rest[0] == "link") {
+        event.kind = FailureEvent::Kind::kLinkDegrade;
+      } else {
+        Fail(error, line_number, "unknown " + directive + " target '" + rest[0] + "'");
+        return std::nullopt;
+      }
+      for (size_t i = 1; i < rest.size(); ++i) {
+        std::string key;
+        std::string value;
+        double number = 0;
+        if (!SplitKeyValue(rest[i], &key, &value) || !ParseDouble(value, &number)) {
+          Fail(error, line_number, "bad " + directive + " parameter '" + rest[i] + "'");
+          return std::nullopt;
+        }
+        if ((key == "a" && event.kind != FailureEvent::Kind::kNodeDown) ||
+            (key == "id" && event.kind == FailureEvent::Kind::kNodeDown)) {
+          event.a = static_cast<NodeId>(number);
+          have_a = true;
+        } else if (key == "b" && event.kind != FailureEvent::Kind::kNodeDown) {
+          event.b = static_cast<NodeId>(number);
+          have_b = true;
+        } else if (key == "at") {
+          event.at = number;
+          have_at = true;
+        } else if (key == "until") {
+          event.until = number;
+        } else if (key == "factor" && event.kind == FailureEvent::Kind::kLinkDegrade) {
+          event.capacity_factor = number;
+          have_factor = true;
+        } else {
+          Fail(error, line_number, "unknown " + directive + " parameter '" + key + "'");
+          return std::nullopt;
+        }
+      }
+      const bool needs_b = event.kind != FailureEvent::Kind::kNodeDown;
+      if (!have_a || (needs_b && !have_b)) {
+        Fail(error, line_number,
+             needs_b ? directive + " link needs a= and b= endpoints" : "fail switch needs id=");
+        return std::nullopt;
+      }
+      if (!have_at || event.at < 0) {
+        Fail(error, line_number, directive + " needs a non-negative at= time");
+        return std::nullopt;
+      }
+      if (event.until >= 0 && event.until <= event.at) {
+        Fail(error, line_number, "until= must be later than at=");
+        return std::nullopt;
+      }
+      if (event.kind == FailureEvent::Kind::kLinkDegrade &&
+          (!have_factor || event.capacity_factor <= 0 || event.capacity_factor > 1)) {
+        Fail(error, line_number, "degrade needs factor= in (0, 1]");
+        return std::nullopt;
+      }
+      pending_failures.emplace_back(line_number, event);
     } else {
       Fail(error, line_number, "unknown directive '" + directive + "'");
       return std::nullopt;
@@ -221,6 +310,31 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
       Fail(error, 0, "job '" + job.workload + "' wants more nodes than the fabric has");
       return std::nullopt;
     }
+  }
+  // Validate deferred failure events against the resolved topology.
+  const Topology& topo = scenario.topology;
+  for (const auto& [fail_line, event] : pending_failures) {
+    if (event.a < 0 || static_cast<size_t>(event.a) >= topo.num_nodes()) {
+      Fail(error, fail_line, "failure names a node id outside the topology");
+      return std::nullopt;
+    }
+    if (event.kind == FailureEvent::Kind::kNodeDown) {
+      if (!IsSwitch(topo.node(event.a).kind)) {
+        Fail(error, fail_line, "fail switch must name a switch, not a host");
+        return std::nullopt;
+      }
+    } else {
+      if (event.b < 0 || static_cast<size_t>(event.b) >= topo.num_nodes()) {
+        Fail(error, fail_line, "failure names a node id outside the topology");
+        return std::nullopt;
+      }
+      if (topo.FindLink(event.a, event.b) == kInvalidLink ||
+          topo.FindLink(event.b, event.a) == kInvalidLink) {
+        Fail(error, fail_line, "no duplex link between the named endpoints");
+        return std::nullopt;
+      }
+    }
+    scenario.options.failures.push_back(event);
   }
   return scenario;
 }

@@ -12,13 +12,25 @@
 //     floor 0.75
 //     job LR nodes=8
 //     job PR nodes=16 dataset=10 start=2.5
+//     fail link a=0 b=16 at=1.5 until=4.0
+//     fail switch id=20 at=2.0
+//     degrade link a=16 b=18 at=1.0 factor=0.5 until=3.0
 //
-// Topologies: `star servers=N capacity_gbps=C` or
-// `spineleaf spine=S leaf=L tor=T hosts_per_tor=H pods=P capacity_gbps=C`.
+// Topologies: `star servers=N capacity_gbps=C`,
+// `spineleaf spine=S leaf=L tor=T hosts_per_tor=H pods=P capacity_gbps=C`, or
+// `fattree k=K capacity_gbps=C core_gbps=C2` (core_gbps defaults to
+// capacity_gbps; lower it for an oversubscribed core).
 // Policies: baseline, saba, saba-distributed, saba-unlimited, ideal-max-min,
 // homa, sincronia, pfabric. Jobs reference catalog workload names; `nodes`, `dataset`
 // (scale factor) and `start` (seconds) are optional. Instances are placed on
 // the least-loaded servers (deterministic given the seed).
+//
+// Failure directives inject mid-run faults (see FailureEvent in corun.h):
+// `fail link` takes a duplex endpoint pair down at `at` (restored at `until`
+// if given), `fail switch` takes a whole switch down, and `degrade link`
+// scales the pair's capacity by `factor` in (0, 1]. Node ids and link
+// existence are validated against the scenario's topology, so failure lines
+// may appear before or after the topology line.
 //
 // The parser returns descriptive errors rather than throwing: scenario files
 // are user input.

@@ -901,6 +901,7 @@ void AllocationEngine::FlowAdded(ActiveFlow* flow) {
   (void)it;
   (void)inserted;
   for (LinkId l : *flow->path) {
+    assert(net_->topology().LinkUsable(l) && "flow path crosses a failed link; reroute first");
     link_flows_[static_cast<size_t>(l)].push_back(flow);
     MarkLinkDirty(l);
   }

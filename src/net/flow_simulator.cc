@@ -42,10 +42,16 @@ FlowId FlowSimulator::StartFlow(AppId app, NodeId src, NodeId dst, double bits, 
   record->flow.priority = 0;
   record->flow.intra_weight = intra_weight;
   record->flow.remaining_bits = bits;
-  // Router path cache entries are reference-stable (node-based map), so the
-  // flow can point straight into the cache.
-  record->flow.path = &network_->router().Route(src, dst, path_salt);
-  assert(!record->flow.path->empty());
+  // The simulator owns a copy of the route: router cache entries are
+  // invalidated by topology mutations (routing.h contract), and the engine
+  // holds flow.path between deltas. Endpoints + salt stay on the record so a
+  // failure can re-resolve the same pinned connection.
+  record->src = src;
+  record->dst = dst;
+  record->path_salt = path_salt;
+  record->path_storage = network_->router().Route(src, dst, path_salt);
+  record->flow.path = &record->path_storage;
+  assert(!record->flow.path->empty() && "flow endpoints must be reachable at start");
   record->on_complete = std::move(on_complete);
   record->last_update = scheduler_->Now();
   engine_->FlowAdded(&record->flow);
@@ -99,6 +105,46 @@ void FlowSimulator::RequestReallocate() {
   // suspect, so the next solve takes the full-recompute path.
   engine_->InvalidateAll();
   MarkDirty();
+}
+
+void FlowSimulator::NotifyLinkChanged(LinkId link) {
+  engine_->PortConfigChanged(link);
+  MarkDirty();
+}
+
+void FlowSimulator::HandleTopologyChange() {
+  const Topology& topo = network_->topology();
+  Router& router = network_->router();
+  // Ascending flow-id order keeps the FlowRemoved/FlowAdded delta stream
+  // canonical (see flows_ comment); restores never move pinned flows, so only
+  // paths that now cross an unusable link re-resolve.
+  bool changed = false;
+  for (auto& [id, record] : flows_) {
+    bool broken = false;
+    for (LinkId l : record->path_storage) {
+      if (!topo.LinkUsable(l)) {
+        broken = true;
+        break;
+      }
+    }
+    if (!broken) {
+      continue;
+    }
+    engine_->FlowRemoved(&record->flow);
+    record->path_storage = router.Route(record->src, record->dst, record->path_salt);
+    assert(!record->path_storage.empty() &&
+           "failure scenarios must keep live flow endpoints connected");
+    record->flow.path = &record->path_storage;
+    engine_->FlowAdded(&record->flow);
+    ++rerouted_;
+    changed = true;
+  }
+  if (changed) {
+    host_egress_stale_ = true;
+  }
+  // Even with no broken flows, usable capacity may have shifted (e.g. a
+  // restored link rejoins its ECMP group); recompute rates at this instant.
+  RequestReallocate();
 }
 
 double FlowSimulator::FlowRate(FlowId id) const {

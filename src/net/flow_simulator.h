@@ -64,6 +64,21 @@ class FlowSimulator {
   // this invalidates the whole fabric (full recompute on the engine).
   void RequestReallocate();
 
+  // Notifies the simulator that one link's capacity changed in place (e.g. a
+  // degradation scenario scaled it). Routing is untouched — only the port's
+  // capacity is re-read — so this streams a targeted PortConfigChanged delta
+  // instead of invalidating the whole fabric.
+  void NotifyLinkChanged(LinkId link);
+
+  // Re-pins live flows after a topology up/down mutation (SetLinkUp /
+  // SetNodeUp). Only flows whose pinned path now crosses an unusable link are
+  // re-resolved — like InfiniBand connections, established paths never move
+  // on restores — each as a FlowRemoved/FlowAdded delta pair so the engine's
+  // incremental state stays bit-identical to a from-scratch solve. Every
+  // affected flow's endpoints must still be reachable (asserted): failure
+  // scenarios may degrade the fabric, not partition live flows.
+  void HandleTopologyChange();
+
   // Installed hook runs immediately before each allocator invocation — the
   // Homa-like policy refreshes size-based priorities here.
   void SetPreAllocateHook(std::function<void()> hook) { pre_allocate_hook_ = std::move(hook); }
@@ -100,6 +115,8 @@ class FlowSimulator {
   uint64_t completed_flow_count() const { return completed_; }
   uint64_t cancelled_flow_count() const { return cancelled_; }
   uint64_t allocator_runs() const { return allocator_runs_; }
+  // Flows re-pinned by HandleTopologyChange over the simulator's lifetime.
+  uint64_t rerouted_flow_count() const { return rerouted_; }
 
   // Incremental-allocation counters (how much work the dirty-component
   // expansion saved); see AllocationEngineStats.
@@ -118,9 +135,17 @@ class FlowSimulator {
 
  private:
   struct FlowRecord {
-    ActiveFlow flow;  // flow.path points into the router's stable path cache.
+    ActiveFlow flow;  // flow.path points at path_storage below.
     CompletionCallback on_complete;
     SimTime last_update = 0;
+    // Endpoints and salt are kept so HandleTopologyChange can re-resolve the
+    // path; the simulator owns its own copy of each route (rather than
+    // pointing into the router's cache) because topology mutations invalidate
+    // cached references mid-run (routing.h contract).
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    uint64_t path_salt = 0;
+    std::vector<LinkId> path_storage;
   };
 
   // Applies elapsed drain to `record` up to Now().
@@ -150,7 +175,9 @@ class FlowSimulator {
   // (the same argument as the engine's canonical flow index, DESIGN.md
   // §7.1). unique_ptr keeps FlowRecord addresses stable, since
   // ActiveFlow::path points into the record itself (and the engine holds the
-  // ActiveFlow pointer between deltas).
+  // ActiveFlow pointer between deltas). HandleTopologyChange also relies on
+  // this order: broken flows re-pin in ascending id order, which keeps the
+  // delta stream canonical for the parallel-determinism contract (§7.3).
   std::map<FlowId, std::unique_ptr<FlowRecord>> flows_;
   FlowId next_flow_id_ = 1;
   EventHandle next_completion_event_;
@@ -161,6 +188,7 @@ class FlowSimulator {
   uint64_t completed_ = 0;
   uint64_t cancelled_ = 0;
   uint64_t allocator_runs_ = 0;
+  uint64_t rerouted_ = 0;
 
   // Per-host egress sums, rebuilt on demand after any rate or flow-set
   // change. mutable: rebuilding in the const query is invisible to callers.

@@ -7,26 +7,37 @@
 namespace saba {
 namespace {
 
+// splitmix64 finalizer.
 uint64_t Mix64(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
 
-uint64_t PathKey(NodeId src, NodeId dst, uint64_t salt) {
+}  // namespace
+
+uint64_t PathDigest(NodeId src, NodeId dst, uint64_t salt) {
   return Mix64((static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
                static_cast<uint64_t>(static_cast<uint32_t>(dst))) ^
          Mix64(salt * 0x9e3779b97f4a7c15ULL + 1);
 }
 
-}  // namespace
-
 Router::Router(const Topology* topo) : topo_(topo) {
   assert(topo != nullptr);
+  seen_epoch_ = topo_->epoch();
   in_links_.resize(topo_->num_nodes());
   for (size_t l = 0; l < topo_->num_links(); ++l) {
     in_links_[static_cast<size_t>(topo_->link(static_cast<LinkId>(l)).dst)].push_back(
         static_cast<LinkId>(l));
+  }
+}
+
+void Router::MaybeInvalidate() {
+  const uint64_t epoch = topo_->epoch();
+  if (epoch != seen_epoch_) {
+    dist_cache_.clear();
+    path_cache_.clear();
+    seen_epoch_ = epoch;
   }
 }
 
@@ -42,6 +53,9 @@ const std::vector<int32_t>& Router::DistanceTo(NodeId dst) {
     const NodeId n = frontier.front();
     frontier.pop_front();
     for (LinkId l : in_links_[static_cast<size_t>(n)]) {
+      if (!topo_->LinkUsable(l)) {
+        continue;
+      }
       const NodeId prev = topo_->link(l).src;
       if (dist[static_cast<size_t>(prev)] == std::numeric_limits<int32_t>::max()) {
         dist[static_cast<size_t>(prev)] = dist[static_cast<size_t>(n)] + 1;
@@ -53,35 +67,52 @@ const std::vector<int32_t>& Router::DistanceTo(NodeId dst) {
 }
 
 const std::vector<LinkId>& Router::Route(NodeId src, NodeId dst, uint64_t salt) {
-  const uint64_t key = PathKey(src, dst, salt);
+  MaybeInvalidate();
+  const RouteKey key{src, dst, salt};
   auto it = path_cache_.find(key);
   if (it != path_cache_.end()) {
     return it->second;
   }
 
+  // The digest seeds the per-hop ECMP tie-break; the cache above is keyed by
+  // the full triple, so digest collisions cannot alias routes.
+  const uint64_t digest = PathDigest(src, dst, salt);
   std::vector<LinkId> path;
   if (src != dst) {
     const std::vector<int32_t>& dist = DistanceTo(dst);
-    assert(dist[static_cast<size_t>(src)] != std::numeric_limits<int32_t>::max() &&
-           "destination unreachable");
-    NodeId u = src;
-    while (u != dst) {
-      // Collect all next hops on a shortest path.
-      std::vector<LinkId> candidates;
-      for (LinkId l : topo_->OutLinks(u)) {
-        const NodeId v = topo_->link(l).dst;
-        if (dist[static_cast<size_t>(v)] == dist[static_cast<size_t>(u)] - 1) {
-          candidates.push_back(l);
+    if (dist[static_cast<size_t>(src)] != std::numeric_limits<int32_t>::max()) {
+      NodeId u = src;
+      while (u != dst) {
+        // Collect all usable next hops on a shortest path.
+        std::vector<LinkId> candidates;
+        for (LinkId l : topo_->OutLinks(u)) {
+          if (!topo_->LinkUsable(l)) {
+            continue;
+          }
+          const NodeId v = topo_->link(l).dst;
+          if (dist[static_cast<size_t>(v)] == dist[static_cast<size_t>(u)] - 1) {
+            candidates.push_back(l);
+          }
         }
+        assert(!candidates.empty());
+        const uint64_t h = Mix64(digest ^ (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 17));
+        const LinkId chosen = candidates[h % candidates.size()];
+        path.push_back(chosen);
+        u = topo_->link(chosen).dst;
       }
-      assert(!candidates.empty());
-      const uint64_t h = Mix64(key ^ (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 17));
-      const LinkId chosen = candidates[h % candidates.size()];
-      path.push_back(chosen);
-      u = topo_->link(chosen).dst;
     }
+    // else: unreachable at this epoch — cache the empty path; callers use
+    // Reachable() to distinguish this from src == dst (routing.h contract).
   }
   return path_cache_.emplace(key, std::move(path)).first->second;
+}
+
+bool Router::Reachable(NodeId src, NodeId dst) {
+  MaybeInvalidate();
+  if (src == dst) {
+    return true;
+  }
+  return DistanceTo(dst)[static_cast<size_t>(src)] != std::numeric_limits<int32_t>::max();
 }
 
 }  // namespace saba

@@ -2,11 +2,13 @@
 //
 // The real system reads switch forwarding tables through infiniband-diags
 // (paper §7.2); here routes are computed on the topology directly: BFS
-// shortest paths, with equal-cost next hops selected by a deterministic hash
-// of (src, dst, salt). The salt lets a connection pin its path (as an
-// InfiniBand connection does) while different connections spread across the
-// fabric like ECMP. Both distance tables and resolved paths are cached, since
-// the stage-structured workloads reuse the same node pairs across stages.
+// shortest paths over *usable* links, with equal-cost next hops selected by a
+// deterministic hash of (src, dst, salt). The salt lets a connection pin its
+// path (as an InfiniBand connection does) while different connections spread
+// across the fabric like ECMP. Both distance tables and resolved paths are
+// cached, since the stage-structured workloads reuse the same node pairs
+// across stages; the caches are invalidated whenever the topology's failure
+// epoch() advances, so routes recompute around link/switch failures.
 
 #ifndef SRC_NET_ROUTING_H_
 #define SRC_NET_ROUTING_H_
@@ -19,35 +21,80 @@
 
 namespace saba {
 
+// The mixed 64-bit digest of a (src, dst, salt) routing triple. It seeds the
+// deterministic ECMP tie-break inside Route() and hashes RouteKey for the
+// path cache — but it is never trusted as an identity: the cache compares
+// full triples, so digest collisions can slow a lookup, never alias routes.
+uint64_t PathDigest(NodeId src, NodeId dst, uint64_t salt);
+
+// Exact identity of a cached route. Equality is field-wise; hashing goes
+// through PathDigest.
+struct RouteKey {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  uint64_t salt = 0;
+
+  bool operator==(const RouteKey& o) const {
+    return src == o.src && dst == o.dst && salt == o.salt;
+  }
+};
+
+struct RouteKeyHash {
+  size_t operator()(const RouteKey& k) const {
+    return static_cast<size_t>(PathDigest(k.src, k.dst, k.salt));
+  }
+};
+
 class Router {
  public:
-  // The topology must outlive the router and must not change shape after
-  // construction (capacity changes are fine).
+  // The topology must outlive the router. Shape (nodes, links, endpoints) is
+  // fixed after construction, but up/down state may change: whenever
+  // Topology::epoch() advances, the router drops its caches on the next
+  // query, so previously returned references are invalidated by any
+  // SetLinkUp/SetNodeUp call. Capacity changes don't touch the epoch and
+  // leave cached routes valid.
   explicit Router(const Topology* topo);
 
-  // Returns the sequence of link ids from src to dst (empty if src == dst).
-  // `salt` selects among equal-cost paths; the same (src, dst, salt) always
-  // yields the same path. Returns an empty path and sets ok=false through the
-  // return value being empty when dst is unreachable and src != dst; in the
-  // provided builders every pair is reachable.
+  // Returns the sequence of link ids along a shortest path over usable links
+  // from src to dst. `salt` selects among equal-cost paths; the same
+  // (src, dst, salt) at the same epoch always yields the same path.
+  //
+  // Contract for the empty return: the path is empty iff src == dst OR dst is
+  // currently unreachable from src. Callers that inject failures distinguish
+  // the two with Reachable(); the provided builders guarantee full
+  // reachability at epoch 0, so construction-time callers may assert it. The
+  // returned reference is stable until the next epoch change.
   const std::vector<LinkId>& Route(NodeId src, NodeId dst, uint64_t salt);
+
+  // True iff a usable path from src to dst exists at the current epoch
+  // (trivially true for src == dst).
+  bool Reachable(NodeId src, NodeId dst);
 
   // Number of distinct cached paths (for tests and capacity planning).
   size_t cached_paths() const { return path_cache_.size(); }
 
  private:
-  // Hop counts from every node to `dst`, computed by reverse BFS and cached.
+  // Drops both caches if the topology's failure epoch moved since the last
+  // query. Called on every public entry point.
+  void MaybeInvalidate();
+
+  // Hop counts from every node to `dst` over usable links, computed by
+  // reverse BFS and cached. Unreachable nodes hold INT32_MAX.
   const std::vector<int32_t>& DistanceTo(NodeId dst);
 
   const Topology* topo_;
+  // Failure epoch the caches were computed at.
+  uint64_t seen_epoch_ = 0;
   // Reverse adjacency: in_links_[n] lists links whose dst is n.
   std::vector<std::vector<LinkId>> in_links_;
   // Both caches are lookup-only (find/emplace by key, plus size()); nothing
   // ever iterates them, so their order can't reach routing decisions.
   // saba-lint: unordered-iter-ok(lookup-only cache, never iterated)
   std::unordered_map<NodeId, std::vector<int32_t>> dist_cache_;
+  // Keyed by the full (src, dst, salt) triple — PathDigest is only the
+  // hasher, so a digest collision costs a bucket probe, never a wrong route.
   // saba-lint: unordered-iter-ok(lookup-only cache, never iterated)
-  std::unordered_map<uint64_t, std::vector<LinkId>> path_cache_;
+  std::unordered_map<RouteKey, std::vector<LinkId>, RouteKeyHash> path_cache_;
 };
 
 }  // namespace saba

@@ -35,6 +35,24 @@ void Topology::SetLinkCapacity(LinkId id, Bps64 capacity_bps) {
   links_[static_cast<size_t>(id)].capacity_bps = capacity_bps;
 }
 
+void Topology::SetLinkUp(LinkId id, bool up) {
+  assert(id >= 0 && static_cast<size_t>(id) < links_.size());
+  Link& l = links_[static_cast<size_t>(id)];
+  if (l.up != up) {
+    l.up = up;
+    ++epoch_;
+  }
+}
+
+void Topology::SetNodeUp(NodeId id, bool up) {
+  assert(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  Node& n = nodes_[static_cast<size_t>(id)];
+  if (n.up != up) {
+    n.up = up;
+    ++epoch_;
+  }
+}
+
 LinkId Topology::FindLink(NodeId src, NodeId dst) const {
   for (LinkId id : out_links_[static_cast<size_t>(src)]) {
     if (links_[static_cast<size_t>(id)].dst == dst) {
@@ -125,6 +143,60 @@ Topology BuildSpineLeaf(const SpineLeafParams& p) {
     for (int s = 0; s < p.num_spine; ++s) {
       topo.AddDuplexLink(leaves[static_cast<size_t>(l)], spines[static_cast<size_t>(s)],
                          p.leaf_spine_bps);
+    }
+  }
+  return topo;
+}
+
+Topology BuildFatTree(const FatTreeParams& p) {
+  assert(p.k >= 2 && p.k % 2 == 0 && "fat-tree arity must be even");
+  const int k = p.k;
+  const int half = k / 2;
+  const int num_hosts = k * k * k / 4;
+  const int switches_per_tier = k * half;  // k pods, k/2 edge (and agg) each.
+  Topology topo;
+
+  for (int h = 0; h < num_hosts; ++h) {
+    topo.AddNode(NodeKind::kHost, "host" + std::to_string(h));
+  }
+  std::vector<NodeId> edges;
+  edges.reserve(static_cast<size_t>(switches_per_tier));
+  for (int e = 0; e < switches_per_tier; ++e) {
+    edges.push_back(topo.AddNode(NodeKind::kTorSwitch, "edge" + std::to_string(e)));
+  }
+  std::vector<NodeId> aggs;
+  aggs.reserve(static_cast<size_t>(switches_per_tier));
+  for (int a = 0; a < switches_per_tier; ++a) {
+    aggs.push_back(topo.AddNode(NodeKind::kLeafSwitch, "agg" + std::to_string(a)));
+  }
+  std::vector<NodeId> cores;
+  cores.reserve(static_cast<size_t>(half * half));
+  for (int c = 0; c < half * half; ++c) {
+    cores.push_back(topo.AddNode(NodeKind::kSpineSwitch, "core" + std::to_string(c)));
+  }
+
+  // Host h sits under edge switch h / (k/2).
+  for (int h = 0; h < num_hosts; ++h) {
+    topo.AddDuplexLink(static_cast<NodeId>(h), edges[static_cast<size_t>(h / half)],
+                       p.host_link_bps);
+  }
+  // Within each pod: full edge x aggregation mesh.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        topo.AddDuplexLink(edges[static_cast<size_t>(pod * half + e)],
+                           aggs[static_cast<size_t>(pod * half + a)], p.edge_agg_bps);
+      }
+    }
+  }
+  // Core c = a*(k/2)+j connects to aggregation switch #a of every pod, so each
+  // aggregation switch reaches k/2 cores and each core reaches all k pods.
+  for (int a = 0; a < half; ++a) {
+    for (int j = 0; j < half; ++j) {
+      const NodeId core = cores[static_cast<size_t>(a * half + j)];
+      for (int pod = 0; pod < k; ++pod) {
+        topo.AddDuplexLink(aggs[static_cast<size_t>(pod * half + a)], core, p.agg_core_bps);
+      }
     }
   }
   return topo;

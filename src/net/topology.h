@@ -1,10 +1,19 @@
 // Datacenter topology graph.
 //
 // Nodes are hosts or switches; links are directed (an egress port on the
-// source node). The two topologies the paper evaluates are provided as
-// builders: the single-switch testbed star (8- and 32-server experiments) and
-// the 1,944-server three-tier spine-leaf fabric of §8.1 (54 spine, 102 leaf,
-// 108 ToR switches, 18 servers per ToR).
+// source node). Three fabrics are provided as builders: the single-switch
+// testbed star (8- and 32-server experiments), the 1,944-server three-tier
+// spine-leaf fabric of §8.1 (54 spine, 102 leaf, 108 ToR switches, 18
+// servers per ToR), and a k-ary fat-tree (BuildFatTree) for the
+// routing-diversity and failure scenarios beyond the paper.
+//
+// Shape (node and link counts, endpoints) is fixed at construction, but the
+// fabric's *state* is simulated: links and nodes carry capacity-preserving
+// up/down failure flags (SetLinkUp / SetNodeUp) and capacities may change
+// (SetLinkCapacity). Every up/down flip bumps a monotonic epoch() counter;
+// the Router watches it and invalidates its distance/path caches, so routes
+// recompute around failures deterministically (see routing.h for the
+// invalidation and reroute contract).
 
 #ifndef SRC_NET_TOPOLOGY_H_
 #define SRC_NET_TOPOLOGY_H_
@@ -36,6 +45,9 @@ inline bool IsSwitch(NodeKind kind) { return kind != NodeKind::kHost; }
 struct Node {
   NodeKind kind = NodeKind::kHost;
   std::string label;
+  // Failure flag: a down node takes all its incident links out of service
+  // (LinkUsable) without forgetting any capacity or shape.
+  bool up = true;
 };
 
 // A directed link: the egress port of `src` facing `dst`.
@@ -43,6 +55,9 @@ struct Link {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   Bps64 capacity_bps = 0;
+  // Failure flag: a down link keeps its capacity (restores are exact) but is
+  // skipped by routing. Duplex failures flip both directed links.
+  bool up = true;
 };
 
 class Topology {
@@ -64,8 +79,26 @@ class Topology {
   const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
   const Link& link(LinkId id) const { return links_[static_cast<size_t>(id)]; }
 
-  // Mutable capacity access (the profiler throttles host links this way).
+  // Mutable capacity access (the profiler throttles host links this way;
+  // degradation scenarios scale capacities mid-run). Does NOT bump epoch():
+  // capacity never changes hop-count routing, so router caches stay valid.
   void SetLinkCapacity(LinkId id, Bps64 capacity_bps);
+
+  // --- Failure flags & epoch -----------------------------------------------
+  // Capacity-preserving up/down state. A change (and only a change — setting
+  // the current value is a no-op) bumps epoch(), signalling every Router on
+  // this topology to drop its distance/path caches before the next query.
+  void SetLinkUp(LinkId id, bool up);
+  void SetNodeUp(NodeId id, bool up);
+
+  // A link is usable iff it and both its endpoints are up.
+  bool LinkUsable(LinkId id) const {
+    const Link& l = links_[static_cast<size_t>(id)];
+    return l.up && nodes_[static_cast<size_t>(l.src)].up && nodes_[static_cast<size_t>(l.dst)].up;
+  }
+
+  // Monotonic counter of up/down mutations; starts at 0.
+  uint64_t epoch() const { return epoch_; }
 
   // Outgoing link ids of a node, in insertion order.
   const std::vector<LinkId>& OutLinks(NodeId id) const {
@@ -85,6 +118,7 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> out_links_;
+  uint64_t epoch_ = 0;
 };
 
 // Builder for the testbed-style star: `num_hosts` hosts on one switch, every
@@ -108,6 +142,28 @@ struct SpineLeafParams {
 // Builds the fabric. Host ids are assigned first (so host h is node h),
 // followed by ToR, leaf, then spine switches.
 Topology BuildSpineLeaf(const SpineLeafParams& params);
+
+// Parameters for the k-ary three-tier fat-tree (Al-Fares et al.): k pods,
+// each with k/2 edge switches (k/2 hosts each) fully meshed to k/2
+// aggregation switches; (k/2)^2 core switches, core c = a*(k/2)+j linking to
+// aggregation switch #a of every pod. Hosts total k^3/4.
+struct FatTreeParams {
+  int k = 4;  // Pod count / switch arity; must be even and >= 2.
+  Bps64 host_link_bps = Gbps64(56);
+  Bps64 edge_agg_bps = Gbps64(56);
+  // Lower this below edge_agg_bps for an oversubscribed core.
+  Bps64 agg_core_bps = Gbps64(56);
+};
+
+// Builds the fat-tree. Host ids first (host h is node h), then edge
+// (kTorSwitch), aggregation (kLeafSwitch), core (kSpineSwitch), so the
+// existing NodeKind tiers map onto the fat-tree roles. BFS shortest paths
+// over this wiring reproduce two-phase pod routing's path set exactly: an
+// inter-pod route climbs host->edge->agg->core and descends to the
+// destination pod, with (k/2)^2 equal-cost core choices spread by the
+// router's deterministic ECMP salt (the pod-prefix/host-suffix tables of
+// two-phase routing pick among the same candidates).
+Topology BuildFatTree(const FatTreeParams& params);
 
 }  // namespace saba
 

@@ -18,10 +18,46 @@ namespace {
 
 double PerAppWeight(LinkId, AppId app) { return 1.0 + static_cast<double>(app % 3); }
 
+// Test-owned per-flow route storage. The churn tests include a link-failure
+// op that bumps the topology epoch and thus clears the router's caches, so
+// flows must never point into those caches: each flow's path lives here and
+// std::map node stability keeps `&entry.path` valid across inserts/erases.
+struct FlowRoute {
+  NodeId src;
+  NodeId dst;
+  uint64_t salt;
+  std::vector<LinkId> path;
+};
+
+// Forward ids of the duplex switch-to-switch links — the candidates the
+// failure op may take down. With one duplex link down at a time the churn
+// fabric stays connected (every ToR keeps two leaf uplinks and every leaf two
+// spine uplinks).
+std::vector<LinkId> SwitchSwitchForwardLinks(const Topology& topo) {
+  std::vector<LinkId> fabric;
+  for (size_t l = 0; l < topo.num_links(); l += 2) {  // AddDuplexLink: forward ids are even.
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (IsSwitch(topo.node(link.src).kind) && IsSwitch(topo.node(link.dst).kind)) {
+      fabric.push_back(static_cast<LinkId>(l));
+    }
+  }
+  return fabric;
+}
+
+bool CrossesUnusableLink(const Topology& topo, const std::vector<LinkId>& path) {
+  for (LinkId l : path) {
+    if (!topo.LinkUsable(l)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // Randomized churn: interleave flow starts, cancels, queue moves (SL /
-// priority / intra-weight), per-port reconfigurations, and full
-// invalidations, and after EVERY event check that the engine's incremental
-// rates are bit-identical to a from-scratch solve of the same flow set.
+// priority / intra-weight), per-port reconfigurations, full invalidations,
+// and link failures/restores (with deterministic reroute of broken flows),
+// and after EVERY event check that the engine's incremental rates are
+// bit-identical to a from-scratch solve of the same flow set.
 struct ChurnCase {
   const char* name;
   AllocationDiscipline discipline;
@@ -58,6 +94,9 @@ TEST_P(EngineChurnTest, IncrementalMatchesFromScratchBitExact) {
   Rng rng(c.seed);
   std::map<FlowId, std::unique_ptr<ActiveFlow>> live;
   std::vector<FlowId> live_ids;  // Indexable for uniform picks; order free.
+  std::map<FlowId, FlowRoute> routes;
+  const std::vector<LinkId> fabric_links = SwitchSwitchForwardLinks(network.topology());
+  LinkId down_link = kInvalidLink;  // At most one duplex link down at a time.
   FlowId next_id = 1;
 
   // Oracle scratch: value copies so the from-scratch run cannot perturb the
@@ -72,7 +111,7 @@ TEST_P(EngineChurnTest, IncrementalMatchesFromScratchBitExact) {
     const double cancel_w = live.size() < 100 ? 0.20 : 0.40;
     const size_t op = live.empty()
                           ? 0
-                          : rng.WeightedIndex({start_w, cancel_w, 0.20, 0.10, 0.05});
+                          : rng.WeightedIndex({start_w, cancel_w, 0.20, 0.10, 0.03, 0.02});
     switch (op) {
       case 0: {  // Start a flow.
         const NodeId src = rng.Choice(hosts);
@@ -87,7 +126,10 @@ TEST_P(EngineChurnTest, IncrementalMatchesFromScratchBitExact) {
         flow->priority = static_cast<int>(rng.UniformInt(0, 7));
         flow->intra_weight = rng.Bernoulli(0.2) ? 0.0625 : 1.0;
         flow->remaining_bits = rng.Uniform(1e6, 1e9);
-        flow->path = &network.router().Route(src, dst, rng.Next());
+        const uint64_t salt = rng.Next();
+        FlowRoute& route = routes[flow->id];
+        route = {src, dst, salt, network.router().Route(src, dst, salt)};
+        flow->path = &route.path;
         engine.FlowAdded(flow.get());
         live_ids.push_back(flow->id);
         live.emplace(flow->id, std::move(flow));
@@ -101,6 +143,7 @@ TEST_P(EngineChurnTest, IncrementalMatchesFromScratchBitExact) {
         live_ids.pop_back();
         engine.FlowRemoved(live.at(id).get());
         live.erase(id);
+        routes.erase(id);
         break;
       }
       case 2: {  // Move a flow between queues / classes.
@@ -134,9 +177,35 @@ TEST_P(EngineChurnTest, IncrementalMatchesFromScratchBitExact) {
         engine.PortConfigChanged(link);
         break;
       }
-      default:
+      case 4:
         engine.InvalidateAll();
         break;
+      default: {  // Fail or restore one switch-switch duplex link.
+        Topology& topo = network.topology();
+        if (down_link == kInvalidLink) {
+          down_link = rng.Choice(fabric_links);
+          topo.SetLinkUp(down_link, false);
+          topo.SetLinkUp(down_link + 1, false);
+          // Re-pin broken flows in ascending id order (the FlowSimulator
+          // contract): remove on the old path, re-route, re-add.
+          for (auto& [id, route] : routes) {
+            if (!CrossesUnusableLink(topo, route.path)) {
+              continue;
+            }
+            ActiveFlow* flow = live.at(id).get();
+            engine.FlowRemoved(flow);
+            route.path = network.router().Route(route.src, route.dst, route.salt);
+            ASSERT_FALSE(route.path.empty())
+                << "one duplex failure must leave the fabric connected";
+            engine.FlowAdded(flow);
+          }
+        } else {  // Restores never move pinned flows; no deltas to stream.
+          topo.SetLinkUp(down_link, true);
+          topo.SetLinkUp(down_link + 1, true);
+          down_link = kInvalidLink;
+        }
+        break;
+      }
     }
 
     engine.Recompute();
@@ -293,6 +362,9 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
   const size_t num_links = network.topology().num_links();
   Rng rng(c.seed);
   std::vector<FlowId> live_ids;
+  std::map<FlowId, FlowRoute> routes;  // Shared across universes.
+  const std::vector<LinkId> fabric_links = SwitchSwitchForwardLinks(network.topology());
+  LinkId down_link = kInvalidLink;
   FlowId next_id = 1;
 
   std::vector<ActiveFlow> oracle;
@@ -303,7 +375,7 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
     const double cancel_w = live_ids.size() < 100 ? 0.20 : 0.40;
     const size_t op = live_ids.empty()
                           ? 0
-                          : rng.WeightedIndex({start_w, cancel_w, 0.20, 0.10, 0.05});
+                          : rng.WeightedIndex({start_w, cancel_w, 0.20, 0.10, 0.03, 0.02});
     switch (op) {
       case 0: {  // Start a flow: draw it once, register a copy per universe.
         const NodeId src = rng.Choice(hosts);
@@ -318,7 +390,10 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
         proto.priority = static_cast<int>(rng.UniformInt(0, 7));
         proto.intra_weight = rng.Bernoulli(0.2) ? 0.0625 : 1.0;
         proto.remaining_bits = rng.Uniform(1e6, 1e9);
-        proto.path = &network.router().Route(src, dst, rng.Next());
+        const uint64_t salt = rng.Next();
+        FlowRoute& route = routes[proto.id];
+        route = {src, dst, salt, network.router().Route(src, dst, salt)};
+        proto.path = &route.path;
         for (Universe& u : universes) {
           auto flow = std::make_unique<ActiveFlow>(proto);
           u.engine->FlowAdded(flow.get());
@@ -337,6 +412,7 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
           u.engine->FlowRemoved(u.live.at(id).get());
           u.live.erase(id);
         }
+        routes.erase(id);
         break;
       }
       case 2: {  // Move a flow between queues / classes (same move everywhere).
@@ -378,11 +454,40 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
         }
         break;
       }
-      default:
+      case 4:
         for (Universe& u : universes) {
           u.engine->InvalidateAll();
         }
         break;
+      default: {  // Fail or restore one duplex link, rerouting every universe.
+        Topology& topo = network.topology();
+        if (down_link == kInvalidLink) {
+          down_link = rng.Choice(fabric_links);
+          topo.SetLinkUp(down_link, false);
+          topo.SetLinkUp(down_link + 1, false);
+          for (auto& [id, route] : routes) {
+            if (!CrossesUnusableLink(topo, route.path)) {
+              continue;
+            }
+            // Every universe's flow copy points at the one shared path:
+            // remove everywhere first, then overwrite it, then re-add.
+            for (Universe& u : universes) {
+              u.engine->FlowRemoved(u.live.at(id).get());
+            }
+            route.path = network.router().Route(route.src, route.dst, route.salt);
+            ASSERT_FALSE(route.path.empty())
+                << "one duplex failure must leave the fabric connected";
+            for (Universe& u : universes) {
+              u.engine->FlowAdded(u.live.at(id).get());
+            }
+          }
+        } else {
+          topo.SetLinkUp(down_link, true);
+          topo.SetLinkUp(down_link + 1, true);
+          down_link = kInvalidLink;
+        }
+        break;
+      }
     }
 
     for (Universe& u : universes) {
@@ -427,6 +532,7 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
     }
   }
   live_ids.clear();
+  routes.clear();
   for (Universe& u : universes) {
     u.engine->Recompute();
   }
@@ -445,7 +551,10 @@ TEST_P(EngineParallelChurnTest, SolveJobsNeverChangesAnyRate) {
     proto.app = static_cast<AppId>(rng.UniformInt(0, 9));
     proto.sl = static_cast<int>(rng.UniformInt(0, kNumServiceLevels - 1));
     proto.remaining_bits = rng.Uniform(1e6, 1e9);
-    proto.path = &network.router().Route(src, dst, rng.Next());
+    const uint64_t salt = rng.Next();
+    FlowRoute& route = routes[proto.id];
+    route = {src, dst, salt, network.router().Route(src, dst, salt)};
+    proto.path = &route.path;
     for (Universe& u : universes) {
       auto flow = std::make_unique<ActiveFlow>(proto);
       u.engine->FlowAdded(flow.get());

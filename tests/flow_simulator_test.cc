@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/sim/rng.h"
@@ -221,6 +222,100 @@ TEST_F(FlowSimulatorTest, ZeroRateFlowsDoNotDeadlockOthers) {
   sim.SetFlowPriority(low, 1);
   scheduler_.Run();
   EXPECT_NEAR(low_done, 2.0, 1e-6);
+}
+
+// --- Failure handling on a fat-tree ------------------------------------------
+
+class FatTreeFailureTest : public ::testing::Test {
+ protected:
+  static FatTreeParams TenGigFatTree() {
+    FatTreeParams params;
+    params.k = 4;
+    params.host_link_bps = params.edge_agg_bps = params.agg_core_bps = Gbps64(10);
+    return params;
+  }
+
+  FatTreeFailureTest()
+      : network_(BuildFatTree(TenGigFatTree()), 8),
+        flow_sim_(&scheduler_, &network_, &allocator_) {}
+
+  EventScheduler scheduler_;
+  Network network_;
+  WfqMaxMinAllocator allocator_;
+  FlowSimulator flow_sim_;
+};
+
+TEST_F(FatTreeFailureTest, MidFlowLinkFailureReroutesAndCompletes) {
+  // 20 Gb between pods at 10 Gb/s: 2 s on a healthy fabric. Mid-transfer the
+  // edge->agg hop of the pinned path fails; the equal-cost detour has the
+  // same length and capacity, so the completion time is unchanged.
+  constexpr uint64_t kSalt = 3;
+  const std::vector<LinkId> path = network_.router().Route(0, 15, kSalt);
+  ASSERT_EQ(path.size(), 6u);
+  const LinkId broken = path[1];
+
+  SimTime done = -1;
+  flow_sim_.StartFlow(0, 0, 15, Gbps(20), 0, kSalt, [&](FlowId) { done = scheduler_.Now(); });
+  scheduler_.ScheduleAt(0.5, [&] {
+    network_.topology().SetLinkUp(broken, false);
+    flow_sim_.HandleTopologyChange();
+  });
+  scheduler_.Run();
+  EXPECT_NEAR(done, 2.0, 1e-6);
+  EXPECT_EQ(flow_sim_.rerouted_flow_count(), 1u);
+  EXPECT_EQ(flow_sim_.completed_flow_count(), 1u);
+}
+
+TEST_F(FatTreeFailureTest, UnrelatedFailureAndRestoreNeverMovePinnedFlows) {
+  constexpr uint64_t kSalt = 3;
+  const std::vector<LinkId> path = network_.router().Route(0, 15, kSalt);
+  // A switch-to-switch link NOT on the flow's path (paths never repeat a
+  // link, and host links are excluded so reachability is untouched).
+  LinkId unrelated = kInvalidLink;
+  const Topology& topo = network_.topology();
+  for (size_t l = 0; l < topo.num_links(); ++l) {
+    const LinkId id = static_cast<LinkId>(l);
+    if (IsSwitch(topo.node(topo.link(id).src).kind) &&
+        IsSwitch(topo.node(topo.link(id).dst).kind) &&
+        std::find(path.begin(), path.end(), id) == path.end()) {
+      unrelated = id;
+      break;
+    }
+  }
+  ASSERT_NE(unrelated, kInvalidLink);
+
+  SimTime done = -1;
+  flow_sim_.StartFlow(0, 0, 15, Gbps(20), 0, kSalt, [&](FlowId) { done = scheduler_.Now(); });
+  scheduler_.ScheduleAt(0.25, [&] {
+    network_.topology().SetLinkUp(unrelated, false);
+    flow_sim_.HandleTopologyChange();
+  });
+  scheduler_.ScheduleAt(0.75, [&] {
+    // Restore: pinned flows must not move even though the link rejoins ECMP.
+    network_.topology().SetLinkUp(unrelated, true);
+    flow_sim_.HandleTopologyChange();
+  });
+  scheduler_.Run();
+  EXPECT_NEAR(done, 2.0, 1e-6);
+  EXPECT_EQ(flow_sim_.rerouted_flow_count(), 0u);
+}
+
+TEST_F(FatTreeFailureTest, DegradedLinkSlowsTheFlowWithoutRerouting) {
+  // 10 Gb at 10 Gb/s; at t=0.25 a path link degrades to 5 Gb/s. 2.5 Gb have
+  // drained, the remaining 7.5 Gb take 1.5 s: completion at 1.75 s.
+  constexpr uint64_t kSalt = 7;
+  const std::vector<LinkId> path = network_.router().Route(0, 15, kSalt);
+  const LinkId degraded = path[2];
+
+  SimTime done = -1;
+  flow_sim_.StartFlow(0, 0, 15, Gbps(10), 0, kSalt, [&](FlowId) { done = scheduler_.Now(); });
+  scheduler_.ScheduleAt(0.25, [&] {
+    network_.topology().SetLinkCapacity(degraded, Gbps64(5));
+    flow_sim_.NotifyLinkChanged(degraded);
+  });
+  scheduler_.Run();
+  EXPECT_NEAR(done, 1.75, 1e-6);
+  EXPECT_EQ(flow_sim_.rerouted_flow_count(), 0u);
 }
 
 }  // namespace

@@ -116,5 +116,155 @@ TEST(RouterTest, CachedPathReferenceStable) {
   EXPECT_EQ(first, &router.Route(0, 1, 0)) << "cache entries must be reference-stable";
 }
 
+// --- Path-cache aliasing regression ------------------------------------------
+//
+// The cache used to be keyed by the 64-bit PathDigest alone, so two triples
+// whose digests collide silently shared one cached path — a wrong-routing bug.
+// The digest is an invertible function (the splitmix64 finalizer is a
+// bijection and the salt multiplier is odd), so an exact colliding triple can
+// be constructed: given triple T1 and a target (src2, dst2), solve for the
+// salt2 that makes PathDigest(src2, dst2, salt2) == PathDigest(T1).
+
+uint64_t TestMix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t UnshiftXor(uint64_t value, int shift) {
+  // Inverts z ^= z >> shift (shift >= 1): recover the high bits first, then
+  // peel downward. Iterating the forward op converges for shift >= 64/2 in
+  // one step and in general within 64/shift rounds.
+  uint64_t result = value;
+  for (int done = shift; done < 64; done += shift) {
+    result = value ^ (result >> shift);
+  }
+  return result;
+}
+
+uint64_t TestInvMix64(uint64_t z) {
+  // Inverse splitmix64 finalizer (inverse multipliers of the two constants).
+  z = UnshiftXor(z, 31);
+  z *= 0x319642b2d24d8ec3ULL;
+  z = UnshiftXor(z, 27);
+  z *= 0x96de1b173f119089ULL;
+  z = UnshiftXor(z, 30);
+  return z;
+}
+
+// Multiplicative inverse of an odd constant mod 2^64 (Newton iteration).
+uint64_t OddInverse(uint64_t a) {
+  uint64_t x = a;
+  for (int i = 0; i < 5; ++i) {
+    x *= 2 - a * x;
+  }
+  return x;
+}
+
+// Solves PathDigest(src, dst, salt) == digest for salt.
+uint64_t CollidingSalt(NodeId src, NodeId dst, uint64_t digest) {
+  const uint64_t pair_mix = TestMix64((static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+                                      static_cast<uint64_t>(static_cast<uint32_t>(dst)));
+  const uint64_t salt_mix = digest ^ pair_mix;  // == Mix64(salt * C + 1)
+  return (TestInvMix64(salt_mix) - 1) * OddInverse(0x9e3779b97f4a7c15ULL);
+}
+
+TEST(RouterTest, PathCacheCollisionCannotAliasRoutes) {
+  const Topology topo = BuildSingleSwitchStar(8, Gbps64(10));
+  Router router(&topo);
+
+  const NodeId src1 = 0;
+  const NodeId dst1 = 1;
+  const uint64_t salt1 = 7;
+  const NodeId src2 = 2;
+  const NodeId dst2 = 3;
+  const uint64_t salt2 = CollidingSalt(src2, dst2, PathDigest(src1, dst1, salt1));
+  // The construction really collides — this is the pre-fix aliasing trigger.
+  ASSERT_EQ(PathDigest(src1, dst1, salt1), PathDigest(src2, dst2, salt2));
+
+  const std::vector<LinkId> first = router.Route(src1, dst1, salt1);
+  const std::vector<LinkId>& second = router.Route(src2, dst2, salt2);
+  ExpectValidPath(topo, first, src1, dst1);
+  ExpectValidPath(topo, second, src2, dst2);  // Pre-fix: returned first's path.
+  EXPECT_EQ(router.cached_paths(), 2u);
+}
+
+// --- Fat-tree ECMP & failure handling ----------------------------------------
+
+TEST(RouterTest, FatTreeEcmpExercisesAllEqualCostCoreLinks) {
+  FatTreeParams params{.k = 4};
+  const Topology topo = BuildFatTree(params);
+  Router router(&topo);
+  // Hosts 0 and 15 sit in different pods: 4 equal-cost 6-hop paths (2 agg
+  // choices x 2 core choices). Across many salts every one must appear.
+  std::set<std::vector<LinkId>> distinct;
+  for (uint64_t salt = 0; salt < 256; ++salt) {
+    const auto& path = router.Route(0, 15, salt);
+    EXPECT_EQ(path.size(), 6u);
+    ExpectValidPath(topo, path, 0, 15);
+    distinct.insert(path);
+  }
+  EXPECT_EQ(distinct.size(), 4u) << "ECMP salting must reach every equal-cost path";
+}
+
+TEST(RouterTest, EpochInvalidationReroutesAroundFailedLink) {
+  Topology topo = BuildFatTree(FatTreeParams{.k = 4});
+  Router router(&topo);
+  const NodeId src = 0;
+  const NodeId dst = 15;
+  const std::vector<LinkId> before = router.Route(src, dst, 3);
+  ExpectValidPath(topo, before, src, dst);
+
+  // Fail the first switch-to-switch hop of the chosen path (host links are
+  // the only way in/out, so fail the edge->agg hop: index 1).
+  const LinkId broken = before[1];
+  topo.SetLinkUp(broken, false);
+  const std::vector<LinkId> after = router.Route(src, dst, 3);
+  ExpectValidPath(topo, after, src, dst);
+  EXPECT_EQ(after.size(), before.size()) << "k=4 keeps an equal-length detour";
+  for (LinkId l : after) {
+    EXPECT_NE(l, broken) << "rerouted path must avoid the failed link";
+    EXPECT_TRUE(topo.LinkUsable(l));
+  }
+
+  // Restore: the same triple routes identically to the original epoch.
+  topo.SetLinkUp(broken, true);
+  EXPECT_EQ(router.Route(src, dst, 3), before);
+}
+
+TEST(RouterTest, SwitchFailureReroutesAndRecovers) {
+  Topology topo = BuildFatTree(FatTreeParams{.k = 4});
+  Router router(&topo);
+  // agg0 is node 16 hosts + 8 edges = 24.
+  const NodeId agg0 = 24;
+  ASSERT_EQ(topo.node(agg0).kind, NodeKind::kLeafSwitch);
+  topo.SetNodeUp(agg0, false);
+  for (uint64_t salt = 0; salt < 16; ++salt) {
+    const auto& path = router.Route(0, 15, salt);
+    ExpectValidPath(topo, path, 0, 15);
+    for (LinkId l : path) {
+      EXPECT_NE(topo.link(l).src, agg0);
+      EXPECT_NE(topo.link(l).dst, agg0);
+    }
+  }
+  topo.SetNodeUp(agg0, true);
+  EXPECT_TRUE(router.Reachable(0, 15));
+}
+
+TEST(RouterTest, UnreachableContract) {
+  // A host pair on a star whose only switch goes down: unreachable = empty
+  // path + Reachable() false; src == dst stays trivially reachable.
+  Topology topo = BuildSingleSwitchStar(4, Gbps64(10));
+  Router router(&topo);
+  ASSERT_TRUE(router.Reachable(0, 1));
+  topo.SetNodeUp(4, false);  // The hub switch.
+  EXPECT_FALSE(router.Reachable(0, 1));
+  EXPECT_TRUE(router.Route(0, 1, 0).empty());
+  EXPECT_TRUE(router.Reachable(2, 2));
+  topo.SetNodeUp(4, true);
+  EXPECT_TRUE(router.Reachable(0, 1));
+  EXPECT_FALSE(router.Route(0, 1, 0).empty());
+}
+
 }  // namespace
 }  // namespace saba

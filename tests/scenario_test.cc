@@ -49,6 +49,50 @@ TEST(ScenarioParserTest, ParsesSpineLeafTopology) {
   EXPECT_EQ(scenario->topology.Hosts().size(), 12u);
 }
 
+TEST(ScenarioParserTest, ParsesFatTreeTopology) {
+  std::string error;
+  const auto scenario = ParseScenario(
+      "topology fattree k=4 capacity_gbps=40 core_gbps=20\njob LR nodes=4\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->topology.Hosts().size(), 16u);
+  // Host and edge-agg links carry capacity_gbps; agg-core links carry
+  // core_gbps (node layout: hosts 0-15, edge0 = 16, agg0 = 24, core0 = 32).
+  const LinkId host_link = scenario->topology.FindLink(0, 16);
+  ASSERT_NE(host_link, kInvalidLink);
+  EXPECT_EQ(scenario->topology.link(host_link).capacity_bps, Gbps64(40));
+  const LinkId up_link = scenario->topology.FindLink(24, 32);
+  ASSERT_NE(up_link, kInvalidLink);
+  EXPECT_EQ(scenario->topology.link(up_link).capacity_bps, Gbps64(20));
+}
+
+TEST(ScenarioParserTest, ParsesFailureDirectivesBeforeTopology) {
+  // Failure lines may precede the topology line: endpoint validation is
+  // deferred until the fabric is resolved.
+  std::string error;
+  const auto scenario = ParseScenario(
+      "fail link a=16 b=24 at=1.5 until=4.0\n"
+      "fail switch id=24 at=2.0\n"
+      "degrade link a=24 b=32 at=1.0 factor=0.5 until=3.0\n"
+      "topology fattree k=4\n"
+      "job LR nodes=4\n",
+      &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  ASSERT_EQ(scenario->options.failures.size(), 3u);
+  const FailureEvent& link = scenario->options.failures[0];
+  EXPECT_EQ(link.kind, FailureEvent::Kind::kLinkDown);
+  EXPECT_EQ(link.a, 16);
+  EXPECT_EQ(link.b, 24);
+  EXPECT_DOUBLE_EQ(link.at, 1.5);
+  EXPECT_DOUBLE_EQ(link.until, 4.0);
+  const FailureEvent& node = scenario->options.failures[1];
+  EXPECT_EQ(node.kind, FailureEvent::Kind::kNodeDown);
+  EXPECT_EQ(node.a, 24);
+  EXPECT_LT(node.until, 0) << "no until= means permanent";
+  const FailureEvent& degrade = scenario->options.failures[2];
+  EXPECT_EQ(degrade.kind, FailureEvent::Kind::kLinkDegrade);
+  EXPECT_DOUBLE_EQ(degrade.capacity_factor, 0.5);
+}
+
 TEST(ScenarioParserTest, DefaultsWhenOmitted) {
   const auto scenario = ParseScenario("job Sort nodes=4\n");
   ASSERT_TRUE(scenario.has_value());
@@ -83,7 +127,22 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"bad_nodes", "job LR nodes=1\n"},
         BadCase{"negative_start", "job LR start=-2\n"},
         BadCase{"oversized_job", "topology star servers=4\njob LR nodes=8\n"},
-        BadCase{"bad_pods", "topology spineleaf tor=3 pods=2\njob LR nodes=2\n"}),
+        BadCase{"bad_pods", "topology spineleaf tor=3 pods=2\njob LR nodes=2\n"},
+        BadCase{"fattree_odd_k", "topology fattree k=5\njob LR nodes=4\n"},
+        BadCase{"fail_unknown_target", "topology fattree k=4\nfail host a=0 at=1\njob LR nodes=4\n"},
+        BadCase{"fail_link_missing_b", "topology fattree k=4\nfail link a=16 at=1\njob LR nodes=4\n"},
+        BadCase{"fail_missing_at", "topology fattree k=4\nfail link a=16 b=24\njob LR nodes=4\n"},
+        BadCase{"fail_until_before_at",
+                "topology fattree k=4\nfail link a=16 b=24 at=2 until=1\njob LR nodes=4\n"},
+        BadCase{"fail_no_such_link",
+                "topology fattree k=4\nfail link a=16 b=17 at=1\njob LR nodes=4\n"},
+        BadCase{"fail_switch_on_host", "topology fattree k=4\nfail switch id=0 at=1\njob LR nodes=4\n"},
+        BadCase{"fail_node_out_of_range",
+                "topology fattree k=4\nfail switch id=99 at=1\njob LR nodes=4\n"},
+        BadCase{"degrade_missing_factor",
+                "topology fattree k=4\ndegrade link a=16 b=24 at=1\njob LR nodes=4\n"},
+        BadCase{"degrade_bad_factor",
+                "topology fattree k=4\ndegrade link a=16 b=24 at=1 factor=1.5\njob LR nodes=4\n"}),
     [](const ::testing::TestParamInfo<BadCase>& info) { return info.param.name; });
 
 TEST(ScenarioJobsTest, PlacementRespectsNodeCountsAndDistinctHosts) {
@@ -123,6 +182,36 @@ TEST(ScenarioRunTest, EndToEndSabaScenarioCompletes) {
   ASSERT_EQ(result.completion_seconds.size(), 2u);
   EXPECT_GT(result.completion_seconds[0], 0);
   EXPECT_GT(result.completion_seconds[1], 0);
+}
+
+// The ISSUE's reroute-determinism criterion end to end: a mid-run link
+// failure on a fat-tree must leave job completion times bit-identical for
+// any SABA_SOLVE_JOBS setting, with the same flows re-pinned.
+TEST(ScenarioRunTest, RerouteDeterminismAcrossSolveJobs) {
+  std::string error;
+  auto scenario = ParseScenario(
+      "topology fattree k=4\npolicy saba\nseed 3\nqueues 8\n"
+      "job LR nodes=8\njob Sort nodes=8 start=0.5\n"
+      "fail link a=16 b=24 at=2.0 until=400.0\n",
+      &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  ProfilerOptions options;
+  options.noise_sigma = 0;
+  const SensitivityTable table =
+      OfflineProfiler(options).ProfileAll({*FindWorkload("LR"), *FindWorkload("Sort")});
+
+  scenario->options.solve_jobs = 1;
+  const CoRunResult serial = RunScenario(*scenario, table);
+  scenario->options.solve_jobs = 4;
+  const CoRunResult parallel = RunScenario(*scenario, table);
+
+  EXPECT_GT(serial.rerouted_flows, 0u) << "the failed link must cut through live flows";
+  EXPECT_EQ(serial.rerouted_flows, parallel.rerouted_flows);
+  ASSERT_EQ(serial.completion_seconds.size(), parallel.completion_seconds.size());
+  for (size_t j = 0; j < serial.completion_seconds.size(); ++j) {
+    EXPECT_EQ(serial.completion_seconds[j], parallel.completion_seconds[j])
+        << "job " << j << " diverged across solve_jobs";
+  }
 }
 
 }  // namespace
